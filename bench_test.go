@@ -1,0 +1,226 @@
+// Benchmarks regenerating the paper's tables and figures as testing.B
+// targets. Each sub-benchmark is one table cell: a (design, rule, checker)
+// triple; the reported ns/op is the cell's runtime (for GPU checkers the
+// *measured* host work dominates ns/op — the modeled device time appears in
+// the `modeled_us` metric). Designs run at a reduced scale so the whole
+// suite completes on a laptop; `cmd/odrc-bench` runs the full-scale tables.
+package opendrc_test
+
+import (
+	"sync"
+	"testing"
+
+	"opendrc/internal/bench"
+	"opendrc/internal/core"
+	"opendrc/internal/geom"
+	"opendrc/internal/layout"
+	"opendrc/internal/partition"
+	"opendrc/internal/synth"
+)
+
+const benchScale = 0.25
+
+var (
+	layoutsOnce sync.Once
+	layoutsMap  map[string]*layout.Layout
+)
+
+func benchLayouts(b *testing.B) map[string]*layout.Layout {
+	b.Helper()
+	layoutsOnce.Do(func() {
+		m, err := bench.Layouts(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		layoutsMap = m
+	})
+	return layoutsMap
+}
+
+// runTable executes every (design, rule, checker) cell of one table as
+// sub-benchmarks.
+func runTable(b *testing.B, ruleIDs []string) {
+	layouts := benchLayouts(b)
+	for _, design := range bench.DesignNames() {
+		lo := layouts[design]
+		for _, id := range ruleIDs {
+			r, err := synth.RuleByID(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for c := bench.KLayoutFlat; c <= bench.OpenDRCPar; c++ {
+				name := design + "/" + id + "/" + c.String()
+				checker := c
+				b.Run(name, func(b *testing.B) {
+					var modeled float64
+					for i := 0; i < b.N; i++ {
+						cell, err := bench.RunCell(lo, r, checker)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if !cell.Supported {
+							b.Skip("rule unsupported by checker")
+						}
+						modeled = float64(cell.Time.Microseconds())
+					}
+					b.ReportMetric(modeled, "modeled_us")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTableI regenerates Table I: intra-polygon checks (width, area).
+func BenchmarkTableI(b *testing.B) {
+	runTable(b, bench.TableIRules())
+}
+
+// BenchmarkTableII regenerates Table II: inter-polygon checks (spacing,
+// enclosure).
+func BenchmarkTableII(b *testing.B) {
+	runTable(b, bench.TableIIRules())
+}
+
+// BenchmarkFig4 profiles the sequential space check per design — the Fig. 4
+// runtime breakdown; phase fractions are reported as metrics.
+func BenchmarkFig4(b *testing.B) {
+	layouts := benchLayouts(b)
+	r, err := synth.RuleByID("M1.S.1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, design := range bench.DesignNames() {
+		lo := layouts[design]
+		b.Run(design, func(b *testing.B) {
+			var part, sweep, edge float64
+			for i := 0; i < b.N; i++ {
+				eng := core.New(core.Options{Mode: core.Sequential})
+				if err := eng.AddRules(r); err != nil {
+					b.Fatal(err)
+				}
+				rep, err := eng.Check(lo)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total := float64(rep.Profile.Total())
+				if total > 0 {
+					part = float64(rep.Profile.Get("spacing:partition")) / total * 100
+					sweep = float64(rep.Profile.Get("spacing:sweepline")) / total * 100
+					edge = float64(rep.Profile.Get("spacing:edge-checks")) / total * 100
+				}
+			}
+			b.ReportMetric(part, "partition_%")
+			b.ReportMetric(sweep, "sweepline_%")
+			b.ReportMetric(edge, "edgecheck_%")
+		})
+	}
+}
+
+// BenchmarkPartitionAblation compares the paper's Θ(k+N) pigeonhole interval
+// merging against the Ω(k log k) sort-based alternative on a large merge
+// workload (k ≫ N, the regime the paper argues from).
+func BenchmarkPartitionAblation(b *testing.B) {
+	const k = 200000
+	const rows = 400
+	boxes := make([]geom.Rect, k)
+	for i := range boxes {
+		y := int64((i % rows) * 270)
+		x := int64(i) * 7 % 100000
+		boxes[i] = geom.R(x, y+40, x+120, y+230)
+	}
+	b.Run("pigeonhole", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			partition.Rows(boxes, 18, partition.Pigeonhole)
+		}
+	})
+	b.Run("sort-based", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			partition.Rows(boxes, 18, partition.SortBased)
+		}
+	})
+}
+
+// BenchmarkPruningAblation measures hierarchy task pruning on the
+// sequential engine: identical rule, pruning on versus off.
+func BenchmarkPruningAblation(b *testing.B) {
+	lo := benchLayouts(b)["aes"]
+	r, err := synth.RuleByID("M1.W.1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"pruning-on", core.Options{Mode: core.Sequential}},
+		{"pruning-off", core.Options{Mode: core.Sequential, DisablePruning: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := core.New(cfg.opts)
+				if err := eng.AddRules(r); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Check(lo); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExecutorAblation forces the parallel mode's executor choice both
+// ways on a spacing rule.
+func BenchmarkExecutorAblation(b *testing.B) {
+	lo := benchLayouts(b)["aes"]
+	r, err := synth.RuleByID("M1.S.1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name      string
+		threshold int
+	}{
+		{"all-brute", 1 << 30},
+		{"all-sweep", 1},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var modeled float64
+			for i := 0; i < b.N; i++ {
+				eng := core.New(core.Options{Mode: core.Parallel, BruteEdgeThreshold: cfg.threshold})
+				if err := eng.AddRules(r); err != nil {
+					b.Fatal(err)
+				}
+				rep, err := eng.Check(lo)
+				if err != nil {
+					b.Fatal(err)
+				}
+				modeled = float64(rep.Modeled.Microseconds())
+			}
+			b.ReportMetric(modeled, "modeled_us")
+		})
+	}
+}
+
+// BenchmarkBVHAblation measures the layer-wise MBR augmentation: a narrow
+// layer range query through the pruned hierarchy versus filtering the
+// flattened layer.
+func BenchmarkBVHAblation(b *testing.B) {
+	lo := benchLayouts(b)["ethmac"]
+	window := geom.R(1000, 1000, 3000, 3000)
+	b.Run("bvh-query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lo.QueryLayer(layout.LayerM1, window)
+		}
+	})
+	b.Run("flatten-filter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for _, pp := range lo.FlattenLayer(layout.LayerM1) {
+				if pp.Shape.MBR().Overlaps(window) {
+					n++
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,137 @@
+// Command odrc-bench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	odrc-bench -table 1|2 [-scale f]     reproduce Table I / Table II
+//	odrc-bench -fig 3                    print the sweepline trace (Fig. 3)
+//	odrc-bench -fig 4 [-scale f]         runtime breakdown (Fig. 4)
+//	odrc-bench -ablation [-scale f]      design-choice ablations
+//
+// Time semantics: CPU checkers report measured wall time divided by the
+// host calibration constant; GPU checkers report modeled CPU+GPU time from
+// the simulated device (see DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"opendrc/internal/bench"
+	"opendrc/internal/core"
+	"opendrc/internal/partition"
+	"opendrc/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "odrc-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	table := flag.Int("table", 0, "reproduce table 1 (intra-polygon) or 2 (inter-polygon)")
+	fig := flag.Int("fig", 0, "reproduce figure 3 (sweepline trace) or 4 (runtime breakdown)")
+	ablation := flag.Bool("ablation", false, "run the design-choice ablations")
+	scale := flag.Float64("scale", 1, "design scale factor (1 = full synthetic size)")
+	flag.Parse()
+
+	switch {
+	case *table == 1:
+		return runTable("Table I — intra-polygon checks (width, area)", bench.TableIRules(), *scale)
+	case *table == 2:
+		return runTable("Table II — inter-polygon checks (spacing, enclosure)", bench.TableIIRules(), *scale)
+	case *fig == 3:
+		return bench.Fig3(os.Stdout)
+	case *fig == 4:
+		lts, err := bench.Layouts(*scale)
+		if err != nil {
+			return err
+		}
+		rows, err := bench.Fig4(lts)
+		if err != nil {
+			return err
+		}
+		bench.WriteFig4(os.Stdout, rows)
+		return nil
+	case *ablation:
+		return runAblations(*scale)
+	}
+	flag.Usage()
+	return nil
+}
+
+func runTable(title string, rules []string, scale float64) error {
+	lts, err := bench.Layouts(scale)
+	if err != nil {
+		return err
+	}
+	tbl, err := bench.Run(fmt.Sprintf("%s (scale %g)", title, scale), lts, rules)
+	if err != nil {
+		return err
+	}
+	_, err = tbl.WriteTo(os.Stdout)
+	return err
+}
+
+// runAblations times the design choices DESIGN.md calls out.
+func runAblations(scale float64) error {
+	lo, _, err := synth.Load("aes", scale)
+	if err != nil {
+		return err
+	}
+	r, err := synth.RuleByID("M1.S.1")
+	if err != nil {
+		return err
+	}
+
+	timeRun := func(opts core.Options) (time.Duration, error) {
+		eng := core.New(opts)
+		if err := eng.AddRules(r); err != nil {
+			return 0, err
+		}
+		rep, err := eng.Check(lo)
+		if err != nil {
+			return 0, err
+		}
+		return rep.Modeled, nil
+	}
+
+	fmt.Println("Ablations on aes / M1.S.1 (modeled or wall time):")
+	seqOn, err := timeRun(core.Options{Mode: core.Sequential})
+	if err != nil {
+		return err
+	}
+	seqOff, err := timeRun(core.Options{Mode: core.Sequential, DisablePruning: true})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  hierarchy pruning   : on %v   off %v   (%.1fx)\n",
+		seqOn.Round(time.Microsecond), seqOff.Round(time.Microsecond),
+		float64(seqOff)/float64(seqOn))
+
+	parPig, err := timeRun(core.Options{Mode: core.Parallel, PartitionAlg: partition.Pigeonhole})
+	if err != nil {
+		return err
+	}
+	parSort, err := timeRun(core.Options{Mode: core.Parallel, PartitionAlg: partition.SortBased})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  interval merging    : pigeonhole %v   sort-based %v\n",
+		parPig.Round(time.Microsecond), parSort.Round(time.Microsecond))
+
+	parBrute, err := timeRun(core.Options{Mode: core.Parallel, BruteEdgeThreshold: 1 << 30})
+	if err != nil {
+		return err
+	}
+	parSweep, err := timeRun(core.Options{Mode: core.Parallel, BruteEdgeThreshold: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  executor selection  : all-brute %v   all-sweep %v\n",
+		parBrute.Round(time.Microsecond), parSweep.Round(time.Microsecond))
+	return nil
+}

@@ -1,0 +1,134 @@
+// Command odrc runs design rule checks on a GDSII layout.
+//
+// Usage:
+//
+//	odrc [-mode seq|par] [-rules deck] [-rule id[,id...]] [-v] [-stats] file.gds
+//
+// The default rule deck is the ASAP7-like evaluation deck (see
+// internal/synth.Deck); -rule restricts it to specific rule IDs. Violations
+// print one per line as: rule layer box distance [cell].
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"opendrc"
+	"opendrc/internal/layout"
+	"opendrc/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "odrc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	mode := flag.String("mode", "seq", "execution mode: seq (hierarchical CPU) or par (simulated-GPU rows)")
+	ruleIDs := flag.String("rule", "", "comma-separated rule IDs from the standard deck (default: all)")
+	deckFile := flag.String("deck", "", "rule deck file (overrides the built-in deck; see internal/rules.ParseDeck)")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout")
+	verbose := flag.Bool("v", false, "print every violation (default: per-rule counts only)")
+	stats := flag.Bool("stats", false, "print scheduling statistics and phase breakdown")
+	dedup := flag.Bool("dedup", true, "merge identical violation markers")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: odrc [flags] file.gds\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	db, err := opendrc.ReadGDS(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	for _, w := range db.Warnings {
+		fmt.Fprintln(os.Stderr, "warning:", w)
+	}
+
+	var opts []opendrc.Option
+	switch *mode {
+	case "seq":
+	case "par":
+		opts = append(opts, opendrc.WithMode(opendrc.Parallel))
+	default:
+		return fmt.Errorf("unknown mode %q (want seq or par)", *mode)
+	}
+	eng := opendrc.NewEngine(opts...)
+
+	deck := synth.Deck()
+	if *deckFile != "" {
+		f, err := os.Open(*deckFile)
+		if err != nil {
+			return err
+		}
+		deck, err = opendrc.ParseDeck(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	if *ruleIDs != "" {
+		var picked []opendrc.Rule
+		for _, id := range strings.Split(*ruleIDs, ",") {
+			r, err := synth.RuleByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			picked = append(picked, r)
+		}
+		deck = picked
+	}
+	if err := eng.AddRules(deck...); err != nil {
+		return err
+	}
+
+	rep, err := eng.Check(db)
+	if err != nil {
+		return err
+	}
+	vs := rep.Violations
+	if *dedup {
+		vs = opendrc.Dedup(vs)
+	}
+	if *jsonOut {
+		rep.Violations = vs
+		return rep.WriteJSON(os.Stdout)
+	}
+
+	fmt.Printf("%s: %d cells, top %q; %d violations in %v (%s mode)\n",
+		flag.Arg(0), len(db.Cells), db.Top.Name, len(vs), rep.HostWall.Round(1e3), rep.Mode)
+	counts := map[string]int{}
+	for _, v := range vs {
+		counts[v.Rule]++
+	}
+	for _, r := range eng.Deck() {
+		fmt.Printf("  %-12s %6d\n", r.ID, counts[r.ID])
+	}
+	if *verbose {
+		for _, v := range vs {
+			cell := v.Cell
+			if cell == "" {
+				cell = "-"
+			}
+			fmt.Printf("%-12s %-4s %v d=%d cell=%s\n",
+				v.Rule, layout.LayerName(v.Layer), v.Marker.Box, v.Marker.Dist, cell)
+		}
+	}
+	if *stats {
+		fmt.Printf("stats: %+v\n", rep.Stats)
+		rep.Profile.WriteTo(os.Stdout)
+		if rep.Device != nil {
+			fmt.Printf("modeled CPU+GPU time: %v (device busy %v)\n",
+				rep.Modeled.Round(1e3), rep.Device.DeviceBusy().Round(1e3))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module opendrc
+
+go 1.22

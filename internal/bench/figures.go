@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"opendrc/internal/core"
+	"opendrc/internal/geom"
+	"opendrc/internal/infra"
+	"opendrc/internal/interval"
+	"opendrc/internal/layout"
+	"opendrc/internal/synth"
+)
+
+// Fig3 prints the sweepline + interval tree trace for a small scene in the
+// spirit of the paper's Fig. 3: the sweepline moves top to bottom, inserting
+// each MBR's x-interval at its top side, querying the tree for overlaps, and
+// removing it at its bottom side.
+func Fig3(w io.Writer) error {
+	boxes := []geom.Rect{
+		geom.R(2, 10, 8, 16),  // A
+		geom.R(6, 12, 14, 20), // B (overlaps A)
+		geom.R(16, 4, 24, 12), // C
+		geom.R(20, 8, 30, 14), // D (overlaps C)
+		geom.R(10, 0, 14, 6),  // E (isolated)
+	}
+	names := []string{"A", "B", "C", "D", "E"}
+	type ev struct {
+		y   int64
+		id  int
+		top bool
+	}
+	var events []ev
+	var coords []int64
+	for i, b := range boxes {
+		events = append(events, ev{b.YHi, i, true}, ev{b.YLo, i, false})
+		coords = append(coords, b.XLo, b.XHi)
+	}
+	for i := range events {
+		for j := i + 1; j < len(events); j++ {
+			ei, ej := events[i], events[j]
+			if ej.y > ei.y || (ej.y == ei.y && ej.top && !ei.top) {
+				events[i], events[j] = events[j], events[i]
+			}
+		}
+	}
+	tree := interval.NewTree(coords)
+	fmt.Fprintln(w, "Fig. 3 — sweepline over MBRs with interval tree status")
+	for _, e := range events {
+		b := boxes[e.id]
+		if e.top {
+			var hits []string
+			tree.Query(b.XLo, b.XHi, func(en interval.Entry) {
+				hits = append(hits, names[en.ID])
+			})
+			if err := tree.Insert(b.XLo, b.XHi, e.id); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "y=%2d  TOP %s    insert [%d,%d]  overlaps=%v  live=%d\n",
+				e.y, names[e.id], b.XLo, b.XHi, hits, tree.Len())
+		} else {
+			tree.Delete(b.XLo, b.XHi, e.id)
+			fmt.Fprintf(w, "y=%2d  BOT %s    remove [%d,%d]              live=%d\n",
+				e.y, names[e.id], b.XLo, b.XHi, tree.Len())
+		}
+	}
+	return nil
+}
+
+// Fig4Row is one design's sequential space-check runtime breakdown.
+type Fig4Row struct {
+	Design    string
+	Total     time.Duration
+	Partition float64 // fractions of total
+	Sweepline float64
+	EdgeCheck float64
+	Other     float64
+}
+
+// Fig4 profiles the sequential M1.S.1 check per design, reproducing the
+// paper's runtime breakdown (partition ≈ 15%, sweepline + interval tree ≈
+// 35%, edge-to-edge checks 40–50%).
+func Fig4(layouts map[string]*layout.Layout) ([]Fig4Row, error) {
+	r, err := synth.RuleByID("M1.S.1")
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig4Row
+	for _, design := range DesignNames() {
+		lo := layouts[design]
+		if lo == nil {
+			continue
+		}
+		eng := core.New(core.Options{Mode: core.Sequential})
+		if err := eng.AddRules(r); err != nil {
+			return nil, err
+		}
+		rep, err := eng.Check(lo)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig4Row{Design: design, Total: rep.Profile.Total()}
+		total := float64(row.Total)
+		if total > 0 {
+			row.Partition = float64(rep.Profile.Get("spacing:partition")) / total
+			row.Sweepline = float64(rep.Profile.Get("spacing:sweepline")) / total
+			row.EdgeCheck = float64(rep.Profile.Get("spacing:edge-checks")) / total
+			row.Other = 1 - row.Partition - row.Sweepline - row.EdgeCheck
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// WriteFig4 renders the breakdown rows with bar charts.
+func WriteFig4(w io.Writer, rows []Fig4Row) {
+	fmt.Fprintln(w, "Fig. 4 — sequential space-check (M1.S.1) runtime breakdown")
+	fmt.Fprintf(w, "%-8s %10s %11s %11s %11s %8s\n",
+		"design", "total", "partition", "sweepline", "edge-check", "other")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %10v %10.1f%% %10.1f%% %10.1f%% %7.1f%%\n",
+			r.Design, r.Total.Round(time.Microsecond),
+			r.Partition*100, r.Sweepline*100, r.EdgeCheck*100, r.Other*100)
+	}
+}
+
+// BreakdownProfile exposes the raw profiler of a sequential spacing run for
+// one design (used by cmd/odrc-bench -fig 4 -design X).
+func BreakdownProfile(lo *layout.Layout, ruleID string) (*infra.Profiler, error) {
+	r, err := synth.RuleByID(ruleID)
+	if err != nil {
+		return nil, err
+	}
+	eng := core.New(core.Options{Mode: core.Sequential})
+	if err := eng.AddRules(r); err != nil {
+		return nil, err
+	}
+	rep, err := eng.Check(lo)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Profile, nil
+}

@@ -1,0 +1,340 @@
+// Package boolop implements boolean mask operations on rectilinear
+// geometry — the "boolean mask operations" the paper lists among DRC's
+// algorithmic foundations and uses in rules on derived layers ("constraints
+// on the NOT CUT result between layers, minimum overlapping area
+// constraints"). Operands are sets of rectilinear polygons; results are
+// RectSets: disjoint, canonical slab decompositions that support exact area
+// queries and emptiness tests, which is all the derived-layer rules need.
+//
+// The algorithm is a vertical slab sweep: the union of both operands' x
+// coordinates cuts the plane into slabs; within a slab each operand covers
+// a set of y-intervals (computed by scanning the polygons' vertical edges),
+// the boolean op combines the interval sets, and equal interval-stacks in
+// adjacent slabs are run-length merged into maximal bricks.
+package boolop
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"opendrc/internal/geom"
+)
+
+// Op selects the boolean operation.
+type Op int
+
+// Boolean operations.
+const (
+	And Op = iota // intersection
+	Or            // union
+	Sub           // a and not b — the paper's NOT CUT derivation
+	Xor           // symmetric difference
+)
+
+var opNames = [...]string{"and", "or", "sub", "xor"}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// RectSet is a disjoint set of axis-aligned rectangles in canonical form
+// (sorted by (XLo, YLo); no two rectangles overlap).
+type RectSet struct {
+	rects []geom.Rect
+}
+
+// Rects returns a copy of the rectangles.
+func (s *RectSet) Rects() []geom.Rect {
+	return append([]geom.Rect(nil), s.rects...)
+}
+
+// Len returns the rectangle count.
+func (s *RectSet) Len() int { return len(s.rects) }
+
+// Empty reports whether the set covers no area.
+func (s *RectSet) Empty() bool { return len(s.rects) == 0 }
+
+// Area returns the exact covered area (rectangles are disjoint).
+func (s *RectSet) Area() int64 {
+	var a int64
+	for _, r := range s.rects {
+		a += r.Area()
+	}
+	return a
+}
+
+// MBR returns the bounding box of the set.
+func (s *RectSet) MBR() geom.Rect {
+	out := geom.EmptyRect()
+	for _, r := range s.rects {
+		out = out.Union(r)
+	}
+	return out
+}
+
+// vEdge is one vertical polygon edge contributing coverage to slabs at
+// x >= X until matched by a closing edge: winding +1 for left (upward)
+// boundaries, -1 for right (downward) ones, under the clockwise ring
+// convention.
+type vEdge struct {
+	x        int64
+	yLo, yHi int64
+	w        int // +1 opens coverage to the right, -1 closes it
+}
+
+// verticalEdges extracts the vertical edges of the polygons. For a
+// clockwise ring, interior lies east of north-going edges, so a north edge
+// at x opens coverage (+1) and a south edge closes it (-1).
+func verticalEdges(polys []geom.Polygon) []vEdge {
+	var out []vEdge
+	for _, p := range polys {
+		n := p.NumEdges()
+		for i := 0; i < n; i++ {
+			e := p.Edge(i)
+			switch e.Dir() {
+			case geom.DirNorth:
+				out = append(out, vEdge{x: e.P0.X, yLo: e.P0.Y, yHi: e.P1.Y, w: +1})
+			case geom.DirSouth:
+				out = append(out, vEdge{x: e.P0.X, yLo: e.P1.Y, yHi: e.P0.Y, w: -1})
+			}
+		}
+	}
+	return out
+}
+
+// span is one covered y-interval inside a slab.
+type span struct{ lo, hi int64 }
+
+// operandSlabs computes, per slab of the given x-cut, the covered y-spans
+// of the operand. cuts must be sorted unique x coordinates; slab i covers
+// x ∈ [cuts[i], cuts[i+1]].
+func operandSlabs(polys []geom.Polygon, cuts []int64) [][]span {
+	edges := verticalEdges(polys)
+	sort.Slice(edges, func(i, j int) bool { return edges[i].x < edges[j].x })
+	slabs := make([][]span, len(cuts)-1)
+	// active accumulates winding deltas at y coordinates; fully closed
+	// regions cancel exactly and are compacted away periodically.
+	var active []delta
+	ei := 0
+	for si := 0; si+1 < len(cuts); si++ {
+		x := cuts[si]
+		for ei < len(edges) && edges[ei].x <= x {
+			e := edges[ei]
+			active = append(active,
+				delta{y: e.yLo, w: e.w}, delta{y: e.yHi, w: -e.w})
+			ei++
+		}
+		if len(active) > 64 && len(active) > 4*len(slabCompactHint(slabs, si)) {
+			active = compactDeltas(active)
+		}
+		slabs[si] = coverSpans(active)
+	}
+	return slabs
+}
+
+// slabCompactHint returns the previous slab's spans as a growth yardstick.
+func slabCompactHint(slabs [][]span, si int) []span {
+	if si == 0 {
+		return nil
+	}
+	return slabs[si-1]
+}
+
+// compactDeltas sums winding contributions per y and drops zero entries.
+func compactDeltas(ds []delta) []delta {
+	sum := make(map[int64]int, len(ds))
+	for _, d := range ds {
+		sum[d.y] += d.w
+	}
+	out := ds[:0]
+	for y, w := range sum {
+		if w != 0 {
+			out = append(out, delta{y: y, w: w})
+		}
+	}
+	return out
+}
+
+// coverSpans converts winding deltas into covered intervals (winding > 0).
+func coverSpans(deltas []delta) []span {
+	if len(deltas) == 0 {
+		return nil
+	}
+	ds := append([]delta(nil), deltas...)
+	sort.Slice(ds, func(i, j int) bool { return ds[i].y < ds[j].y })
+	var out []span
+	w := 0
+	var start int64
+	for i := 0; i < len(ds); i++ {
+		y := ds[i].y
+		prev := w
+		for i < len(ds) && ds[i].y == y {
+			w += ds[i].w
+			i++
+		}
+		i--
+		if prev <= 0 && w > 0 {
+			start = y
+		}
+		if prev > 0 && w <= 0 {
+			if y > start {
+				out = append(out, span{start, y})
+			}
+		}
+	}
+	return out
+}
+
+// delta is exported within the package for coverSpans.
+type delta struct {
+	y int64
+	w int
+}
+
+// combineSpans applies the boolean op to two sorted disjoint span lists.
+func combineSpans(a, b []span, op Op) []span {
+	// Event-walk both lists tracking inA/inB.
+	type ev struct {
+		y     int64
+		which int // 0 = a, 1 = b
+		open  bool
+	}
+	evs := make([]ev, 0, 2*(len(a)+len(b)))
+	for _, s := range a {
+		evs = append(evs, ev{s.lo, 0, true}, ev{s.hi, 0, false})
+	}
+	for _, s := range b {
+		evs = append(evs, ev{s.lo, 1, true}, ev{s.hi, 1, false})
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].y < evs[j].y })
+	inside := func(inA, inB bool) bool {
+		switch op {
+		case And:
+			return inA && inB
+		case Or:
+			return inA || inB
+		case Sub:
+			return inA && !inB
+		case Xor:
+			return inA != inB
+		}
+		return false
+	}
+	var out []span
+	var inA, inB bool
+	var start int64
+	active := false
+	for i := 0; i < len(evs); i++ {
+		y := evs[i].y
+		for i < len(evs) && evs[i].y == y {
+			if evs[i].which == 0 {
+				inA = evs[i].open
+			} else {
+				inB = evs[i].open
+			}
+			i++
+		}
+		i--
+		now := inside(inA, inB)
+		if now && !active {
+			start = y
+			active = true
+		}
+		if !now && active {
+			if y > start {
+				out = append(out, span{start, y})
+			}
+			active = false
+		}
+	}
+	return out
+}
+
+// Combine applies the boolean operation to two polygon sets.
+func Combine(a, b []geom.Polygon, op Op) *RectSet {
+	// x-cuts: all vertical-edge x coordinates of both operands.
+	var cuts []int64
+	for _, e := range verticalEdges(a) {
+		cuts = append(cuts, e.x)
+	}
+	for _, e := range verticalEdges(b) {
+		cuts = append(cuts, e.x)
+	}
+	if len(cuts) == 0 {
+		return &RectSet{}
+	}
+	slices.Sort(cuts)
+	cuts = slices.Compact(cuts)
+	if len(cuts) < 2 {
+		return &RectSet{}
+	}
+	sa := operandSlabs(a, cuts)
+	sb := operandSlabs(b, cuts)
+
+	// Per slab, combine; then run-length merge identical adjacent stacks.
+	set := &RectSet{}
+	type openRect struct {
+		s  span
+		x0 int64
+	}
+	var open []openRect
+	flushUnmatched := func(now []span, xEnd int64) []openRect {
+		// Keep open rects whose span continues exactly; close the rest.
+		var kept []openRect
+		used := make([]bool, len(now))
+		for _, or := range open {
+			cont := false
+			for i, s := range now {
+				if !used[i] && s == or.s {
+					used[i] = true
+					kept = append(kept, or)
+					cont = true
+					break
+				}
+			}
+			if !cont {
+				set.rects = append(set.rects, geom.Rect{XLo: or.x0, YLo: or.s.lo, XHi: xEnd, YHi: or.s.hi})
+			}
+		}
+		for i, s := range now {
+			if !used[i] {
+				kept = append(kept, openRect{s: s, x0: xEnd})
+			}
+		}
+		return kept
+	}
+	for si := 0; si+1 < len(cuts); si++ {
+		now := combineSpans(sa[si], sb[si], op)
+		open = flushUnmatched(now, cuts[si])
+	}
+	// Close everything at the final cut.
+	last := cuts[len(cuts)-1]
+	for _, or := range open {
+		set.rects = append(set.rects, geom.Rect{XLo: or.x0, YLo: or.s.lo, XHi: last, YHi: or.s.hi})
+	}
+	sort.Slice(set.rects, func(i, j int) bool {
+		a, b := set.rects[i], set.rects[j]
+		if a.XLo != b.XLo {
+			return a.XLo < b.XLo
+		}
+		return a.YLo < b.YLo
+	})
+	return set
+}
+
+// OverlapArea returns the exact area of the intersection of the two sets —
+// the quantity minimum-overlap rules constrain.
+func OverlapArea(a, b []geom.Polygon) int64 {
+	return Combine(a, b, And).Area()
+}
+
+// NotCut returns a \ b — the paper's NOT CUT derived layer. An empty result
+// means a is fully covered by b.
+func NotCut(a, b []geom.Polygon) *RectSet {
+	return Combine(a, b, Sub)
+}

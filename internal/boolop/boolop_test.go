@@ -1,0 +1,217 @@
+package boolop
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"opendrc/internal/geom"
+)
+
+func rp(x0, y0, x1, y1 int64) geom.Polygon {
+	return geom.RectPolygon(geom.R(x0, y0, x1, y1))
+}
+
+// rasterOracle computes the boolean result area by brute-force point
+// sampling on the unit grid (coordinates must be small).
+func rasterOracle(a, b []geom.Polygon, op Op, bound int64) int64 {
+	in := func(polys []geom.Polygon, x, y int64) bool {
+		// Cell (x,y)..(x+1,y+1) covered iff its center is inside; use the
+		// exact test on the doubled grid to avoid boundary ambiguity.
+		for _, p := range polys {
+			if p.ContainsPoint(geom.Pt(x, y)) && p.ContainsPoint(geom.Pt(x+1, y+1)) &&
+				p.ContainsPoint(geom.Pt(x+1, y)) && p.ContainsPoint(geom.Pt(x, y+1)) {
+				return true
+			}
+		}
+		return false
+	}
+	var area int64
+	for x := int64(-1); x <= bound; x++ {
+		for y := int64(-1); y <= bound; y++ {
+			ia, ib := in(a, x, y), in(b, x, y)
+			var inside bool
+			switch op {
+			case And:
+				inside = ia && ib
+			case Or:
+				inside = ia || ib
+			case Sub:
+				inside = ia && !ib
+			case Xor:
+				inside = ia != ib
+			}
+			if inside {
+				area++
+			}
+		}
+	}
+	return area
+}
+
+func TestCombineBasicRects(t *testing.T) {
+	a := []geom.Polygon{rp(0, 0, 10, 10)}
+	b := []geom.Polygon{rp(5, 5, 15, 15)}
+	if got := Combine(a, b, And).Area(); got != 25 {
+		t.Errorf("and area = %d", got)
+	}
+	if got := Combine(a, b, Or).Area(); got != 175 {
+		t.Errorf("or area = %d", got)
+	}
+	if got := Combine(a, b, Sub).Area(); got != 75 {
+		t.Errorf("sub area = %d", got)
+	}
+	if got := Combine(a, b, Xor).Area(); got != 150 {
+		t.Errorf("xor area = %d", got)
+	}
+}
+
+func TestCombineDisjointAndNested(t *testing.T) {
+	a := []geom.Polygon{rp(0, 0, 4, 4)}
+	b := []geom.Polygon{rp(10, 10, 14, 14)}
+	if got := Combine(a, b, And); !got.Empty() {
+		t.Errorf("disjoint and = %v", got.Rects())
+	}
+	if got := Combine(a, b, Or).Area(); got != 32 {
+		t.Errorf("disjoint or = %d", got)
+	}
+	inner := []geom.Polygon{rp(1, 1, 3, 3)}
+	if got := Combine(inner, a, Sub); !got.Empty() {
+		t.Errorf("nested sub = %v", got.Rects())
+	}
+	// Donut: outer minus inner leaves a ring of area 16-4=12.
+	if got := Combine(a, inner, Sub).Area(); got != 12 {
+		t.Errorf("ring area = %d", got)
+	}
+}
+
+func TestCombineLShapes(t *testing.T) {
+	l := geom.MustPolygon([]geom.Point{
+		geom.Pt(0, 0), geom.Pt(0, 10), geom.Pt(4, 10), geom.Pt(4, 4),
+		geom.Pt(10, 4), geom.Pt(10, 0),
+	})
+	a := []geom.Polygon{l}
+	b := []geom.Polygon{rp(2, 2, 8, 8)}
+	for _, op := range []Op{And, Or, Sub, Xor} {
+		got := Combine(a, b, op).Area()
+		want := rasterOracle(a, b, op, 16)
+		if got != want {
+			t.Errorf("%v: area %d, oracle %d", op, got, want)
+		}
+	}
+}
+
+func TestCombineEmptyOperands(t *testing.T) {
+	a := []geom.Polygon{rp(0, 0, 5, 5)}
+	if got := Combine(a, nil, And); !got.Empty() {
+		t.Error("and with empty not empty")
+	}
+	if got := Combine(a, nil, Sub).Area(); got != 25 {
+		t.Errorf("sub empty = %d", got)
+	}
+	if got := Combine(nil, nil, Or); !got.Empty() {
+		t.Error("empty or empty")
+	}
+	if got := Combine(nil, a, Or).Area(); got != 25 {
+		t.Errorf("empty or a = %d", got)
+	}
+}
+
+func TestRectSetDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var a, b []geom.Polygon
+	for i := 0; i < 12; i++ {
+		x, y := int64(rng.Intn(30)), int64(rng.Intn(30))
+		a = append(a, rp(x, y, x+int64(2+rng.Intn(10)), y+int64(2+rng.Intn(10))))
+		x, y = int64(rng.Intn(30)), int64(rng.Intn(30))
+		b = append(b, rp(x, y, x+int64(2+rng.Intn(10)), y+int64(2+rng.Intn(10))))
+	}
+	set := Combine(a, b, Or)
+	rects := set.Rects()
+	for i := 0; i < len(rects); i++ {
+		for j := i + 1; j < len(rects); j++ {
+			inter := rects[i].Intersect(rects[j])
+			if !inter.Empty() && inter.Area() > 0 {
+				t.Fatalf("output rects %v and %v overlap", rects[i], rects[j])
+			}
+		}
+	}
+}
+
+func TestCombineMatchesOracleRandom(t *testing.T) {
+	for _, op := range []Op{And, Or, Sub, Xor} {
+		rng := rand.New(rand.NewSource(int64(op) + 11))
+		for trial := 0; trial < 25; trial++ {
+			var a, b []geom.Polygon
+			for i := 0; i < 1+rng.Intn(6); i++ {
+				x, y := int64(rng.Intn(20)), int64(rng.Intn(20))
+				a = append(a, rp(x, y, x+int64(1+rng.Intn(12)), y+int64(1+rng.Intn(12))))
+			}
+			for i := 0; i < 1+rng.Intn(6); i++ {
+				x, y := int64(rng.Intn(20)), int64(rng.Intn(20))
+				b = append(b, rp(x, y, x+int64(1+rng.Intn(12)), y+int64(1+rng.Intn(12))))
+			}
+			got := Combine(a, b, op).Area()
+			want := rasterOracle(a, b, op, 36)
+			if got != want {
+				t.Fatalf("%v trial %d: area %d, oracle %d", op, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestCombineIdentities(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var a, b []geom.Polygon
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			x, y := int64(rng.Intn(15)), int64(rng.Intn(15))
+			a = append(a, rp(x, y, x+int64(1+rng.Intn(8)), y+int64(1+rng.Intn(8))))
+		}
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			x, y := int64(rng.Intn(15)), int64(rng.Intn(15))
+			b = append(b, rp(x, y, x+int64(1+rng.Intn(8)), y+int64(1+rng.Intn(8))))
+		}
+		and := Combine(a, b, And).Area()
+		or := Combine(a, b, Or).Area()
+		sub := Combine(a, b, Sub).Area()
+		xor := Combine(a, b, Xor).Area()
+		aArea := Combine(a, nil, Or).Area()
+		bArea := Combine(b, nil, Or).Area()
+		// Inclusion–exclusion and friends.
+		return or == aArea+bArea-and && sub == aArea-and && xor == or-and
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNotCutAndOverlapArea(t *testing.T) {
+	via := []geom.Polygon{rp(10, 10, 20, 20)}
+	metal := []geom.Polygon{rp(5, 5, 25, 25)}
+	if !NotCut(via, metal).Empty() {
+		t.Error("covered via has non-empty NOT CUT residue")
+	}
+	if got := OverlapArea(via, metal); got != 100 {
+		t.Errorf("overlap = %d", got)
+	}
+	shifted := []geom.Polygon{rp(18, 10, 28, 20)}
+	res := NotCut(shifted, metal)
+	if res.Empty() || res.Area() != 30 { // 3 wide × 10 tall uncovered
+		t.Errorf("residue area = %d (%v)", res.Area(), res.Rects())
+	}
+	if got := OverlapArea(shifted, metal); got != 70 {
+		t.Errorf("partial overlap = %d", got)
+	}
+}
+
+func TestRectSetMBR(t *testing.T) {
+	s := Combine([]geom.Polygon{rp(0, 0, 4, 4), rp(10, 10, 12, 12)}, nil, Or)
+	if got := s.MBR(); got != geom.R(0, 0, 12, 12) {
+		t.Errorf("mbr = %v", got)
+	}
+	var empty RectSet
+	if !empty.MBR().Empty() {
+		t.Error("empty set mbr not empty")
+	}
+}

@@ -1,0 +1,259 @@
+package checks
+
+import (
+	"testing"
+
+	"opendrc/internal/geom"
+)
+
+func rect(x0, y0, x1, y1 int64) geom.Polygon {
+	return geom.RectPolygon(geom.R(x0, y0, x1, y1))
+}
+
+func countWidth(p geom.Polygon, min int64) int {
+	return CheckWidth(p, min, func(Marker) {})
+}
+
+func countSpacing(p, q geom.Polygon, min int64) int {
+	return CheckSpacing(p, q, min, func(Marker) {})
+}
+
+func TestWidthRect(t *testing.T) {
+	p := rect(0, 0, 100, 18) // 100 long, 18 wide
+	if n := countWidth(p, 18); n != 0 {
+		t.Errorf("width exactly at minimum flagged: %d", n)
+	}
+	if n := countWidth(p, 19); n != 1 {
+		// Only the top/bottom pair (separation 18) violates; the left/right
+		// pair is 100 apart.
+		t.Errorf("width 19 on 18-wide rect: %d violations, want 1", n)
+	}
+	if n := countWidth(p, 200); n != 2 {
+		t.Errorf("width 200: %d violations (want both axes)", n)
+	}
+}
+
+func TestWidthRectMarkers(t *testing.T) {
+	p := rect(0, 0, 100, 10)
+	var markers []Marker
+	CheckWidth(p, 12, func(m Marker) { markers = append(markers, m) })
+	if len(markers) != 1 {
+		t.Fatalf("markers = %d", len(markers))
+	}
+	if markers[0].Dist != 10 {
+		t.Errorf("dist = %d", markers[0].Dist)
+	}
+	if markers[0].Box != geom.R(0, 0, 100, 10) {
+		t.Errorf("box = %v", markers[0].Box)
+	}
+}
+
+func TestWidthLShape(t *testing.T) {
+	// L-shape: vertical arm 10 wide, horizontal arm 10 tall, overall 30x30.
+	l := geom.MustPolygon([]geom.Point{
+		geom.Pt(0, 0), geom.Pt(0, 30), geom.Pt(10, 30), geom.Pt(10, 10),
+		geom.Pt(30, 10), geom.Pt(30, 0),
+	})
+	if n := countWidth(l, 10); n != 0 {
+		t.Errorf("width 10 on 10-wide arms: %d", n)
+	}
+	got := countWidth(l, 11)
+	if got == 0 {
+		t.Error("width 11 on 10-wide arms found nothing")
+	}
+}
+
+func TestWidthDoesNotFireOnNotch(t *testing.T) {
+	// U-shape with a 6-wide notch; arms 10 wide. Width 8 must not flag the
+	// notch (exterior), notch check must.
+	u := geom.MustPolygon([]geom.Point{
+		geom.Pt(0, 0), geom.Pt(0, 30), geom.Pt(10, 30), geom.Pt(10, 10),
+		geom.Pt(16, 10), geom.Pt(16, 30), geom.Pt(26, 30), geom.Pt(26, 0),
+	})
+	if n := countWidth(u, 8); n != 0 {
+		t.Errorf("width check fired on notch: %d", n)
+	}
+	if n := CheckNotch(u, 8, func(Marker) {}); n != 1 {
+		t.Errorf("notch check found %d, want 1", n)
+	}
+	if n := CheckNotch(u, 6, func(Marker) {}); n != 0 {
+		t.Errorf("notch exactly at minimum flagged: %d", n)
+	}
+}
+
+func TestSpacingParallel(t *testing.T) {
+	a := rect(0, 0, 10, 10)
+	b := rect(14, 0, 24, 10) // gap 4
+	if n := countSpacing(a, b, 4); n != 0 {
+		t.Errorf("gap equal to min flagged: %d", n)
+	}
+	if n := countSpacing(a, b, 5); n != 1 {
+		t.Errorf("gap 4 min 5: %d violations", n)
+	}
+	// Symmetric.
+	if n := countSpacing(b, a, 5); n != 1 {
+		t.Errorf("reversed order: %d", n)
+	}
+}
+
+func TestSpacingVertical(t *testing.T) {
+	a := rect(0, 0, 10, 10)
+	b := rect(0, 13, 10, 23) // vertical gap 3
+	if n := countSpacing(a, b, 4); n != 1 {
+		t.Errorf("vertical gap 3 min 4: %d", n)
+	}
+}
+
+func TestSpacingAbuttingAndOverlapping(t *testing.T) {
+	a := rect(0, 0, 10, 10)
+	touching := rect(10, 0, 20, 10)
+	if n := countSpacing(a, touching, 5); n != 0 {
+		t.Errorf("abutting polygons flagged: %d", n)
+	}
+	overlapping := rect(5, 0, 15, 10)
+	if n := countSpacing(a, overlapping, 5); n != 0 {
+		t.Errorf("overlapping polygons flagged: %d", n)
+	}
+}
+
+func TestSpacingCorner(t *testing.T) {
+	a := rect(0, 0, 10, 10)
+	b := rect(13, 13, 23, 23)               // diagonal gap (3,3), Euclidean² = 18
+	if n := countSpacing(a, b, 5); n != 1 { // 18 < 25
+		t.Errorf("corner gap √18 min 5: %d", n)
+	}
+	if n := countSpacing(a, b, 4); n != 0 { // 18 ≥ 16
+		t.Errorf("corner gap √18 min 4: %d", n)
+	}
+	var m []Marker
+	CheckSpacing(a, b, 5, func(v Marker) { m = append(m, v) })
+	if len(m) != 1 || !m[0].Corner {
+		t.Errorf("corner marker missing: %+v", m)
+	}
+}
+
+func TestSpacingCornerNotBetweenStacked(t *testing.T) {
+	// Corners of boxes that overlap in x must not produce corner
+	// violations (the parallel-edge test owns that case).
+	a := rect(0, 0, 10, 10)
+	b := rect(0, 13, 10, 23)
+	var corners int
+	CheckSpacing(a, b, 20, func(m Marker) {
+		if m.Corner {
+			corners++
+		}
+	})
+	if corners != 0 {
+		t.Errorf("spurious corner violations: %d", corners)
+	}
+}
+
+func TestSpacingFarApart(t *testing.T) {
+	a := rect(0, 0, 10, 10)
+	b := rect(100, 100, 110, 110)
+	if n := countSpacing(a, b, 5); n != 0 {
+		t.Errorf("distant polygons flagged: %d", n)
+	}
+}
+
+func TestEnclosureHappy(t *testing.T) {
+	via := rect(10, 10, 20, 20)
+	metal := rect(5, 5, 25, 25) // margin 5 on all sides
+	contained, n := CheckEnclosure(via, metal, 5, func(Marker) {})
+	if !contained || n != 0 {
+		t.Errorf("margin-5 enclosure with min 5: contained=%v n=%d", contained, n)
+	}
+	contained, n = CheckEnclosure(via, metal, 6, func(Marker) {})
+	if !contained || n != 4 {
+		t.Errorf("margin-5 enclosure with min 6: contained=%v n=%d (want 4 sides)", contained, n)
+	}
+}
+
+func TestEnclosureAsymmetric(t *testing.T) {
+	via := rect(10, 10, 20, 20)
+	metal := rect(8, 5, 25, 25) // left margin only 2
+	_, n := CheckEnclosure(via, metal, 3, func(Marker) {})
+	if n != 1 {
+		t.Errorf("one thin side: %d violations", n)
+	}
+	var m []Marker
+	CheckEnclosure(via, metal, 3, func(v Marker) { m = append(m, v) })
+	if len(m) == 1 && m[0].Dist != 2 {
+		t.Errorf("margin = %d, want 2", m[0].Dist)
+	}
+}
+
+func TestEnclosureFlush(t *testing.T) {
+	via := rect(10, 10, 20, 20)
+	metal := rect(10, 5, 25, 25) // flush on the left
+	_, n := CheckEnclosure(via, metal, 3, func(Marker) {})
+	if n != 1 {
+		t.Errorf("flush side: %d violations, want 1 (zero margin)", n)
+	}
+}
+
+func TestEnclosureEscape(t *testing.T) {
+	via := rect(0, 10, 20, 20) // sticks out to the left of metal
+	metal := rect(5, 5, 25, 25)
+	contained, n := CheckEnclosure(via, metal, 3, func(Marker) {})
+	if contained || n != 1 {
+		t.Errorf("escaped via: contained=%v n=%d", contained, n)
+	}
+}
+
+func TestAreaCheck(t *testing.T) {
+	p := rect(0, 0, 10, 10) // area 100
+	if _, bad := CheckArea(p, 2*100); bad {
+		t.Error("area equal to minimum must pass")
+	}
+	if _, bad := CheckArea(p, 2*90); bad {
+		t.Error("area above minimum must pass")
+	}
+	if m, bad := CheckArea(p, 2*101); !bad || m.Dist != 200 {
+		t.Errorf("area 100 vs min 101: bad=%v dist=%d", bad, m.Dist)
+	}
+}
+
+func TestRectilinearCheck(t *testing.T) {
+	if _, bad := CheckRectilinear(rect(0, 0, 5, 5)); bad {
+		t.Error("rectangle flagged as non-rectilinear")
+	}
+	tri := geom.MustPolygon([]geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 10)})
+	if _, bad := CheckRectilinear(tri); !bad {
+		t.Error("triangle not flagged")
+	}
+}
+
+func TestEdgePairWidthRejectsPerpendicular(t *testing.T) {
+	e := geom.E(0, 0, 10, 0)
+	f := geom.E(5, 0, 5, 10)
+	if _, ok := EdgePairWidth(e, f, 100); ok {
+		t.Error("perpendicular edges produced width violation")
+	}
+	if _, ok := EdgePairSpacing(e, f, 100); ok {
+		t.Error("perpendicular edges produced spacing violation")
+	}
+}
+
+func TestEdgePairEnclosureDirection(t *testing.T) {
+	// Inner top edge (East at y=20), outer top edge (East at y=23): margin 3.
+	inner := geom.E(10, 20, 20, 20)
+	outer := geom.E(5, 23, 25, 23)
+	if m, ok := EdgePairEnclosure(inner, outer, 5); !ok || m.Dist != 3 {
+		t.Errorf("enclosure margin: ok=%v m=%+v", ok, m)
+	}
+	if _, ok := EdgePairEnclosure(inner, outer, 3); ok {
+		t.Error("margin equal to minimum flagged")
+	}
+	// Outer edge on the interior side (below the via top) is not an
+	// enclosure pair.
+	below := geom.E(5, 18, 25, 18)
+	if _, ok := EdgePairEnclosure(inner, below, 5); ok {
+		t.Error("interior-side outer edge flagged")
+	}
+	// Anti-parallel edges are not enclosure pairs.
+	anti := geom.E(25, 23, 5, 23)
+	if _, ok := EdgePairEnclosure(inner, anti, 5); ok {
+		t.Error("anti-parallel edges flagged")
+	}
+}

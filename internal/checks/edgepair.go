@@ -1,0 +1,252 @@
+// Package checks implements OpenDRC's edge-based design rule check
+// procedures (the algorithm layer): width, spacing, enclosure, minimum
+// area, and rectilinearity. Polygon vertices are stored in clockwise order,
+// so the positional relation of two edges — whether the polygon interior or
+// exterior lies between them — is determined from their directions alone,
+// exactly as the paper describes. The per-edge-pair predicates here are the
+// single source of truth: the sequential mode's polygon loops and the
+// parallel mode's simulated GPU kernels both call them, so both modes
+// produce bit-identical violation sets.
+package checks
+
+import (
+	"opendrc/internal/geom"
+)
+
+// Marker locates one violation: the offending region and the edge pair (or
+// single polygon) that produced it.
+type Marker struct {
+	Box    geom.Rect
+	EdgeA  geom.Edge
+	EdgeB  geom.Edge
+	Dist   int64 // measured distance (or area for area rules)
+	Corner bool  // true when produced by a corner-to-corner test
+}
+
+// spanBox returns the violation marker box between two parallel edges: the
+// region bounded by the projection overlap and the two perpendicular
+// coordinates.
+func spanBox(e, f geom.Edge) geom.Rect {
+	lo := maxI64(e.Lo(), f.Lo())
+	hi := minI64(e.Hi(), f.Hi())
+	if e.Dir().Horizontal() {
+		return geom.R(lo, e.Perp(), hi, f.Perp())
+	}
+	return geom.R(e.Perp(), lo, f.Perp(), hi)
+}
+
+// EdgePairWidth tests an anti-parallel edge pair for a width violation: the
+// polygon interior lies between the edges, they share projection, and their
+// separation is positive but below min. Callers pass two edges of the same
+// polygon.
+func EdgePairWidth(e, f geom.Edge, min int64) (Marker, bool) {
+	de, df := e.Dir(), f.Dir()
+	if de == geom.DirNone || de != df.Opposite() {
+		return Marker{}, false
+	}
+	if e.ProjectionOverlap(f) == 0 {
+		return Marker{}, false
+	}
+	dist := absI64(e.Perp() - f.Perp())
+	if dist == 0 || dist >= min {
+		return Marker{}, false
+	}
+	// Interior must lie between the edges: e's interior side points toward
+	// f and vice versa.
+	if !sideToward(e, f) || !sideToward(f, e) {
+		return Marker{}, false
+	}
+	return Marker{Box: spanBox(e, f), EdgeA: e, EdgeB: f, Dist: dist}, true
+}
+
+// SpacingLimit is a possibly projection-dependent spacing threshold: the
+// minimum is Min, except that parallel-run-length (PRL) rules require PRLMin
+// once two edges share at least PRLLength of projection — the conditional
+// rules the paper's introduction describes ("different spacing constraints
+// given different projection lengths"). PRLLength == 0 disables the
+// conditional part.
+type SpacingLimit struct {
+	Min       int64
+	PRLLength int64
+	PRLMin    int64
+}
+
+// Lim wraps a plain minimum as a SpacingLimit.
+func Lim(min int64) SpacingLimit { return SpacingLimit{Min: min} }
+
+// Reach returns the largest distance the limit can constrain — the MBR
+// expansion and row-partition guard value.
+func (l SpacingLimit) Reach() int64 {
+	if l.PRLLength > 0 && l.PRLMin > l.Min {
+		return l.PRLMin
+	}
+	return l.Min
+}
+
+// threshold returns the minimum spacing required for a pair with the given
+// projection overlap.
+func (l SpacingLimit) threshold(overlap int64) int64 {
+	if l.PRLLength > 0 && overlap >= l.PRLLength && l.PRLMin > l.Min {
+		return l.PRLMin
+	}
+	return l.Min
+}
+
+// EdgePairSpacing tests an anti-parallel edge pair for a spacing violation:
+// the exterior lies between the edges, they share projection, and the gap is
+// positive but below min. Works for inter-polygon spacing and intra-polygon
+// notches alike.
+func EdgePairSpacing(e, f geom.Edge, min int64) (Marker, bool) {
+	return EdgePairSpacingLim(e, f, Lim(min))
+}
+
+// EdgePairSpacingLim is EdgePairSpacing with a projection-dependent limit.
+func EdgePairSpacingLim(e, f geom.Edge, lim SpacingLimit) (Marker, bool) {
+	de, df := e.Dir(), f.Dir()
+	if de == geom.DirNone || de != df.Opposite() {
+		return Marker{}, false
+	}
+	overlap := e.ProjectionOverlap(f)
+	if overlap == 0 {
+		return Marker{}, false
+	}
+	dist := absI64(e.Perp() - f.Perp())
+	if dist == 0 || dist >= lim.threshold(overlap) {
+		return Marker{}, false
+	}
+	// Exterior must lie between: each edge's interior side points away
+	// from the other.
+	if sideToward(e, f) || sideToward(f, e) {
+		return Marker{}, false
+	}
+	return Marker{Box: spanBox(e, f), EdgeA: e, EdgeB: f, Dist: dist}, true
+}
+
+// CornerSpacing tests the corner at eIn.P1 (with outgoing edge eOut) against
+// the corner at fIn.P1 (outgoing fOut) for diagonal (Euclidean) spacing.
+// Each corner of a polygon is the P1 of exactly one directed edge, so
+// enumerating ordered edge pairs checks every corner pair exactly once. The
+// test fires only when each corner lies in the *exterior quadrant* of the
+// other — outside both adjacent edges — which restricts it to genuinely
+// diagonal gaps; face-to-face gaps are the parallel-edge test's job.
+func CornerSpacing(eIn, eOut, fIn, fOut geom.Edge, min int64) (Marker, bool) {
+	p, q := eIn.P1, fIn.P1
+	dx := absI64(p.X - q.X)
+	dy := absI64(p.Y - q.Y)
+	if dx == 0 || dy == 0 {
+		return Marker{}, false
+	}
+	if dx >= min || dy >= min {
+		return Marker{}, false
+	}
+	if dx*dx+dy*dy >= min*min {
+		return Marker{}, false
+	}
+	if !cornerExteriorToward(eIn, q) || !cornerExteriorToward(eOut, q) {
+		return Marker{}, false
+	}
+	if !cornerExteriorToward(fIn, p) || !cornerExteriorToward(fOut, p) {
+		return Marker{}, false
+	}
+	return Marker{
+		Box:   geom.R(p.X, p.Y, q.X, q.Y),
+		EdgeA: eIn, EdgeB: fIn,
+		Dist:   dx*dx + dy*dy, // squared; callers report sqrt if desired
+		Corner: true,
+	}, true
+}
+
+// EdgePairEnclosure tests an inner-shape edge against an outer-shape edge
+// for an enclosure violation: the edges are parallel with the *same*
+// direction (both shapes wind clockwise, so the outer boundary runs the same
+// way where it encloses), the outer edge lies on the exterior side of the
+// inner edge, they share projection, and the margin is below min. A margin
+// of zero (flush edges) is a violation too.
+func EdgePairEnclosure(inner, outer geom.Edge, min int64) (Marker, bool) {
+	di, do := inner.Dir(), outer.Dir()
+	if di == geom.DirNone || di != do {
+		return Marker{}, false
+	}
+	if inner.ProjectionOverlap(outer) == 0 {
+		return Marker{}, false
+	}
+	// The outer edge must be on the inner edge's exterior side (flush
+	// counts: zero margin is below any positive minimum).
+	if !onExteriorSide(inner, outer.Perp()) {
+		return Marker{}, false
+	}
+	dist := absI64(outer.Perp() - inner.Perp())
+	if dist >= min {
+		return Marker{}, false
+	}
+	return Marker{Box: spanBox(inner, outer), EdgeA: inner, EdgeB: outer, Dist: dist}, true
+}
+
+// sideToward reports whether e's interior side points from e toward f's
+// line. Both edges must be parallel.
+func sideToward(e, f geom.Edge) bool {
+	delta := f.Perp() - e.Perp()
+	switch e.InteriorSide() {
+	case geom.DirNorth:
+		return delta > 0
+	case geom.DirSouth:
+		return delta < 0
+	case geom.DirEast:
+		return delta > 0
+	case geom.DirWest:
+		return delta < 0
+	}
+	return false
+}
+
+// onExteriorSide reports whether the perpendicular coordinate perp lies on
+// (or beyond) e's exterior side, flush included.
+func onExteriorSide(e geom.Edge, perp int64) bool {
+	delta := perp - e.Perp()
+	switch e.InteriorSide() {
+	case geom.DirNorth: // interior above ⇒ exterior below
+		return delta <= 0
+	case geom.DirSouth:
+		return delta >= 0
+	case geom.DirEast: // interior right ⇒ exterior left
+		return delta <= 0
+	case geom.DirWest:
+		return delta >= 0
+	}
+	return false
+}
+
+// cornerExteriorToward reports whether the point p lies in the exterior
+// quadrant of the corner at e.P1 (the corner between edge e and its
+// successor is approximated by e's exterior half-plane; exact for the convex
+// corners that participate in diagonal spacing).
+func cornerExteriorToward(e geom.Edge, p geom.Point) bool {
+	var perp int64
+	if e.Dir().Horizontal() {
+		perp = p.Y
+	} else {
+		perp = p.X
+	}
+	return onExteriorSide(e, perp)
+}
+
+func absI64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"testing"
+
+	"opendrc/internal/checks"
+	"opendrc/internal/gdsii"
+	"opendrc/internal/geom"
+	"opendrc/internal/layout"
+	"opendrc/internal/partition"
+	"opendrc/internal/rules"
+	"opendrc/internal/synth"
+)
+
+// loadDesign builds a scaled benchmark design once per test binary.
+func loadDesign(t *testing.T, name string, scale float64) (*layout.Layout, synth.Expected) {
+	t.Helper()
+	lo, exp, err := synth.Load(name, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lo, exp
+}
+
+func runEngine(t *testing.T, lo *layout.Layout, opts Options, deck rules.Deck) *Report {
+	t.Helper()
+	e := New(opts)
+	if err := e.AddRules(deck...); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Check(lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// expectedByRule maps injected counts onto deck rule IDs.
+func expectedByRule(exp synth.Expected) map[string]int {
+	return map[string]int{
+		"M1.RECT.1":  exp.NonRectil,
+		"M1.W.1":     exp.WidthM1,
+		"M2.W.1":     0,
+		"M3.W.1":     0,
+		"M1.A.1":     exp.AreaM1,
+		"M2.A.1":     0,
+		"M3.A.1":     0,
+		"M1.S.1":     exp.NotchM1,
+		"M2.S.1":     exp.SpaceM2,
+		"M3.S.1":     exp.SpaceM3,
+		"V1.M1.EN.1": exp.EnclV1,
+		"V2.M2.EN.1": exp.EnclV2M2,
+		"V2.M3.EN.1": exp.EnclV2M3,
+		"M2.NAME.1":  exp.UnnamedM2,
+	}
+}
+
+func TestSequentialFindsExactlyInjectedViolations(t *testing.T) {
+	lo, exp := loadDesign(t, "uart", 1)
+	rep := runEngine(t, lo, Options{Mode: Sequential}, synth.Deck())
+	got := rep.CountByRule()
+	for rule, want := range expectedByRule(exp) {
+		if got[rule] != want {
+			t.Errorf("%s: found %d violations, injected %d", rule, got[rule], want)
+		}
+	}
+	if exp.Total == 0 {
+		t.Fatal("no injections generated; test is vacuous")
+	}
+}
+
+func TestSequentialCleanDesignIsClean(t *testing.T) {
+	p, err := synth.Design("uart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.InjectEvery = 0
+	p.InjectDiagonal = false
+	lib, exp := p.Generate()
+	if exp.Total != 0 {
+		t.Fatalf("injection disabled but expected %d", exp.Total)
+	}
+	lo, err := layout.FromLibrary(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runEngine(t, lo, Options{Mode: Sequential}, synth.Deck())
+	if len(rep.Violations) != 0 {
+		for i, v := range rep.Violations {
+			if i > 10 {
+				break
+			}
+			t.Logf("violation: %s %v cell=%s", v.Rule, v.Marker.Box, v.Cell)
+		}
+		t.Errorf("clean design produced %d violations", len(rep.Violations))
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	lo, exp := loadDesign(t, "uart", 1)
+	seq := runEngine(t, lo, Options{Mode: Sequential}, synth.Deck())
+	par := runEngine(t, lo, Options{Mode: Parallel}, synth.Deck())
+
+	sv := DedupViolations(append([]rules.Violation(nil), seq.Violations...))
+	pv := DedupViolations(append([]rules.Violation(nil), par.Violations...))
+	if len(sv) != len(pv) {
+		t.Fatalf("dedup counts differ: seq %d, par %d", len(sv), len(pv))
+	}
+	for i := range sv {
+		a, b := sv[i], pv[i]
+		if a.Rule != b.Rule || a.Marker.Box != b.Marker.Box || a.Marker.Dist != b.Marker.Dist {
+			t.Fatalf("violation %d differs:\nseq %s %v d=%d\npar %s %v d=%d",
+				i, a.Rule, a.Marker.Box, a.Marker.Dist, b.Rule, b.Marker.Box, b.Marker.Dist)
+		}
+	}
+	if exp.Total == 0 {
+		t.Fatal("vacuous comparison")
+	}
+	if par.Device == nil || par.Modeled <= 0 {
+		t.Error("parallel report missing device timeline")
+	}
+	if par.Stats.Rows == 0 || par.Stats.KernelLaunches == 0 {
+		t.Errorf("parallel stats empty: %+v", par.Stats)
+	}
+}
+
+func TestPruningAblationSameViolations(t *testing.T) {
+	lo, _ := loadDesign(t, "uart", 0.7)
+	on := runEngine(t, lo, Options{Mode: Sequential}, synth.Deck())
+	off := runEngine(t, lo, Options{Mode: Sequential, DisablePruning: true}, synth.Deck())
+	ov := DedupViolations(append([]rules.Violation(nil), on.Violations...))
+	fv := DedupViolations(append([]rules.Violation(nil), off.Violations...))
+	if len(ov) != len(fv) {
+		t.Fatalf("pruning changed results: %d vs %d", len(ov), len(fv))
+	}
+	for i := range ov {
+		if ov[i].Rule != fv[i].Rule || ov[i].Marker.Box != fv[i].Marker.Box {
+			t.Fatalf("violation %d differs with pruning off", i)
+		}
+	}
+	if on.Stats.ChecksReused == 0 {
+		t.Error("hierarchy pruning reused nothing")
+	}
+	if on.Stats.DefsChecked >= off.Stats.DefsChecked {
+		t.Errorf("pruning did not reduce definition checks: %d vs %d",
+			on.Stats.DefsChecked, off.Stats.DefsChecked)
+	}
+}
+
+func TestPartitionAblationSameViolations(t *testing.T) {
+	lo, _ := loadDesign(t, "uart", 0.7)
+	a := runEngine(t, lo, Options{Mode: Parallel, PartitionAlg: partition.Pigeonhole}, synth.Deck())
+	b := runEngine(t, lo, Options{Mode: Parallel, PartitionAlg: partition.SortBased}, synth.Deck())
+	av := DedupViolations(append([]rules.Violation(nil), a.Violations...))
+	bv := DedupViolations(append([]rules.Violation(nil), b.Violations...))
+	if len(av) != len(bv) {
+		t.Fatalf("partition algorithm changed results: %d vs %d", len(av), len(bv))
+	}
+}
+
+func TestExecutorThresholdSameViolations(t *testing.T) {
+	lo, _ := loadDesign(t, "uart", 0.7)
+	deck := rules.Deck{synth.Deck()[8]} // M2.S.1
+	brute := runEngine(t, lo, Options{Mode: Parallel, BruteEdgeThreshold: 1 << 30}, deck)
+	swp := runEngine(t, lo, Options{Mode: Parallel, BruteEdgeThreshold: 1}, deck)
+	bv := DedupViolations(append([]rules.Violation(nil), brute.Violations...))
+	sv := DedupViolations(append([]rules.Violation(nil), swp.Violations...))
+	if len(bv) != len(sv) {
+		t.Fatalf("executor choice changed results: brute %d vs sweep %d", len(bv), len(sv))
+	}
+	for i := range bv {
+		if bv[i].Marker.Box != sv[i].Marker.Box {
+			t.Fatalf("marker %d differs between executors", i)
+		}
+	}
+}
+
+func TestMagnifiedIntraChecks(t *testing.T) {
+	// A cell with a 16-wide bar instantiated at mag 2: the bar appears 32
+	// wide, legal under min 18; at mag 1 it violates. Width thresholds must
+	// rescale per instance group.
+	lib := &gdsii.Library{
+		Name: "mag", UserUnit: 1e-3, MeterUnit: 1e-9,
+		Structures: []*gdsii.Structure{
+			{
+				Name: "BAR",
+				Boundaries: []gdsii.Boundary{{
+					Layer: int16(layout.LayerM1),
+					XY: []geom.Point{
+						geom.Pt(0, 0), geom.Pt(0, 100), geom.Pt(16, 100), geom.Pt(16, 0),
+					},
+				}},
+			},
+			{
+				Name: "TOP",
+				SRefs: []gdsii.SRef{
+					{Name: "BAR", Pos: geom.Pt(0, 0)},
+					{Name: "BAR", Pos: geom.Pt(1000, 0), Trans: gdsii.Trans{Mag: 2}},
+				},
+			},
+		},
+	}
+	lo, err := layout.FromLibrary(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deck := rules.Deck{rules.Layer(layout.LayerM1).Width().AtLeast(18).Named("W")}
+	rep := runEngine(t, lo, Options{Mode: Sequential}, deck)
+	if n := len(rep.Violations); n != 1 {
+		t.Fatalf("violations = %d, want 1 (only the mag-1 instance)", n)
+	}
+	if rep.Violations[0].Marker.Box != geom.R(0, 0, 16, 100) {
+		t.Errorf("violation at %v", rep.Violations[0].Marker.Box)
+	}
+}
+
+func TestMagnifiedInterRuleRejected(t *testing.T) {
+	lib := &gdsii.Library{
+		Name: "mag",
+		Structures: []*gdsii.Structure{
+			{
+				Name: "BAR",
+				Boundaries: []gdsii.Boundary{{
+					Layer: int16(layout.LayerM1),
+					XY: []geom.Point{
+						geom.Pt(0, 0), geom.Pt(0, 100), geom.Pt(20, 100), geom.Pt(20, 0),
+					},
+				}},
+			},
+			{
+				Name:  "TOP",
+				SRefs: []gdsii.SRef{{Name: "BAR", Pos: geom.Pt(0, 0), Trans: gdsii.Trans{Mag: 3}}},
+			},
+		},
+	}
+	lo, err := layout.FromLibrary(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{Mode: Sequential})
+	if err := e.AddRules(rules.Layer(layout.LayerM1).Spacing().AtLeast(18)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Check(lo); err == nil {
+		t.Error("magnified instance with spacing rule must be rejected")
+	}
+}
+
+func TestInvalidRuleRejected(t *testing.T) {
+	e := New(Options{})
+	if err := e.AddRules(rules.Rule{Kind: rules.Width, Min: 0}); err == nil {
+		t.Error("invalid rule accepted by AddRules")
+	}
+}
+
+func TestAnonymousRuleGetsID(t *testing.T) {
+	e := New(Options{})
+	if err := e.AddRules(rules.Layer(layout.LayerM1).Width().AtLeast(18)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Deck()[0].ID == "" {
+		t.Error("anonymous rule has empty ID")
+	}
+}
+
+func TestReportDeterminism(t *testing.T) {
+	lo, _ := loadDesign(t, "uart", 0.6)
+	a := runEngine(t, lo, Options{Mode: Sequential}, synth.Deck())
+	b := runEngine(t, lo, Options{Mode: Sequential}, synth.Deck())
+	if len(a.Violations) != len(b.Violations) {
+		t.Fatalf("runs differ: %d vs %d", len(a.Violations), len(b.Violations))
+	}
+	for i := range a.Violations {
+		if a.Violations[i].Marker.Box != b.Violations[i].Marker.Box {
+			t.Fatal("violation order not deterministic")
+		}
+	}
+}
+
+func TestProfilerPhasesPresent(t *testing.T) {
+	lo, _ := loadDesign(t, "uart", 0.6)
+	deck := rules.Deck{synth.Deck()[7]} // M1.S.1
+	rep := runEngine(t, lo, Options{Mode: Sequential}, deck)
+	if rep.Profile.Get("spacing:sweepline") == 0 && rep.Profile.Get("spacing:cell-checks") == 0 {
+		t.Error("spacing phases missing from profile")
+	}
+}
+
+func TestDedupViolations(t *testing.T) {
+	mk := func(rule string, x int64) rules.Violation {
+		return rules.Violation{Rule: rule, Marker: checks.Marker{Box: geom.R(x, 0, x+1, 1)}}
+	}
+	// The duplicate A@1 collapses; A@2 and B@1 stay distinct.
+	vs := []rules.Violation{mk("A", 1), mk("A", 1), mk("A", 2), mk("B", 1)}
+	out := DedupViolations(vs)
+	if len(out) != 3 {
+		t.Errorf("dedup = %d, want 3", len(out))
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"opendrc/internal/gdsii"
+	"opendrc/internal/geom"
+	"opendrc/internal/layout"
+	"opendrc/internal/rules"
+)
+
+func buildLayout(t *testing.T, lib *gdsii.Library) *layout.Layout {
+	t.Helper()
+	lo, err := layout.FromLibrary(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lo
+}
+
+func ring(x0, y0, x1, y1 int64) []geom.Point {
+	return []geom.Point{
+		geom.Pt(x0, y0), geom.Pt(x0, y1), geom.Pt(x1, y1), geom.Pt(x1, y0),
+	}
+}
+
+// coverageLibrary: a via covered by TWO abutting metal rectangles — legal
+// coverage that per-polygon enclosure containment cannot see — plus a via
+// that is genuinely half-uncovered, instantiated twice.
+func coverageLibrary() *gdsii.Library {
+	return &gdsii.Library{
+		Name: "cov", UserUnit: 1e-3, MeterUnit: 1e-9,
+		Structures: []*gdsii.Structure{
+			{
+				Name: "CELL",
+				Boundaries: []gdsii.Boundary{
+					// Via 1 at [10,10]-[30,30]: covered by the union of two
+					// metal halves that split at x=20.
+					{Layer: int16(layout.LayerV1), XY: ring(10, 10, 30, 30)},
+					{Layer: int16(layout.LayerM1), XY: ring(0, 0, 20, 40)},
+					{Layer: int16(layout.LayerM1), XY: ring(20, 0, 40, 40)},
+					// Via 2 at [60,10]-[80,30]: metal only covers x<=70.
+					{Layer: int16(layout.LayerV1), XY: ring(60, 10, 80, 30)},
+					{Layer: int16(layout.LayerM1), XY: ring(55, 0, 70, 40)},
+				},
+			},
+			{
+				Name: "TOP",
+				SRefs: []gdsii.SRef{
+					{Name: "CELL", Pos: geom.Pt(0, 0)},
+					{Name: "CELL", Pos: geom.Pt(500, 0)},
+				},
+			},
+		},
+	}
+}
+
+func TestCoverageAbuttingMetalsPass(t *testing.T) {
+	lo := buildLayout(t, coverageLibrary())
+	rep := runEngine(t, lo, Options{Mode: Sequential}, rules.Deck{
+		rules.Layer(layout.LayerV1).CoveredBy(layout.LayerM1).Named("V1.COV"),
+	})
+	// Only via 2 violates, in both instances; via 1 passes because the
+	// union of the abutting halves covers it.
+	if n := len(rep.Violations); n != 2 {
+		for _, v := range rep.Violations {
+			t.Logf("violation at %v area=%d", v.Marker.Box, v.Marker.Dist)
+		}
+		t.Fatalf("coverage violations = %d, want 2", n)
+	}
+	// Residue: via 2 is [60,80]x[10,30], metal covers x<=70: residue is
+	// [70,80]x[10,30], area 200.
+	for _, v := range rep.Violations {
+		if v.Marker.Box.Width() != 10 || v.Marker.Box.Height() != 20 || v.Marker.Dist != 200 {
+			t.Errorf("residue marker = %v area=%d", v.Marker.Box, v.Marker.Dist)
+		}
+	}
+	// Contrast: per-polygon enclosure containment flags via 1 as escaped.
+	encl := runEngine(t, lo, Options{Mode: Sequential}, rules.Deck{
+		rules.Layer(layout.LayerV1).EnclosedBy(layout.LayerM1).AtLeast(5).Named("V1.EN"),
+	})
+	if len(encl.Violations) <= len(rep.Violations) {
+		t.Errorf("enclosure (%d violations) should over-report vs coverage (%d): split metal",
+			len(encl.Violations), len(rep.Violations))
+	}
+}
+
+func TestCoverageModesAgree(t *testing.T) {
+	lo := buildLayout(t, coverageLibrary())
+	deck := rules.Deck{rules.Layer(layout.LayerV1).CoveredBy(layout.LayerM1).Named("V1.COV")}
+	seq := runEngine(t, lo, Options{Mode: Sequential}, deck)
+	par := runEngine(t, lo, Options{Mode: Parallel}, deck)
+	if len(seq.Violations) != len(par.Violations) {
+		t.Fatalf("modes disagree: %d vs %d", len(seq.Violations), len(par.Violations))
+	}
+	off := runEngine(t, lo, Options{Mode: Sequential, DisablePruning: true}, deck)
+	if len(off.Violations) != len(seq.Violations) {
+		t.Fatalf("pruning changed coverage results: %d vs %d", len(off.Violations), len(seq.Violations))
+	}
+}
+
+func TestMinOverlap(t *testing.T) {
+	lo := buildLayout(t, coverageLibrary())
+	// Via area is 400. Via 1 overlaps fully (400); via 2 overlaps 10x20=200.
+	pass := runEngine(t, lo, Options{Mode: Sequential}, rules.Deck{
+		rules.Layer(layout.LayerV1).OverlapWith(layout.LayerM1).AtLeast(200).Named("OV200"),
+	})
+	if n := len(pass.Violations); n != 0 {
+		t.Fatalf("overlap>=200: %d violations, want 0", n)
+	}
+	fail := runEngine(t, lo, Options{Mode: Sequential}, rules.Deck{
+		rules.Layer(layout.LayerV1).OverlapWith(layout.LayerM1).AtLeast(300).Named("OV300"),
+	})
+	if n := len(fail.Violations); n != 2 {
+		t.Fatalf("overlap>=300: %d violations, want 2 (via 2 in both instances)", n)
+	}
+	for _, v := range fail.Violations {
+		if v.Marker.Dist != 200 {
+			t.Errorf("measured overlap = %d, want 200", v.Marker.Dist)
+		}
+	}
+}
+
+// prlLibrary: two pairs of parallel wires at gap 20: one pair runs long
+// (projection 300), one short (projection 50).
+func prlLibrary() *gdsii.Library {
+	return &gdsii.Library{
+		Name: "prl", UserUnit: 1e-3, MeterUnit: 1e-9,
+		Structures: []*gdsii.Structure{{
+			Name: "TOP",
+			Boundaries: []gdsii.Boundary{
+				{Layer: int16(layout.LayerM2), XY: ring(0, 0, 300, 30)},
+				{Layer: int16(layout.LayerM2), XY: ring(0, 50, 300, 80)}, // long pair, gap 20
+				{Layer: int16(layout.LayerM2), XY: ring(0, 200, 50, 230)},
+				{Layer: int16(layout.LayerM2), XY: ring(0, 250, 50, 280)}, // short pair, gap 20
+			},
+		}},
+	}
+}
+
+func TestPRLSpacing(t *testing.T) {
+	lo := buildLayout(t, prlLibrary())
+	base := rules.Layer(layout.LayerM2).Spacing().AtLeast(18).Named("M2.S")
+	// Without the PRL condition: both pairs pass (gap 20 >= 18).
+	rep := runEngine(t, lo, Options{Mode: Sequential}, rules.Deck{base})
+	if n := len(rep.Violations); n != 0 {
+		t.Fatalf("base spacing: %d violations, want 0", n)
+	}
+	// With PRL: projection >= 100 requires 24 — only the long pair fails.
+	prl := base.WhenProjectionAtLeast(100, 24).Named("M2.S.PRL")
+	rep = runEngine(t, lo, Options{Mode: Sequential}, rules.Deck{prl})
+	if n := len(rep.Violations); n != 1 {
+		for _, v := range rep.Violations {
+			t.Logf("violation %v d=%d", v.Marker.Box, v.Marker.Dist)
+		}
+		t.Fatalf("PRL spacing: %d violations, want 1 (long pair only)", n)
+	}
+	if rep.Violations[0].Marker.Dist != 20 {
+		t.Errorf("violation distance = %d, want 20", rep.Violations[0].Marker.Dist)
+	}
+	// Parallel mode agrees (both executors).
+	for _, threshold := range []int{1, 1 << 30} {
+		par := runEngine(t, lo, Options{Mode: Parallel, BruteEdgeThreshold: threshold}, rules.Deck{prl})
+		if len(par.Violations) != 1 {
+			t.Fatalf("parallel (threshold %d): %d violations, want 1", threshold, len(par.Violations))
+		}
+	}
+}
+
+func TestPRLValidation(t *testing.T) {
+	bad := rules.Layer(layout.LayerM2).Spacing().AtLeast(18).WhenProjectionAtLeast(100, 10)
+	if err := bad.Validate(); err == nil {
+		t.Error("PRLMin <= Min accepted")
+	}
+	badKind := rules.Layer(layout.LayerM2).Width().AtLeast(18)
+	badKind.PRLLength = 100
+	badKind.PRLMin = 24
+	if err := badKind.Validate(); err == nil {
+		t.Error("PRL on width rule accepted")
+	}
+	good := rules.Layer(layout.LayerM2).Spacing().AtLeast(18).WhenProjectionAtLeast(100, 24)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid PRL rule rejected: %v", err)
+	}
+	if good.Reach() != 24 {
+		t.Errorf("PRL reach = %d, want 24", good.Reach())
+	}
+}
+
+func TestDerivedRuleValidation(t *testing.T) {
+	if err := (rules.Layer(5).CoveredBy(5)).Validate(); err == nil {
+		t.Error("coverage with identical layers accepted")
+	}
+	if err := (rules.Layer(5).OverlapWith(6).AtLeast(0)).Validate(); err == nil {
+		t.Error("min-overlap with zero area accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"opendrc/internal/checks"
+	"opendrc/internal/geom"
+	"opendrc/internal/layout"
+	"opendrc/internal/rules"
+	"opendrc/internal/sweep"
+)
+
+// Sequential enclosure checking. Enclosure is existential — a via passes
+// when *some* metal covers it with margin — and monotone in metal: adding
+// candidates can only turn failures into passes. The hierarchical strategy
+// exploits this: each cell definition resolves its own vias against the
+// metal inside the same subtree once; vias that pass locally pass in every
+// instance (the memoized reuse), while vias that fail locally are deferred
+// and re-evaluated per instance against the global metal around them (a
+// parent may supply the missing coverage).
+
+// runEnclosureSeq executes one enclosure rule sequentially.
+func (e *Engine) runEnclosureSeq(lo *layout.Layout, r rules.Rule, placements [][]geom.Transform, rep *Report) {
+	type residue struct {
+		cell    *layout.Cell
+		polyIdx int
+	}
+	var deferred []residue
+
+	if !e.opts.DisablePruning {
+		stop := rep.Profile.Phase("enclosure:cell-checks")
+		for _, c := range lo.LayerCells(r.Layer) {
+			if len(placements[c.ID]) == 0 {
+				continue
+			}
+			local := c.LocalPolys(r.Layer)
+			if len(local) == 0 {
+				continue
+			}
+			rep.Stats.DefsChecked++
+			unresolved := e.enclosureLocalPass(lo, c, local, r, rep)
+			resolved := len(local) - len(unresolved)
+			rep.Stats.InstancesEmitted += resolved * len(placements[c.ID])
+			rep.Stats.ChecksReused += resolved * (len(placements[c.ID]) - 1)
+			for _, pi := range unresolved {
+				deferred = append(deferred, residue{cell: c, polyIdx: pi})
+			}
+		}
+		stop()
+	} else {
+		for _, c := range lo.LayerCells(r.Layer) {
+			if len(placements[c.ID]) == 0 {
+				continue
+			}
+			for _, pi := range c.LocalPolys(r.Layer) {
+				deferred = append(deferred, residue{cell: c, polyIdx: pi})
+			}
+		}
+	}
+
+	// Globally resolve the leftovers, instance by instance.
+	defer rep.Profile.Phase("enclosure:global-residue")()
+	for _, d := range deferred {
+		via := d.cell.Polys[d.polyIdx].Shape
+		for _, t := range placements[d.cell.ID] {
+			gvia := via.Transform(t)
+			window := gvia.MBR().Expand(r.Min)
+			cands, _ := lo.QueryLayer(r.Outer, window)
+			metals := make([]geom.Polygon, len(cands))
+			for i := range cands {
+				metals[i] = cands[i].Shape
+			}
+			rep.Stats.PairsChecked += len(metals)
+			rep.Stats.InstancesEmitted++
+			checks.EvaluateEnclosure(gvia, metals, r.Min, func(m checks.Marker) {
+				rep.Violations = append(rep.Violations, rules.Violation{
+					Rule: r.ID, Kind: r.Kind, Layer: r.Layer, Marker: m, Cell: d.cell.Name,
+				})
+			})
+		}
+	}
+}
+
+// enclosureLocalPass resolves a cell definition's own vias against the metal
+// inside the cell's subtree in one batch: a single windowed subtree query
+// collects candidate metal, one sweep assigns candidates to vias, and each
+// via is evaluated. It returns the local polygon indices of vias that did
+// NOT resolve locally; those stay deferred rather than reported, since
+// parent-level metal may still cover them.
+func (e *Engine) enclosureLocalPass(lo *layout.Layout, c *layout.Cell, local []int, r rules.Rule, rep *Report) []int {
+	window := geom.EmptyRect()
+	viaBoxes := make([]geom.Rect, len(local))
+	for i, pi := range local {
+		viaBoxes[i] = c.Polys[pi].Shape.MBR().Expand(r.Min)
+		window = window.Union(viaBoxes[i])
+	}
+	found := lo.QuerySubtree(c, r.Outer, window)
+	rep.Stats.SubtreeQueries++
+	metalBoxes := make([]geom.Rect, len(found))
+	for i := range found {
+		metalBoxes[i] = found[i].Shape.MBR()
+	}
+	cands := make([][]geom.Polygon, len(local))
+	sweep.OverlapsBetween(viaBoxes, metalBoxes, func(v, m int) {
+		cands[v] = append(cands[v], found[m].Shape)
+	})
+	var unresolved []int
+	for i, pi := range local {
+		rep.Stats.PairsChecked += len(cands[i])
+		ok, _ := checks.EvaluateEnclosure(c.Polys[pi].Shape, cands[i], r.Min, func(checks.Marker) {})
+		if !ok {
+			unresolved = append(unresolved, pi)
+		}
+	}
+	return unresolved
+}

@@ -1,0 +1,258 @@
+// Package core is OpenDRC's engine: the application layer that schedules
+// design rule checks and dispatches them to the algorithm layer. It offers
+// the paper's two execution branches: a sequential (CPU) mode that runs
+// hierarchical cell-level sweeps with task pruning (Sections IV-C/IV-D), and
+// a parallel mode that partitions the layout into independent rows and
+// launches edge-based check kernels on the simulated GPU row by row
+// (Sections IV-B/IV-E), overlapping host preparation with device execution
+// via streams (Section V-C).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"opendrc/internal/gpu"
+	"opendrc/internal/infra"
+	"opendrc/internal/layout"
+	"opendrc/internal/partition"
+	"opendrc/internal/rules"
+)
+
+// Mode selects the execution branch.
+type Mode int
+
+// Engine modes.
+const (
+	Sequential Mode = iota // hierarchical CPU sweeps
+	Parallel               // row-partitioned GPU kernels (simulated device)
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Parallel {
+		return "parallel"
+	}
+	return "sequential"
+}
+
+// Options configure an Engine. The zero value is a usable sequential engine.
+type Options struct {
+	Mode   Mode
+	Device gpu.Props // parallel mode; zero value selects GTX1660Ti
+
+	// BruteEdgeThreshold is the executor-selection cutoff: rows whose
+	// packed edge count is at or below it use the brute-force executor,
+	// larger rows use the parallel sweepline ("Depending on the complexity
+	// of each polygon or polygon pair, OpenDRC selects either a brute-force
+	// executor or a sweepline executor"). Zero selects the default.
+	BruteEdgeThreshold int
+
+	// DisablePruning turns off hierarchy task pruning (ablation): every
+	// instance is checked independently.
+	DisablePruning bool
+
+	// PartitionAlg selects the interval-merging implementation (ablation).
+	PartitionAlg partition.Algorithm
+
+	Logger *infra.Logger
+}
+
+const defaultBruteEdgeThreshold = 4096
+
+// Engine schedules and runs design rule checks.
+type Engine struct {
+	opts Options
+	deck rules.Deck
+}
+
+// New creates an engine.
+func New(opts Options) *Engine {
+	if opts.BruteEdgeThreshold == 0 {
+		opts.BruteEdgeThreshold = defaultBruteEdgeThreshold
+	}
+	if opts.Device.SMs == 0 {
+		opts.Device = gpu.GTX1660Ti()
+	}
+	return &Engine{opts: opts}
+}
+
+// AddRules appends validated rules to the deck, assigning sequential IDs to
+// anonymous rules.
+func (e *Engine) AddRules(rs ...rules.Rule) error {
+	for _, r := range rs {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if r.ID == "" {
+			r.ID = fmt.Sprintf("%s#%d", r.String(), len(e.deck))
+		}
+		e.deck = append(e.deck, r)
+	}
+	return nil
+}
+
+// Deck returns the current rule deck.
+func (e *Engine) Deck() rules.Deck { return e.deck }
+
+// Stats aggregates scheduling counters across a check run, exposing the
+// effect of the hierarchy pruning and the row partition.
+type Stats struct {
+	// Intra-polygon pruning.
+	DefsChecked      int // cell-definition check computations performed
+	InstancesEmitted int // instance results replayed from definition memos
+	ChecksReused     int // InstancesEmitted - DefsChecked (never negative)
+
+	// Inter-polygon work.
+	PairsConsidered int // candidate pairs after MBR sweep
+	PairsChecked    int // pairs that reached edge-to-edge checks
+	SubtreeQueries  int // hierarchy descents for cross-boundary pairs
+
+	// Parallel mode.
+	Rows           int
+	KernelLaunches int
+	EdgesPacked    int
+	BytesCopied    int64
+}
+
+// add merges s2 into s.
+func (s *Stats) add(s2 Stats) {
+	s.DefsChecked += s2.DefsChecked
+	s.InstancesEmitted += s2.InstancesEmitted
+	s.ChecksReused += s2.ChecksReused
+	s.PairsConsidered += s2.PairsConsidered
+	s.PairsChecked += s2.PairsChecked
+	s.SubtreeQueries += s2.SubtreeQueries
+	s.Rows += s2.Rows
+	s.KernelLaunches += s2.KernelLaunches
+	s.EdgesPacked += s2.EdgesPacked
+	s.BytesCopied += s2.BytesCopied
+}
+
+// Report is the result of a check run.
+type Report struct {
+	Mode       Mode
+	Violations []rules.Violation
+	Stats      Stats
+	// Profile breaks the host runtime into phases (Fig. 4).
+	Profile *infra.Profiler
+	// HostWall is the measured wall-clock time of the whole run.
+	HostWall time.Duration
+	// Modeled is, for the parallel mode, the modeled end-to-end time on the
+	// CPU+GPU platform (host phases measured, device operations from the
+	// cost model, overlap from the stream timeline). For the sequential
+	// mode it equals HostWall.
+	Modeled time.Duration
+	// Device exposes the simulated GPU used by the parallel mode (nil in
+	// sequential mode) for timeline inspection.
+	Device *gpu.Device
+}
+
+// CountByRule returns violation counts keyed by rule ID.
+func (r *Report) CountByRule() map[string]int {
+	out := make(map[string]int)
+	for _, v := range r.Violations {
+		out[v.Rule]++
+	}
+	return out
+}
+
+// Check runs the configured deck against the layout.
+func (e *Engine) Check(lo *layout.Layout) (*Report, error) {
+	if err := e.deck.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Mode: e.opts.Mode, Profile: infra.NewProfiler()}
+	start := time.Now()
+	var err error
+	switch e.opts.Mode {
+	case Parallel:
+		err = e.checkParallel(lo, rep)
+	default:
+		err = e.checkSequential(lo, rep)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep.HostWall = time.Since(start)
+	if rep.Device == nil {
+		rep.Modeled = rep.HostWall
+	} else {
+		rep.Modeled = rep.Device.HostClock()
+	}
+	sortViolations(rep.Violations)
+	return rep, nil
+}
+
+// sortViolations orders the report deterministically.
+func sortViolations(vs []rules.Violation) {
+	sort.Slice(vs, func(i, j int) bool {
+		a, b := &vs[i], &vs[j]
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		ab, bb := a.Marker.Box, b.Marker.Box
+		switch {
+		case ab.XLo != bb.XLo:
+			return ab.XLo < bb.XLo
+		case ab.YLo != bb.YLo:
+			return ab.YLo < bb.YLo
+		case ab.XHi != bb.XHi:
+			return ab.XHi < bb.XHi
+		case ab.YHi != bb.YHi:
+			return ab.YHi < bb.YHi
+		}
+		return a.Marker.Dist < b.Marker.Dist
+	})
+}
+
+// DedupViolations removes exactly-identical violations (same rule, box,
+// distance and corner flag); repeated hierarchy instances of one physical
+// defect collapse into one marker, as layout viewers do.
+func DedupViolations(vs []rules.Violation) []rules.Violation {
+	sortViolations(vs)
+	out := vs[:0]
+	for i, v := range vs {
+		if i > 0 {
+			p := out[len(out)-1]
+			if p.Rule == v.Rule && p.Marker.Box == v.Marker.Box &&
+				p.Marker.Dist == v.Marker.Dist && p.Marker.Corner == v.Marker.Corner {
+				continue
+			}
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// checkMagRestriction rejects layouts that instantiate layer-relevant cells
+// with magnification together with inter-polygon rules; thresholds do not
+// transfer across magnified frames for pair checks (see DESIGN.md).
+func checkMagRestriction(lo *layout.Layout, deck rules.Deck) error {
+	needs := false
+	for _, r := range deck {
+		if !r.Kind.Intra() {
+			needs = true
+		}
+	}
+	if !needs {
+		return nil
+	}
+	for _, c := range lo.Cells {
+		for ri := range c.Refs {
+			if c.Refs[ri].Trans.Mag > 1 {
+				return fmt.Errorf("core: inter-polygon rules with magnified reference %s -> %s are unsupported",
+					c.Name, c.Refs[ri].Child.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"opendrc/internal/checks"
+	"opendrc/internal/geom"
+	"opendrc/internal/layout"
+	"opendrc/internal/rules"
+)
+
+// intraMarkers computes the violation markers of one cell's own layer
+// polygons for an intra-polygon rule, in the cell's local frame. min is
+// already scaled into the cell's frame (magnified instances divide the
+// threshold).
+func intraMarkers(c *layout.Cell, r rules.Rule, min int64) []checks.Marker {
+	var out []checks.Marker
+	emit := func(m checks.Marker) { out = append(out, m) }
+	for _, pi := range c.LocalPolys(r.Layer) {
+		p := c.Polys[pi].Shape
+		switch r.Kind {
+		case rules.Width:
+			checks.CheckWidth(p, min, emit)
+		case rules.Area:
+			if m, bad := checks.CheckArea(p, min); bad {
+				emit(m)
+			}
+		case rules.Rectilinear:
+			if m, bad := checks.CheckRectilinear(p); bad {
+				emit(m)
+			}
+		case rules.Custom:
+			obj := rules.Obj{Shape: p, Layer: r.Layer, Name: labelFor(c, p)}
+			if !r.Pred(obj) {
+				emit(checks.Marker{Box: p.MBR()})
+			}
+		}
+	}
+	return out
+}
+
+// labelFor returns the text of a same-layer label lying on or inside the
+// polygon (the paper's polygon "name"); empty when none exists.
+func labelFor(c *layout.Cell, p geom.Polygon) string {
+	mbr := p.MBR()
+	for i := range c.Labels {
+		l := &c.Labels[i]
+		if !mbr.Contains(l.Pos) {
+			continue
+		}
+		if p.ContainsPoint(l.Pos) {
+			return l.Text
+		}
+	}
+	return ""
+}
+
+// scaledIntraMin converts the rule threshold into a cell frame instantiated
+// with magnification mag: a local measure x appears globally as x·mag
+// (x·mag² for areas), so the local threshold is the ceiling division.
+func scaledIntraMin(r rules.Rule, mag int64) int64 {
+	switch r.Kind {
+	case rules.Width:
+		return ceilDiv(r.Min, mag)
+	case rules.Area:
+		return ceilDiv(2*r.Min, mag*mag) // doubled area threshold
+	}
+	return r.Min
+}
+
+// rescaleMarker maps a local marker into the instance frame.
+func rescaleMarker(m checks.Marker, t geom.Transform, r rules.Rule) checks.Marker {
+	m.Box = t.ApplyRect(m.Box)
+	m.EdgeA = m.EdgeA.Transform(t)
+	m.EdgeB = m.EdgeB.Transform(t)
+	mag := t.Mag
+	if mag > 1 && m.Dist >= 0 {
+		switch {
+		case m.Corner || r.Kind == rules.Area:
+			m.Dist *= mag * mag // squared distances and doubled areas
+		default:
+			m.Dist *= mag
+		}
+	}
+	return m
+}
+
+// runIntraSeq executes one intra-polygon rule in the sequential mode with
+// the hierarchy task pruning of Section IV-C: each cell definition is
+// checked once per distinct magnification, and the result is replayed for
+// every instance ("if the corresponding cell has already been checked
+// elsewhere, and the transformations preserve the target properties of the
+// check, the check result could be safely reused" — all eight orientations
+// preserve widths, areas and rectilinearity; magnification rescales the
+// threshold).
+func (e *Engine) runIntraSeq(lo *layout.Layout, r rules.Rule, placements [][]geom.Transform, rep *Report) {
+	defer rep.Profile.Phase("intra:" + r.Kind.String())()
+	for _, c := range lo.LayerCells(r.Layer) {
+		if len(c.LocalPolys(r.Layer)) == 0 {
+			continue // cell participates only through its children
+		}
+		insts := placements[c.ID]
+		if len(insts) == 0 {
+			continue
+		}
+		if e.opts.DisablePruning {
+			for _, t := range insts {
+				mag := t.Mag
+				if mag == 0 {
+					mag = 1
+				}
+				markers := intraMarkers(c, r, scaledIntraMin(r, mag))
+				rep.Stats.DefsChecked++
+				rep.Stats.InstancesEmitted++
+				e.emitMarkers(rep, r, c.Name, markers, t)
+			}
+			continue
+		}
+		// Group instances by magnification: one computation per group.
+		byMag := make(map[int64][]geom.Transform)
+		for _, t := range insts {
+			mag := t.Mag
+			if mag == 0 {
+				mag = 1
+			}
+			byMag[mag] = append(byMag[mag], t)
+		}
+		for mag, group := range byMag {
+			markers := intraMarkers(c, r, scaledIntraMin(r, mag))
+			rep.Stats.DefsChecked++
+			for _, t := range group {
+				rep.Stats.InstancesEmitted++
+				e.emitMarkers(rep, r, c.Name, markers, t)
+			}
+		}
+	}
+	if extra := rep.Stats.InstancesEmitted - rep.Stats.DefsChecked; extra > 0 {
+		rep.Stats.ChecksReused = extra
+	}
+}
+
+// emitMarkers appends instance-frame violations for the cell's local
+// markers.
+func (e *Engine) emitMarkers(rep *Report, r rules.Rule, cell string, markers []checks.Marker, t geom.Transform) {
+	for _, m := range markers {
+		rep.Violations = append(rep.Violations, rules.Violation{
+			Rule: r.ID, Kind: r.Kind, Layer: r.Layer,
+			Marker: rescaleMarker(m, t, r), Cell: cell,
+		})
+	}
+}

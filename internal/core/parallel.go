@@ -1,0 +1,404 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"opendrc/internal/checks"
+	"opendrc/internal/geom"
+	"opendrc/internal/gpu"
+	"opendrc/internal/kernels"
+	"opendrc/internal/layout"
+	"opendrc/internal/partition"
+	"opendrc/internal/rules"
+)
+
+// The parallel mode (Section IV-E). Per the paper's flow (Fig. 1), the
+// hierarchy task pruning of Section IV-C runs before the branch split, so
+// the parallel branch also checks intra-polygon rules once per cell
+// definition and prunes enclosure checks that resolve inside definitions.
+// For the remaining work the layout is flattened once, the packed edge
+// buffer is transferred with one asynchronous copy that overlaps the
+// adaptive row partition on the host (Section V-C), and checks then run row
+// by row as kernels addressing ranges of the transferred buffer: cells in
+// different rows cannot produce violations against each other. Per row, the
+// engine selects the brute-force executor (one thread per MBR-candidate
+// polygon pair) for small rows and the two-kernel parallel sweepline for
+// large ones.
+
+// parCtx bundles the device plumbing of one parallel run.
+type parCtx struct {
+	dev *gpu.Device
+	io  *gpu.Stream // async copies host->device
+	cs  *gpu.Stream // check kernels
+}
+
+// hostPhase measures fn as host work: it is charged to the profiler and
+// advances the modeled host clock, during which the device may still be
+// executing previously enqueued work.
+func (p *parCtx) hostPhase(rep *Report, name string, fn func()) {
+	start := time.Now()
+	fn()
+	d := time.Since(start)
+	rep.Profile.Add(name, d)
+	p.dev.HostAdvance(d)
+}
+
+// checkParallel runs the deck through the GPU branch.
+func (e *Engine) checkParallel(lo *layout.Layout, rep *Report) error {
+	if err := checkMagRestriction(lo, e.deck); err != nil {
+		return err
+	}
+	ctx := &parCtx{dev: gpu.NewDevice(e.opts.Device)}
+	ctx.io = ctx.dev.NewStream("h2d")
+	ctx.cs = ctx.dev.NewStream("checks")
+	rep.Device = ctx.dev
+
+	var placements [][]geom.Transform
+	ctx.hostPhase(rep, "par:instance-enumeration", func() {
+		placements = lo.Placements()
+	})
+
+	for _, r := range e.deck {
+		e.opts.Logger.Debugf("par: rule %s", r)
+		switch r.Kind {
+		case rules.Spacing:
+			e.runSpacingPar(lo, r, ctx, rep)
+		case rules.Enclosure:
+			e.runEnclosurePar(lo, r, placements, ctx, rep)
+		case rules.Custom:
+			// User callables cannot run on the device; the paper's
+			// ensures() predicates execute host-side in both modes, with
+			// the same per-definition pruning as the sequential branch.
+			e.runIntraSeq(lo, r, placements, rep)
+		case rules.Coverage, rules.MinOverlap:
+			// Derived-layer boolean rules are host-side in both modes
+			// (roadmap features beyond the paper's kernels).
+			ctx.hostPhase(rep, "par:derived", func() {
+				e.runDerivedSeq(lo, r, placements, rep)
+			})
+		default:
+			e.runIntraPar(lo, r, placements, ctx, rep)
+		}
+	}
+	ctx.cs.Synchronize()
+	ctx.io.Synchronize()
+	return nil
+}
+
+// transfer models the one-time buffer upload: stream-ordered allocation and
+// an async copy on the I/O stream; the compute stream waits on its event.
+func (e *Engine) transfer(ctx *parCtx, rep *Report, edges *kernels.Edges) {
+	ctx.io.AllocAsync(edges.Bytes())
+	ctx.io.MemcpyAsync("edges", edges.Bytes())
+	rep.Stats.EdgesPacked += edges.Len()
+	rep.Stats.BytesCopied += edges.Bytes()
+}
+
+// collect adapts kernel hits into report violations.
+func collect(rep *Report, r rules.Rule) kernels.Collector {
+	return func(h kernels.Hit) {
+		rep.Violations = append(rep.Violations, rules.Violation{
+			Rule: r.ID, Kind: r.Kind, Layer: r.Layer, Marker: h.Marker,
+		})
+	}
+}
+
+// runIntraPar checks an intra-polygon rule on the device with the Section
+// IV-C pruning: the kernel runs once per cell definition's polygons (per
+// distinct magnification), and definition markers replay per instance on
+// the host — which is why sequential and parallel modes run equally fast on
+// intra checks (the paper's Table I observation).
+func (e *Engine) runIntraPar(lo *layout.Layout, r rules.Rule, placements [][]geom.Transform, ctx *parCtx, rep *Report) {
+	// Group definitions by magnification (one kernel per distinct mag).
+	groups := make(map[int64][]*layout.Cell)
+	if e.opts.DisablePruning {
+		// Ablation: flatten every instance and run one big kernel.
+		e.runIntraParFlat(lo, r, ctx, rep)
+		return
+	}
+	for _, c := range lo.LayerCells(r.Layer) {
+		if len(c.LocalPolys(r.Layer)) == 0 || len(placements[c.ID]) == 0 {
+			continue
+		}
+		mags := make(map[int64]bool)
+		for _, t := range placements[c.ID] {
+			mag := t.Mag
+			if mag == 0 {
+				mag = 1
+			}
+			mags[mag] = true
+		}
+		for mag := range mags {
+			groups[mag] = append(groups[mag], c)
+		}
+	}
+	mags := make([]int64, 0, len(groups))
+	for mag := range groups {
+		mags = append(mags, mag)
+	}
+	sort.Slice(mags, func(i, j int) bool { return mags[i] < mags[j] })
+
+	for _, mag := range mags {
+		cells := groups[mag]
+		var shapes []geom.Polygon
+		var owner []*layout.Cell
+		ctx.hostPhase(rep, "par:edge-packing", func() {
+			for _, c := range cells {
+				for _, pi := range c.LocalPolys(r.Layer) {
+					shapes = append(shapes, c.Polys[pi].Shape)
+					owner = append(owner, c)
+				}
+			}
+		})
+		edges := kernels.Pack(shapes)
+		e.transfer(ctx, rep, edges)
+		ctx.cs.WaitEvent(ctx.io.RecordEvent())
+
+		defMarkers := make(map[*layout.Cell][]checks.Marker)
+		hit := func(h kernels.Hit) {
+			c := owner[h.A]
+			defMarkers[c] = append(defMarkers[c], h.Marker)
+		}
+		min := scaledIntraMin(r, mag)
+		switch r.Kind {
+		case rules.Width:
+			if maxPolyEdges(edges) > 32 {
+				kernels.SpacingSweep(ctx.cs, edges, checks.Lim(min), kernels.FilterWidth, hit)
+				rep.Stats.KernelLaunches += 5
+			} else {
+				kernels.WidthBrute(ctx.cs, edges, min, hit)
+				rep.Stats.KernelLaunches++
+			}
+		case rules.Area:
+			kernels.AreaKernel(ctx.cs, edges, min, hit)
+			rep.Stats.KernelLaunches++
+		case rules.Rectilinear:
+			kernels.RectilinearKernel(ctx.cs, edges, hit)
+			rep.Stats.KernelLaunches++
+		}
+		ctx.cs.Synchronize()
+		ctx.io.FreeAsync(edges.Bytes())
+
+		// Replay definition results per instance (host).
+		ctx.hostPhase(rep, "par:marker-replay", func() {
+			for _, c := range cells {
+				rep.Stats.DefsChecked++
+				markers := defMarkers[c]
+				for _, t := range placements[c.ID] {
+					tm := t.Mag
+					if tm == 0 {
+						tm = 1
+					}
+					if tm != mag {
+						continue
+					}
+					rep.Stats.InstancesEmitted++
+					e.emitMarkers(rep, r, c.Name, markers, t)
+				}
+			}
+		})
+	}
+}
+
+// runIntraParFlat is the pruning-off ablation: one kernel over every
+// flattened polygon instance.
+func (e *Engine) runIntraParFlat(lo *layout.Layout, r rules.Rule, ctx *parCtx, rep *Report) {
+	var shapes []geom.Polygon
+	ctx.hostPhase(rep, "par:flatten", func() {
+		for _, pp := range lo.FlattenLayer(r.Layer) {
+			shapes = append(shapes, pp.Shape)
+		}
+	})
+	if len(shapes) == 0 {
+		return
+	}
+	var edges *kernels.Edges
+	ctx.hostPhase(rep, "par:edge-packing", func() { edges = kernels.Pack(shapes) })
+	e.transfer(ctx, rep, edges)
+	ctx.cs.WaitEvent(ctx.io.RecordEvent())
+	c := collect(rep, r)
+	switch r.Kind {
+	case rules.Width:
+		kernels.WidthBrute(ctx.cs, edges, r.Min, c)
+	case rules.Area:
+		kernels.AreaKernel(ctx.cs, edges, 2*r.Min, c)
+	case rules.Rectilinear:
+		kernels.RectilinearKernel(ctx.cs, edges, c)
+	}
+	rep.Stats.KernelLaunches++
+	rep.Stats.DefsChecked += len(shapes)
+	rep.Stats.InstancesEmitted += len(shapes)
+	ctx.cs.Synchronize()
+	ctx.io.FreeAsync(edges.Bytes())
+}
+
+func maxPolyEdges(e *kernels.Edges) int {
+	max := 0
+	for p := 0; p < e.NumPolys(); p++ {
+		lo, hi := e.PolyEdges(p)
+		if hi-lo > max {
+			max = hi - lo
+		}
+	}
+	return max
+}
+
+// runSpacingPar checks one spacing rule row by row on the device.
+func (e *Engine) runSpacingPar(lo *layout.Layout, r rules.Rule, ctx *parCtx, rep *Report) {
+	// Host: flatten the layer once (hierarchy range query), pack edges and
+	// start the one-time async transfer, then partition — the copy is
+	// hidden behind the partitioning, per Section V-C.
+	var shapes []geom.Polygon
+	ctx.hostPhase(rep, "par:flatten", func() {
+		for _, pp := range lo.FlattenLayer(r.Layer) {
+			shapes = append(shapes, pp.Shape)
+		}
+	})
+	if len(shapes) == 0 {
+		return
+	}
+	lim := r.SpacingLimit()
+	var rows []partition.Row
+	var edges *kernels.Edges
+	var order []int // packing order: polygons grouped by row
+	ctx.hostPhase(rep, "par:partition", func() {
+		boxes := make([]geom.Rect, len(shapes))
+		for i := range shapes {
+			boxes[i] = shapes[i].MBR()
+		}
+		rows = partition.Rows(boxes, lim.Reach(), e.opts.PartitionAlg)
+		order = make([]int, 0, len(shapes))
+		for _, row := range rows {
+			order = append(order, row.Members...)
+		}
+	})
+	ctx.hostPhase(rep, "par:edge-packing", func() {
+		reordered := make([]geom.Polygon, len(order))
+		for i, oi := range order {
+			reordered[i] = shapes[oi]
+		}
+		shapes = reordered
+		edges = kernels.Pack(shapes)
+	})
+	e.transfer(ctx, rep, edges)
+	ctx.cs.WaitEvent(ctx.io.RecordEvent())
+	rep.Stats.Rows += len(rows)
+	c := collect(rep, r)
+
+	// Notches are intra-polygon but belong to the spacing rule: one batched
+	// launch over every polygon.
+	kernels.NotchBrute(ctx.cs, edges, lim, c)
+	rep.Stats.KernelLaunches++
+
+	// Executor selection per row; the brute rows batch into one launch set
+	// (rows become grid blocks), large rows take the sweepline executor on
+	// their slice of the transferred buffer.
+	var bruteRanges [][2]int32
+	base := 0
+	for _, row := range rows {
+		n := len(row.Members)
+		lo, hi := edges.PolyStart[base], edges.PolyStart[base+n]
+		if int(hi-lo) <= e.opts.BruteEdgeThreshold {
+			bruteRanges = append(bruteRanges, [2]int32{int32(base), int32(base + n)})
+		} else {
+			kernels.SpacingSweep(ctx.cs, edges.Slice(base, base+n), lim, kernels.FilterSpacing, c)
+			rep.Stats.KernelLaunches += 7
+		}
+		base += n
+	}
+	if len(bruteRanges) > 0 {
+		// The device discovers candidate pairs by expanded-MBR overlap
+		// (Section IV-C's check pruning as kernels), then one thread per
+		// surviving pair enumerates its edge cross product.
+		pairs := kernels.PairDiscoveryRows(ctx.cs, edges, bruteRanges, lim.Reach())
+		rep.Stats.KernelLaunches += 3
+		rep.Stats.PairsConsidered += len(pairs)
+		rep.Stats.PairsChecked += len(pairs)
+		if len(pairs) > 0 {
+			kernels.SpacingBrute(ctx.cs, edges, pairs, lim, c)
+			rep.Stats.KernelLaunches++
+		}
+	}
+	ctx.cs.Synchronize()
+	ctx.io.FreeAsync(edges.Bytes())
+}
+
+// runEnclosurePar resolves enclosure with the Section IV-C pruning first:
+// vias covered with margin inside their own cell definition pass for every
+// instance and never reach the device; only the residue (vias needing
+// parent-level metal) is instance-expanded and checked with the
+// enclosure-evaluation kernel.
+func (e *Engine) runEnclosurePar(lo *layout.Layout, r rules.Rule, placements [][]geom.Transform, ctx *parCtx, rep *Report) {
+	type residue struct {
+		cell    *layout.Cell
+		polyIdx int
+	}
+	var deferred []residue
+	ctx.hostPhase(rep, "par:local-pruning", func() {
+		for _, c := range lo.LayerCells(r.Layer) {
+			if len(placements[c.ID]) == 0 {
+				continue
+			}
+			local := c.LocalPolys(r.Layer)
+			if len(local) == 0 {
+				continue
+			}
+			rep.Stats.DefsChecked++
+			if e.opts.DisablePruning {
+				for _, pi := range local {
+					deferred = append(deferred, residue{cell: c, polyIdx: pi})
+				}
+				continue
+			}
+			unresolved := e.enclosureLocalPass(lo, c, local, r, rep)
+			resolved := len(local) - len(unresolved)
+			rep.Stats.InstancesEmitted += resolved * len(placements[c.ID])
+			rep.Stats.ChecksReused += resolved * (len(placements[c.ID]) - 1)
+			for _, pi := range unresolved {
+				deferred = append(deferred, residue{cell: c, polyIdx: pi})
+			}
+		}
+	})
+	if len(deferred) == 0 {
+		return
+	}
+
+	// Instance-expand the residue; candidate metal comes from hierarchy
+	// range queries around each residual via (not a full-layer flatten —
+	// the residue is small by construction).
+	var vias []geom.Polygon
+	var metals []geom.Polygon
+	var cands [][]int32
+	ctx.hostPhase(rep, "par:flatten", func() {
+		for _, d := range deferred {
+			via := d.cell.Polys[d.polyIdx].Shape
+			for _, t := range placements[d.cell.ID] {
+				gvia := via.Transform(t)
+				window := gvia.MBR().Expand(r.Min)
+				found, _ := lo.QueryLayer(r.Outer, window)
+				list := make([]int32, 0, len(found))
+				for _, pp := range found {
+					list = append(list, int32(len(metals)))
+					metals = append(metals, pp.Shape)
+				}
+				vias = append(vias, gvia)
+				cands = append(cands, list)
+			}
+		}
+	})
+	ie := kernels.Pack(vias)
+	oe := kernels.Pack(metals)
+	e.transfer(ctx, rep, ie)
+	e.transfer(ctx, rep, oe)
+	for _, cl := range cands {
+		rep.Stats.PairsChecked += len(cl)
+	}
+	ctx.cs.WaitEvent(ctx.io.RecordEvent())
+	kernels.EnclosureEval(ctx.cs, ie, oe, cands, r.Min, collect(rep, r))
+	rep.Stats.KernelLaunches++
+	rep.Stats.InstancesEmitted += len(vias)
+	ctx.cs.Synchronize()
+	ctx.io.FreeAsync(ie.Bytes())
+	ctx.io.FreeAsync(oe.Bytes())
+}

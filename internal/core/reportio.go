@@ -1,0 +1,89 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"opendrc/internal/layout"
+	"opendrc/internal/rules"
+)
+
+// Report output — the interface layer's "result output" duty: a stable text
+// form for humans and a JSON form for downstream tooling (the paper's
+// motivation of serving as infrastructure "for data collection and golden
+// result acquiring for ML applications").
+
+// jsonViolation is the serialized form of one violation.
+type jsonViolation struct {
+	Rule   string `json:"rule"`
+	Kind   string `json:"kind"`
+	Layer  int16  `json:"layer"`
+	XLo    int64  `json:"xlo"`
+	YLo    int64  `json:"ylo"`
+	XHi    int64  `json:"xhi"`
+	YHi    int64  `json:"yhi"`
+	Dist   int64  `json:"dist"`
+	Corner bool   `json:"corner,omitempty"`
+	Cell   string `json:"cell,omitempty"`
+}
+
+// jsonReport is the serialized form of a check run.
+type jsonReport struct {
+	Mode        string          `json:"mode"`
+	Violations  []jsonViolation `json:"violations"`
+	CountByRule map[string]int  `json:"count_by_rule"`
+	HostWallUS  int64           `json:"host_wall_us"`
+	ModeledUS   int64           `json:"modeled_us"`
+	Stats       Stats           `json:"stats"`
+}
+
+// WriteJSON serializes the report for downstream tools.
+func (r *Report) WriteJSON(w io.Writer) error {
+	out := jsonReport{
+		Mode:        r.Mode.String(),
+		Violations:  make([]jsonViolation, 0, len(r.Violations)),
+		CountByRule: r.CountByRule(),
+		HostWallUS:  r.HostWall.Microseconds(),
+		ModeledUS:   r.Modeled.Microseconds(),
+		Stats:       r.Stats,
+	}
+	for _, v := range r.Violations {
+		out.Violations = append(out.Violations, jsonViolation{
+			Rule: v.Rule, Kind: v.Kind.String(), Layer: int16(v.Layer),
+			XLo: v.Marker.Box.XLo, YLo: v.Marker.Box.YLo,
+			XHi: v.Marker.Box.XHi, YHi: v.Marker.Box.YHi,
+			Dist: v.Marker.Dist, Corner: v.Marker.Corner, Cell: v.Cell,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteText renders a human-readable report: a per-rule summary followed by
+// one line per violation.
+func (r *Report) WriteText(w io.Writer, deck rules.Deck) error {
+	if _, err := fmt.Fprintf(w, "%d violations in %v (%s mode)\n",
+		len(r.Violations), r.HostWall.Round(time.Microsecond), r.Mode); err != nil {
+		return err
+	}
+	counts := r.CountByRule()
+	for _, rule := range deck {
+		if _, err := fmt.Fprintf(w, "  %-14s %6d\n", rule.ID, counts[rule.ID]); err != nil {
+			return err
+		}
+	}
+	for _, v := range r.Violations {
+		cell := v.Cell
+		if cell == "" {
+			cell = "-"
+		}
+		if _, err := fmt.Fprintf(w, "%-14s %-4s %v d=%d cell=%s\n",
+			v.Rule, layout.LayerName(v.Layer), v.Marker.Box, v.Marker.Dist, cell); err != nil {
+			return err
+		}
+	}
+	return nil
+}

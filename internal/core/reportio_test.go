@@ -1,0 +1,56 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"opendrc/internal/synth"
+)
+
+func TestReportJSON(t *testing.T) {
+	lo, exp := loadDesign(t, "uart", 1)
+	rep := runEngine(t, lo, Options{Mode: Sequential}, synth.Deck())
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Mode        string         `json:"mode"`
+		Violations  []any          `json:"violations"`
+		CountByRule map[string]int `json:"count_by_rule"`
+		HostWallUS  int64          `json:"host_wall_us"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded.Mode != "sequential" {
+		t.Errorf("mode = %q", decoded.Mode)
+	}
+	if len(decoded.Violations) != len(rep.Violations) {
+		t.Errorf("violations = %d, want %d", len(decoded.Violations), len(rep.Violations))
+	}
+	if exp.Total > 0 && len(decoded.Violations) == 0 {
+		t.Error("expected violations in JSON output")
+	}
+	if decoded.HostWallUS <= 0 {
+		t.Error("host wall time missing")
+	}
+}
+
+func TestReportText(t *testing.T) {
+	lo, _ := loadDesign(t, "uart", 1)
+	deck := synth.Deck()
+	rep := runEngine(t, lo, Options{Mode: Sequential}, deck)
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf, deck); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"violations in", "M1.W.1", "V1.M1.EN.1", "sequential mode"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+}

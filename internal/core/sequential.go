@@ -1,0 +1,30 @@
+package core
+
+import (
+	"opendrc/internal/layout"
+	"opendrc/internal/rules"
+)
+
+// checkSequential runs the deck through the hierarchical CPU branch.
+func (e *Engine) checkSequential(lo *layout.Layout, rep *Report) error {
+	if err := checkMagRestriction(lo, e.deck); err != nil {
+		return err
+	}
+	stop := rep.Profile.Phase("instance-enumeration")
+	placements := lo.Placements()
+	stop()
+	for _, r := range e.deck {
+		e.opts.Logger.Debugf("seq: rule %s", r)
+		switch r.Kind {
+		case rules.Spacing:
+			e.runSpacingSeq(lo, r, placements, rep)
+		case rules.Enclosure:
+			e.runEnclosureSeq(lo, r, placements, rep)
+		case rules.Coverage, rules.MinOverlap:
+			e.runDerivedSeq(lo, r, placements, rep)
+		default:
+			e.runIntraSeq(lo, r, placements, rep)
+		}
+	}
+	return nil
+}

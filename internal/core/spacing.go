@@ -1,0 +1,215 @@
+package core
+
+import (
+	"opendrc/internal/checks"
+	"opendrc/internal/geom"
+	"opendrc/internal/layout"
+	"opendrc/internal/partition"
+	"opendrc/internal/rules"
+	"opendrc/internal/sweep"
+)
+
+// Sequential inter-polygon spacing (Sections IV-C and IV-D).
+//
+// Every violating polygon pair has a unique lowest-common-ancestor cell
+// *definition*: the deepest cell whose frame contains both polygons' paths.
+// Computing each definition's violation set once and replaying it for every
+// instance is exactly the paper's memoization — "only if (aᴹ, aᴺ) has been
+// checked, OpenDRC marks it down for possible reuse", with the same-parent
+// caveat handled because relative positions inside one definition are fixed.
+// Per definition, candidate pairs come from the standard sweepline over
+// rule-distance-expanded MBRs; pairs whose expanded MBRs are disjoint are
+// never generated ("MBRᴹₐ ∩ MBRᴺᵦ = ∅ ... the check could be eliminated"),
+// and unordered pairs appear once (the id-ordering rule).
+
+// spaceItem is one sweepline participant inside a cell definition: either a
+// local polygon or one placement of a child reference.
+type spaceItem struct {
+	polyIdx int // local polygon index, or -1
+	child   *layout.Cell
+	place   geom.Transform // child placement (ref items)
+}
+
+// runSpacingSeq executes one spacing rule sequentially.
+func (e *Engine) runSpacingSeq(lo *layout.Layout, r rules.Rule, placements [][]geom.Transform, rep *Report) {
+	if e.opts.DisablePruning {
+		e.runSpacingFlat(lo, r, rep)
+		return
+	}
+	// Each definition appears once in the layer tree, so computing inside
+	// this loop *is* the memoization: the result replays per instance.
+	for _, c := range lo.LayerCells(r.Layer) {
+		if len(placements[c.ID]) == 0 {
+			continue
+		}
+		markers := e.cellSpacingMarkers(lo, c, r, rep)
+		rep.Stats.DefsChecked++
+		for _, t := range placements[c.ID] {
+			rep.Stats.InstancesEmitted++
+			e.emitMarkers(rep, r, c.Name, markers, t)
+		}
+	}
+}
+
+// cellSpacingMarkers computes the spacing violations whose LCA is the cell
+// definition c, in c's local frame: pairs among local polygons, pairs
+// between local polygons and child subtrees, pairs between sibling child
+// subtrees, and the notches of local polygons. Following the paper's flow
+// (Fig. 1 / Fig. 4), the cell's participants are first split into
+// independent rows by the adaptive partition, then each row runs the MBR
+// sweepline, and surviving pairs get edge-to-edge checks.
+func (e *Engine) cellSpacingMarkers(lo *layout.Layout, c *layout.Cell, r rules.Rule, rep *Report) []checks.Marker {
+	lim := r.SpacingLimit()
+	min := lim.Reach()
+	var out []checks.Marker
+	emit := func(m checks.Marker) { out = append(out, m) }
+
+	// Notches of local polygons belong to this definition.
+	stopChecks := rep.Profile.Phase("spacing:edge-checks")
+	for _, pi := range c.LocalPolys(r.Layer) {
+		checks.CheckNotchLim(c.Polys[pi].Shape, lim, emit)
+	}
+	stopChecks()
+
+	// Sweepline participants: raw layer MBRs for partitioning, expanded
+	// MBRs ("enlarged by a minimum rule distance") for pair generation.
+	var items []spaceItem
+	var raw, boxes []geom.Rect
+	for _, pi := range c.LocalPolys(r.Layer) {
+		items = append(items, spaceItem{polyIdx: pi})
+		mbr := c.Polys[pi].Shape.MBR()
+		raw = append(raw, mbr)
+		boxes = append(boxes, mbr.Expand(min))
+	}
+	for ri := range c.Refs {
+		ref := &c.Refs[ri]
+		childR := ref.Child.LayerMBR(r.Layer)
+		if childR.Empty() {
+			continue
+		}
+		ref.ForEachPlacement(func(t geom.Transform) {
+			items = append(items, spaceItem{polyIdx: -1, child: ref.Child, place: t})
+			mbr := t.ApplyRect(childR)
+			raw = append(raw, mbr)
+			boxes = append(boxes, mbr.Expand(min))
+		})
+	}
+	if len(items) < 2 {
+		return out
+	}
+
+	// Adaptive row partition: rows separated by more than the rule reach
+	// cannot interact, so each row sweeps independently.
+	stopPart := rep.Profile.Phase("spacing:partition")
+	rows := partition.Rows(raw, min, e.opts.PartitionAlg)
+	stopPart()
+
+	var pairs [][2]int
+	for _, row := range rows {
+		if len(row.Members) < 2 {
+			continue
+		}
+		rowBoxes := make([]geom.Rect, len(row.Members))
+		for i, mi := range row.Members {
+			rowBoxes[i] = boxes[mi]
+		}
+		stopSweep := rep.Profile.Phase("spacing:sweepline")
+		sweep.Overlaps(rowBoxes, func(a, b int) {
+			pairs = append(pairs, [2]int{row.Members[a], row.Members[b]})
+		})
+		stopSweep()
+	}
+	rep.Stats.PairsConsidered += len(pairs)
+
+	defer rep.Profile.Phase("spacing:edge-checks")()
+	for _, pr := range pairs {
+		a, b := items[pr[0]], items[pr[1]]
+		switch {
+		case a.polyIdx >= 0 && b.polyIdx >= 0:
+			rep.Stats.PairsChecked++
+			checks.CheckSpacingLim(c.Polys[a.polyIdx].Shape, c.Polys[b.polyIdx].Shape, lim, emit)
+		case a.polyIdx >= 0:
+			e.spacingPolyVsSubtree(lo, c, a.polyIdx, b, r.Layer, lim, rep, emit)
+		case b.polyIdx >= 0:
+			e.spacingPolyVsSubtree(lo, c, b.polyIdx, a, r.Layer, lim, rep, emit)
+		default:
+			e.spacingSubtreeVsSubtree(lo, a, b, r.Layer, lim, rep, emit)
+		}
+	}
+	return out
+}
+
+// collectSubtree returns the layer polygons of item's child subtree, in the
+// parent cell's frame, restricted to those whose MBR intersects the window
+// (also parent frame).
+func collectSubtree(lo *layout.Layout, it spaceItem, l layout.Layer, window geom.Rect, rep *Report) []geom.Polygon {
+	rep.Stats.SubtreeQueries++
+	childWindow := it.place.Inverse().ApplyRect(window)
+	found := lo.QuerySubtree(it.child, l, childWindow)
+	out := make([]geom.Polygon, len(found))
+	for i, pp := range found {
+		out[i] = pp.Shape.Transform(it.place)
+	}
+	return out
+}
+
+func (e *Engine) spacingPolyVsSubtree(lo *layout.Layout, c *layout.Cell, polyIdx int, ref spaceItem, l layout.Layer, lim checks.SpacingLimit, rep *Report, emit func(checks.Marker)) {
+	p := c.Polys[polyIdx].Shape
+	near := collectSubtree(lo, ref, l, p.MBR().Expand(lim.Reach()), rep)
+	for _, q := range near {
+		rep.Stats.PairsChecked++
+		checks.CheckSpacingLim(p, q, lim, emit)
+	}
+}
+
+func (e *Engine) spacingSubtreeVsSubtree(lo *layout.Layout, a, b spaceItem, l layout.Layer, lim checks.SpacingLimit, rep *Report, emit func(checks.Marker)) {
+	// Polygons of A near B's box, and vice versa; a violating pair (p, q)
+	// has p within reach of q, so p intersects B's expanded box and q
+	// intersects A's expanded box.
+	reach := lim.Reach()
+	aBox := a.place.ApplyRect(a.child.LayerMBR(l)).Expand(reach)
+	bBox := b.place.ApplyRect(b.child.LayerMBR(l)).Expand(reach)
+	pa := collectSubtree(lo, a, l, bBox, rep)
+	if len(pa) == 0 {
+		return
+	}
+	pb := collectSubtree(lo, b, l, aBox, rep)
+	for _, p := range pa {
+		pm := p.MBR().Expand(reach)
+		for _, q := range pb {
+			if !pm.Overlaps(q.MBR()) {
+				continue
+			}
+			rep.Stats.PairsChecked++
+			checks.CheckSpacingLim(p, q, lim, emit)
+		}
+	}
+}
+
+// runSpacingFlat is the pruning-off ablation: instance-expand the whole
+// layer and sweep globally.
+func (e *Engine) runSpacingFlat(lo *layout.Layout, r rules.Rule, rep *Report) {
+	defer rep.Profile.Phase("spacing:flat")()
+	lim := r.SpacingLimit()
+	polys := lo.FlattenLayer(r.Layer)
+	boxes := make([]geom.Rect, len(polys))
+	for i := range polys {
+		boxes[i] = polys[i].Shape.MBR().Expand(lim.Reach())
+	}
+	emit := func(m checks.Marker) {
+		rep.Violations = append(rep.Violations, rules.Violation{
+			Rule: r.ID, Kind: r.Kind, Layer: r.Layer, Marker: m,
+		})
+	}
+	for i := range polys {
+		rep.Stats.PairsChecked++
+		checks.CheckNotchLim(polys[i].Shape, lim, emit)
+	}
+	sweep.Overlaps(boxes, func(a, b int) {
+		rep.Stats.PairsConsidered++
+		rep.Stats.PairsChecked++
+		checks.CheckSpacingLim(polys[a].Shape, polys[b].Shape, lim, emit)
+	})
+	rep.Stats.DefsChecked += len(polys)
+	rep.Stats.InstancesEmitted += len(polys)
+}

@@ -1,0 +1,61 @@
+package gdsii
+
+import "math"
+
+// GDSII reals use the legacy IBM/Calma excess-64 base-16 format rather than
+// IEEE 754: one sign bit, a 7-bit exponent biased by 64 (power of 16), and a
+// 56-bit fraction representing a mantissa in [1/16, 1).
+
+// float64ToReal8 encodes v into the 8-byte GDSII real representation.
+func float64ToReal8(v float64) [8]byte {
+	var out [8]byte
+	if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return out
+	}
+	sign := byte(0)
+	if v < 0 {
+		sign = 0x80
+		v = -v
+	}
+	// Find exponent e with v = m * 16^(e-64), m in [1/16, 1).
+	exp := 64
+	for v >= 1 {
+		v /= 16
+		exp++
+	}
+	for v < 1.0/16 {
+		v *= 16
+		exp--
+	}
+	if exp < 0 {
+		return out // underflow to zero
+	}
+	if exp > 127 {
+		exp = 127
+		v = 1 - math.Pow(2, -56) // saturate
+	}
+	mant := uint64(v * math.Pow(2, 56)) // 56-bit fraction
+	out[0] = sign | byte(exp)
+	for i := 7; i >= 1; i-- {
+		out[i] = byte(mant)
+		mant >>= 8
+	}
+	return out
+}
+
+// real8ToFloat64 decodes the 8-byte GDSII real representation.
+func real8ToFloat64(b [8]byte) float64 {
+	exp := int(b[0] & 0x7F)
+	var mant uint64
+	for i := 1; i < 8; i++ {
+		mant = mant<<8 | uint64(b[i])
+	}
+	if mant == 0 {
+		return 0
+	}
+	v := float64(mant) * math.Pow(2, -56) * math.Pow(16, float64(exp-64))
+	if b[0]&0x80 != 0 {
+		v = -v
+	}
+	return v
+}

@@ -1,0 +1,124 @@
+// Package gdsii implements a reader and writer for the binary GDSII stream
+// format (the Calma stream syntax sketched in the paper's Backus–Naur
+// fragment): a library of structures, each structure a list of elements
+// (BOUNDARY, PATH, SREF, AREF, TEXT), with recursive structure references
+// building the layout hierarchy. The subset implemented covers everything a
+// DRC engine consumes; unknown records are skipped with position-tagged
+// warnings rather than errors, matching how production readers treat vendor
+// extensions.
+package gdsii
+
+import "fmt"
+
+// RecordType identifies a GDSII record.
+type RecordType uint8
+
+// GDSII record types (the subset a DRC reader needs, plus the common ones we
+// must at least skip gracefully).
+const (
+	RecHeader       RecordType = 0x00
+	RecBgnLib       RecordType = 0x01
+	RecLibName      RecordType = 0x02
+	RecUnits        RecordType = 0x03
+	RecEndLib       RecordType = 0x04
+	RecBgnStr       RecordType = 0x05
+	RecStrName      RecordType = 0x06
+	RecEndStr       RecordType = 0x07
+	RecBoundary     RecordType = 0x08
+	RecPath         RecordType = 0x09
+	RecSRef         RecordType = 0x0A
+	RecARef         RecordType = 0x0B
+	RecText         RecordType = 0x0C
+	RecLayer        RecordType = 0x0D
+	RecDataType     RecordType = 0x0E
+	RecWidth        RecordType = 0x0F
+	RecXY           RecordType = 0x10
+	RecEndEl        RecordType = 0x11
+	RecSName        RecordType = 0x12
+	RecColRow       RecordType = 0x13
+	RecNode         RecordType = 0x15
+	RecTextType     RecordType = 0x16
+	RecPresentation RecordType = 0x17
+	RecString       RecordType = 0x19
+	RecSTrans       RecordType = 0x1A
+	RecMag          RecordType = 0x1B
+	RecAngle        RecordType = 0x1C
+	RecRefLibs      RecordType = 0x1F
+	RecFonts        RecordType = 0x20
+	RecPathType     RecordType = 0x21
+	RecGenerations  RecordType = 0x22
+	RecAttrTable    RecordType = 0x23
+	RecElFlags      RecordType = 0x26
+	RecNodeType     RecordType = 0x2A
+	RecPropAttr     RecordType = 0x2B
+	RecPropValue    RecordType = 0x2C
+	RecBox          RecordType = 0x2D
+	RecBoxType      RecordType = 0x2E
+	RecPlex         RecordType = 0x2F
+)
+
+var recordNames = map[RecordType]string{
+	RecHeader: "HEADER", RecBgnLib: "BGNLIB", RecLibName: "LIBNAME",
+	RecUnits: "UNITS", RecEndLib: "ENDLIB", RecBgnStr: "BGNSTR",
+	RecStrName: "STRNAME", RecEndStr: "ENDSTR", RecBoundary: "BOUNDARY",
+	RecPath: "PATH", RecSRef: "SREF", RecARef: "AREF", RecText: "TEXT",
+	RecLayer: "LAYER", RecDataType: "DATATYPE", RecWidth: "WIDTH",
+	RecXY: "XY", RecEndEl: "ENDEL", RecSName: "SNAME", RecColRow: "COLROW",
+	RecNode: "NODE", RecTextType: "TEXTTYPE", RecPresentation: "PRESENTATION",
+	RecString: "STRING", RecSTrans: "STRANS", RecMag: "MAG", RecAngle: "ANGLE",
+	RecPathType: "PATHTYPE", RecElFlags: "ELFLAGS", RecPropAttr: "PROPATTR",
+	RecPropValue: "PROPVALUE", RecBox: "BOX", RecBoxType: "BOXTYPE", RecPlex: "PLEX",
+}
+
+// String implements fmt.Stringer.
+func (r RecordType) String() string {
+	if s, ok := recordNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("REC_%02X", uint8(r))
+}
+
+// DataType identifies the payload encoding of a record.
+type DataType uint8
+
+// GDSII data type codes.
+const (
+	DataNone     DataType = 0x00
+	DataBitArray DataType = 0x01
+	DataInt16    DataType = 0x02
+	DataInt32    DataType = 0x03
+	DataReal4    DataType = 0x04
+	DataReal8    DataType = 0x05
+	DataString   DataType = 0x06
+)
+
+// expectedDataType returns the payload type a conforming writer uses for the
+// record, for validation on read.
+func expectedDataType(r RecordType) (DataType, bool) {
+	switch r {
+	case RecHeader, RecBgnLib, RecBgnStr, RecLayer, RecDataType, RecTextType,
+		RecColRow, RecPathType, RecGenerations, RecNodeType, RecPropAttr, RecBoxType:
+		return DataInt16, true
+	case RecWidth, RecXY, RecPlex:
+		return DataInt32, true
+	case RecUnits, RecMag, RecAngle:
+		return DataReal8, true
+	case RecLibName, RecStrName, RecSName, RecString, RecRefLibs, RecFonts,
+		RecAttrTable, RecPropValue:
+		return DataString, true
+	case RecEndLib, RecEndStr, RecBoundary, RecPath, RecSRef, RecARef, RecText,
+		RecEndEl, RecNode, RecBox:
+		return DataNone, true
+	case RecSTrans, RecPresentation, RecElFlags:
+		return DataBitArray, true
+	}
+	return DataNone, false
+}
+
+// STRANS flag bits (in the 16-bit STRANS word).
+const (
+	STransReflect    = 0x8000 // reflection about the x-axis before rotation
+	STransAbsMag     = 0x0004 // absolute magnification (unsupported; warned)
+	STransAbsAngle   = 0x0002 // absolute angle (unsupported; warned)
+	maxRecordPayload = 0xFFFF - 4
+)

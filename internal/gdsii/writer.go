@@ -1,0 +1,230 @@
+package gdsii
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"opendrc/internal/geom"
+)
+
+// Writer emits a GDSII stream. Errors are latched: after the first failure
+// every later call is a no-op and Flush returns the original error, so call
+// sites can write straight-line code.
+type Writer struct {
+	bw  *bufio.Writer
+	err error
+	buf []byte
+}
+
+// NewWriter wraps w in a GDSII record writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// WriteLibrary serializes an entire library.
+func (w *Writer) WriteLibrary(lib *Library) error {
+	version := lib.Version
+	if version == 0 {
+		version = 600
+	}
+	w.record(RecHeader, DataInt16, i16(version))
+	// BGNLIB carries 12 int16 timestamp fields (mod + access time); zeros
+	// keep the output byte-deterministic, which the tests rely on.
+	w.record(RecBgnLib, DataInt16, make([]byte, 24))
+	w.record(RecLibName, DataString, padString(lib.Name))
+	uu, mu := lib.UserUnit, lib.MeterUnit
+	if uu == 0 {
+		uu = 1e-3
+	}
+	if mu == 0 {
+		mu = 1e-9
+	}
+	units := make([]byte, 0, 16)
+	r1 := float64ToReal8(uu)
+	r2 := float64ToReal8(mu)
+	units = append(units, r1[:]...)
+	units = append(units, r2[:]...)
+	w.record(RecUnits, DataReal8, units)
+	for _, st := range lib.Structures {
+		w.writeStructure(st)
+	}
+	w.record(RecEndLib, DataNone, nil)
+	return w.Flush()
+}
+
+// WriteFile serializes lib to the file at path.
+func WriteFile(path string, lib *Library) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := NewWriter(f)
+	if err := w.WriteLibrary(lib); err != nil {
+		f.Close()
+		return fmt.Errorf("gdsii: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Flush drains buffered output and returns any latched error.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+func (w *Writer) writeStructure(st *Structure) {
+	w.record(RecBgnStr, DataInt16, make([]byte, 24))
+	w.record(RecStrName, DataString, padString(st.Name))
+	for i := range st.Boundaries {
+		w.writeBoundary(&st.Boundaries[i])
+	}
+	for i := range st.Paths {
+		w.writePath(&st.Paths[i])
+	}
+	for i := range st.Texts {
+		w.writeText(&st.Texts[i])
+	}
+	for i := range st.SRefs {
+		w.writeSRef(&st.SRefs[i])
+	}
+	for i := range st.ARefs {
+		w.writeARef(&st.ARefs[i])
+	}
+	w.record(RecEndStr, DataNone, nil)
+}
+
+func (w *Writer) writeBoundary(b *Boundary) {
+	w.record(RecBoundary, DataNone, nil)
+	w.record(RecLayer, DataInt16, i16(b.Layer))
+	w.record(RecDataType, DataInt16, i16(b.DataType))
+	// Re-add the closing vertex required by the format.
+	ring := make([]geom.Point, 0, len(b.XY)+1)
+	ring = append(ring, b.XY...)
+	ring = append(ring, b.XY[0])
+	w.record(RecXY, DataInt32, xyBytes(ring))
+	w.record(RecEndEl, DataNone, nil)
+}
+
+func (w *Writer) writePath(p *Path) {
+	w.record(RecPath, DataNone, nil)
+	w.record(RecLayer, DataInt16, i16(p.Layer))
+	w.record(RecDataType, DataInt16, i16(p.DataType))
+	if p.PathType != PathFlush {
+		w.record(RecPathType, DataInt16, i16(int16(p.PathType)))
+	}
+	w.record(RecWidth, DataInt32, i32(p.Width))
+	w.record(RecXY, DataInt32, xyBytes(p.XY))
+	w.record(RecEndEl, DataNone, nil)
+}
+
+func (w *Writer) writeText(t *Text) {
+	w.record(RecText, DataNone, nil)
+	w.record(RecLayer, DataInt16, i16(t.Layer))
+	w.record(RecTextType, DataInt16, i16(t.TextType))
+	w.writeTrans(t.Trans)
+	w.record(RecXY, DataInt32, xyBytes([]geom.Point{t.Pos}))
+	w.record(RecString, DataString, padString(t.Str))
+	w.record(RecEndEl, DataNone, nil)
+}
+
+func (w *Writer) writeSRef(r *SRef) {
+	w.record(RecSRef, DataNone, nil)
+	w.record(RecSName, DataString, padString(r.Name))
+	w.writeTrans(r.Trans)
+	w.record(RecXY, DataInt32, xyBytes([]geom.Point{r.Pos}))
+	w.record(RecEndEl, DataNone, nil)
+}
+
+func (w *Writer) writeARef(r *ARef) {
+	w.record(RecARef, DataNone, nil)
+	w.record(RecSName, DataString, padString(r.Name))
+	w.writeTrans(r.Trans)
+	colrow := make([]byte, 4)
+	binary.BigEndian.PutUint16(colrow[0:], uint16(r.Cols))
+	binary.BigEndian.PutUint16(colrow[2:], uint16(r.Rows))
+	w.record(RecColRow, DataInt16, colrow)
+	w.record(RecXY, DataInt32, xyBytes([]geom.Point{r.Origin, r.ColEnd, r.RowEnd}))
+	w.record(RecEndEl, DataNone, nil)
+}
+
+func (w *Writer) writeTrans(t Trans) {
+	if t.Reflect || t.Mag != 0 || t.AngleDeg != 0 {
+		var flags uint16
+		if t.Reflect {
+			flags |= STransReflect
+		}
+		b := make([]byte, 2)
+		binary.BigEndian.PutUint16(b, flags)
+		w.record(RecSTrans, DataBitArray, b)
+		if t.Mag != 0 && t.Mag != 1 {
+			r := float64ToReal8(t.Mag)
+			w.record(RecMag, DataReal8, r[:])
+		}
+		if t.AngleDeg != 0 {
+			r := float64ToReal8(t.AngleDeg)
+			w.record(RecAngle, DataReal8, r[:])
+		}
+	}
+}
+
+// record writes one record, enforcing the 16-bit length limit. Oversized XY
+// payloads must be split by the caller; the synthesizer keeps polygons far
+// below the limit, so hitting it indicates a bug and is reported as one.
+func (w *Writer) record(typ RecordType, dt DataType, data []byte) {
+	if w.err != nil {
+		return
+	}
+	if len(data) > maxRecordPayload {
+		w.err = fmt.Errorf("gdsii: %v record payload %d exceeds format limit", typ, len(data))
+		return
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint16(hdr[0:2], uint16(len(data)+4))
+	hdr[2] = byte(typ)
+	hdr[3] = byte(dt)
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		w.err = err
+		return
+	}
+	if len(data) > 0 {
+		if _, err := w.bw.Write(data); err != nil {
+			w.err = err
+		}
+	}
+}
+
+func i16(v int16) []byte {
+	b := make([]byte, 2)
+	binary.BigEndian.PutUint16(b, uint16(v))
+	return b
+}
+
+func i32(v int32) []byte {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint32(b, uint32(v))
+	return b
+}
+
+// padString NUL-pads s to even length per the GDSII string encoding.
+func padString(s string) []byte {
+	b := []byte(s)
+	if len(b)%2 == 1 {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// xyBytes encodes points as big-endian int32 pairs, validating range.
+func xyBytes(pts []geom.Point) []byte {
+	out := make([]byte, 8*len(pts))
+	for i, p := range pts {
+		binary.BigEndian.PutUint32(out[8*i:], uint32(int32(p.X)))
+		binary.BigEndian.PutUint32(out[8*i+4:], uint32(int32(p.Y)))
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package geom
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStringers(t *testing.T) {
+	if s := Pt(3, -4).String(); s != "(3,-4)" {
+		t.Errorf("point string = %q", s)
+	}
+	if s := R(0, 0, 5, 5).String(); !strings.Contains(s, "0,0") || !strings.Contains(s, "5,5") {
+		t.Errorf("rect string = %q", s)
+	}
+	if s := EmptyRect().String(); s != "Rect(empty)" {
+		t.Errorf("empty rect string = %q", s)
+	}
+	if s := E(0, 0, 0, 5).String(); !strings.Contains(s, "[N]") {
+		t.Errorf("edge string = %q", s)
+	}
+	if s := MXR90.String(); s != "MXR90" {
+		t.Errorf("orient string = %q", s)
+	}
+	if s := (Transform{Orient: R90, Mag: 2, Offset: Pt(1, 2)}).String(); !strings.Contains(s, "R90") {
+		t.Errorf("transform string = %q", s)
+	}
+	if s := RectPolygon(R(0, 0, 1, 1)).String(); !strings.Contains(s, "Polygon") {
+		t.Errorf("polygon string = %q", s)
+	}
+}
+
+func TestVerticesReturnsCopy(t *testing.T) {
+	p := RectPolygon(R(0, 0, 10, 10))
+	v := p.Vertices()
+	v[0] = Pt(999, 999)
+	if p.Vertex(0) == Pt(999, 999) {
+		t.Error("Vertices aliased internal storage")
+	}
+}
+
+func TestEdgeReverseAndMBR(t *testing.T) {
+	e := E(2, 3, 2, 9)
+	if e.Reverse() != E(2, 9, 2, 3) {
+		t.Errorf("reverse = %v", e.Reverse())
+	}
+	if e.MBR() != R(2, 3, 2, 9) {
+		t.Errorf("edge mbr = %v", e.MBR())
+	}
+	if e.Dir().Opposite() != e.Reverse().Dir() {
+		t.Error("opposite direction mismatch")
+	}
+	if DirNone.Opposite() != DirNone {
+		t.Error("DirNone opposite")
+	}
+}
+
+// TestContainsPointMatchesAreaDecomposition cross-checks ContainsPoint on
+// random rectilinear staircase polygons against a per-rectangle
+// decomposition oracle.
+func TestContainsPointMatchesAreaDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		// Build a staircase polygon as a union of stacked rectangles with a
+		// known decomposition: rows of height 10, widths shrinking upward.
+		rows := 2 + rng.Intn(4)
+		widths := make([]int64, rows)
+		w := int64(40 + rng.Intn(40))
+		for i := range widths {
+			widths[i] = w
+			w -= int64(5 + rng.Intn(10))
+			if w < 10 {
+				w = 10
+			}
+		}
+		// Polygon outline: left edge straight up, right side steps inward
+		// going down from the top.
+		pts := []Point{Pt(0, 0), Pt(0, int64(rows)*10)}
+		for i := rows - 1; i >= 0; i-- {
+			y := int64(i+1) * 10
+			pts = append(pts, Pt(widths[i], y), Pt(widths[i], y-10))
+		}
+		poly, err := NewPolygon(pts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		inRects := func(p Point) bool {
+			for i, wd := range widths {
+				r := R(0, int64(i)*10, wd, int64(i+1)*10)
+				if r.Contains(p) {
+					return true
+				}
+			}
+			return false
+		}
+		for i := 0; i < 200; i++ {
+			p := Pt(int64(rng.Intn(100)-5), int64(rng.Intn(int(rows)*10+10)-5))
+			if got, want := poly.ContainsPoint(p), inRects(p); got != want {
+				t.Fatalf("trial %d: ContainsPoint(%v) = %v, oracle %v (poly %v)",
+					trial, p, got, want, poly)
+			}
+		}
+	}
+}
+
+func TestPolygonAreaMatchesDecomposition(t *testing.T) {
+	f := func(w1Raw, w2Raw, hRaw uint8) bool {
+		w1 := int64(w1Raw%50) + 10
+		w2 := int64(w2Raw%50) + 10
+		h := int64(hRaw%30) + 5
+		// Two stacked rows: bottom w1 wide, top w2 wide, each h tall.
+		pts := []Point{
+			Pt(0, 0), Pt(0, 2*h), Pt(w2, 2*h), Pt(w2, h), Pt(w1, h), Pt(w1, 0),
+		}
+		p, err := NewPolygon(pts)
+		if err != nil {
+			// Degenerate when w1 == w2 (collinear step) — then it is a
+			// rectangle of area w1 * 2h.
+			if w1 == w2 {
+				rp := RectPolygon(R(0, 0, w1, 2*h))
+				return rp.Area() == w1*2*h
+			}
+			return false
+		}
+		return p.Area() == w1*h+w2*h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,266 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Polygon is a simple polygon stored as its vertex ring without repeating
+// the first vertex at the end (the GDSII closing point is stripped on
+// parse). OpenDRC normalizes polygons to clockwise order with the
+// lexicographically smallest vertex first, so isomorphic polygons compare
+// equal and the edge-relation conventions of the checks hold.
+type Polygon struct {
+	pts []Point
+}
+
+// NewPolygon builds a polygon from the given ring. The ring is defensively
+// copied and normalized to canonical clockwise order. At least 3 vertices
+// are required; collinear duplicate vertices are merged.
+func NewPolygon(pts []Point) (Polygon, error) {
+	if len(pts) < 3 {
+		return Polygon{}, fmt.Errorf("geom: polygon needs >= 3 vertices, got %d", len(pts))
+	}
+	ring := make([]Point, len(pts))
+	copy(ring, pts)
+	// Strip a repeated closing vertex if present.
+	if len(ring) > 3 && ring[0] == ring[len(ring)-1] {
+		ring = ring[:len(ring)-1]
+	}
+	ring = dedupCollinear(ring)
+	if len(ring) < 3 {
+		return Polygon{}, errors.New("geom: polygon degenerates to fewer than 3 vertices")
+	}
+	p := Polygon{pts: ring}
+	p.normalize()
+	return p, nil
+}
+
+// MustPolygon is NewPolygon that panics on error; for tests and literals.
+func MustPolygon(pts []Point) Polygon {
+	p, err := NewPolygon(pts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// RectPolygon returns the 4-vertex polygon covering r.
+func RectPolygon(r Rect) Polygon {
+	c := r.Corners()
+	return MustPolygon(c[:])
+}
+
+// dedupCollinear removes repeated vertices and merges runs of collinear
+// vertices so each stored vertex is a true corner.
+func dedupCollinear(ring []Point) []Point {
+	// First remove exact duplicates of consecutive points.
+	out := ring[:0:0]
+	for i, p := range ring {
+		if i > 0 && p == out[len(out)-1] {
+			continue
+		}
+		out = append(out, p)
+	}
+	if len(out) > 1 && out[0] == out[len(out)-1] {
+		out = out[:len(out)-1]
+	}
+	// Then drop vertices where incoming and outgoing edges are collinear.
+	if len(out) < 3 {
+		return out
+	}
+	kept := make([]Point, 0, len(out))
+	n := len(out)
+	for i := 0; i < n; i++ {
+		prev := out[(i-1+n)%n]
+		cur := out[i]
+		next := out[(i+1)%n]
+		if next.Sub(cur).Cross(cur.Sub(prev)) == 0 {
+			continue // collinear; cur is not a corner
+		}
+		kept = append(kept, cur)
+	}
+	return kept
+}
+
+// normalize rewrites the ring to clockwise order starting at the
+// lexicographically smallest vertex.
+func (p *Polygon) normalize() {
+	if p.SignedArea2() > 0 { // counterclockwise ⇒ reverse
+		for i, j := 0, len(p.pts)-1; i < j; i, j = i+1, j-1 {
+			p.pts[i], p.pts[j] = p.pts[j], p.pts[i]
+		}
+	}
+	// Rotate so the smallest vertex is first.
+	min := 0
+	for i, q := range p.pts {
+		if q.Less(p.pts[min]) {
+			min = i
+		}
+	}
+	if min != 0 {
+		rot := make([]Point, len(p.pts))
+		copy(rot, p.pts[min:])
+		copy(rot[len(p.pts)-min:], p.pts[:min])
+		p.pts = rot
+	}
+}
+
+// NumVertices returns the vertex count.
+func (p Polygon) NumVertices() int { return len(p.pts) }
+
+// Vertex returns the i-th vertex of the canonical ring.
+func (p Polygon) Vertex(i int) Point { return p.pts[i] }
+
+// Vertices returns a copy of the canonical ring.
+func (p Polygon) Vertices() []Point {
+	out := make([]Point, len(p.pts))
+	copy(out, p.pts)
+	return out
+}
+
+// NumEdges returns the edge count (== vertex count for a closed ring).
+func (p Polygon) NumEdges() int { return len(p.pts) }
+
+// Edge returns the i-th directed edge, from vertex i to vertex i+1 mod n.
+func (p Polygon) Edge(i int) Edge {
+	n := len(p.pts)
+	return Edge{p.pts[i], p.pts[(i+1)%n]}
+}
+
+// AppendEdges appends all edges of the polygon to dst and returns it; used
+// by the parallel mode's edge packing to avoid per-polygon allocations.
+func (p Polygon) AppendEdges(dst []Edge) []Edge {
+	n := len(p.pts)
+	for i := 0; i < n; i++ {
+		dst = append(dst, Edge{p.pts[i], p.pts[(i+1)%n]})
+	}
+	return dst
+}
+
+// SignedArea2 returns twice the signed area by the Shoelace Theorem:
+// positive for counterclockwise rings, negative for clockwise. Working with
+// the doubled value keeps everything in exact integer arithmetic.
+func (p Polygon) SignedArea2() int64 {
+	var s int64
+	n := len(p.pts)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		s += p.pts[i].Cross(p.pts[j])
+	}
+	return s
+}
+
+// Area2 returns twice the (positive) enclosed area. The minimum-area check
+// compares doubled areas against doubled thresholds so no precision is lost.
+func (p Polygon) Area2() int64 {
+	s := p.SignedArea2()
+	if s < 0 {
+		return -s
+	}
+	return s
+}
+
+// Area returns the enclosed area (exact when the doubled area is even, which
+// always holds for rectilinear polygons).
+func (p Polygon) Area() int64 { return p.Area2() / 2 }
+
+// MBR returns the bounding rectangle of the polygon.
+func (p Polygon) MBR() Rect { return RectFromPoints(p.pts) }
+
+// IsRectilinear reports whether every edge is axis-aligned — the paper's
+// is_rectilinear predicate.
+func (p Polygon) IsRectilinear() bool {
+	for i := range p.pts {
+		if p.Edge(i).Dir() == DirNone {
+			return false
+		}
+	}
+	return true
+}
+
+// IsRectangle reports whether the polygon is exactly an axis-aligned
+// rectangle; rectangles take fast paths in several checks.
+func (p Polygon) IsRectangle() bool {
+	if len(p.pts) != 4 || !p.IsRectilinear() {
+		return false
+	}
+	return p.MBR().Area() == p.Area()
+}
+
+// Transform maps the polygon through t. Mirror transforms flip the winding
+// direction, so the ring is reversed to stay clockwise; the canonical
+// smallest-vertex start is *not* re-established (edge sets, areas, MBRs and
+// all checks are invariant to the ring's starting vertex, and skipping the
+// rotation keeps instance flattening cheap). Use Equal only on polygons
+// built by NewPolygon.
+func (p Polygon) Transform(t Transform) Polygon {
+	out := make([]Point, len(p.pts))
+	if t.Orient.Mirrored() {
+		n := len(p.pts)
+		for i, q := range p.pts {
+			out[n-1-i] = t.Apply(q)
+		}
+	} else {
+		for i, q := range p.pts {
+			out[i] = t.Apply(q)
+		}
+	}
+	return Polygon{pts: out}
+}
+
+// ContainsPoint reports whether q lies inside or on the boundary of the
+// polygon, via the crossing-number method specialized for rectilinear
+// polygons (exact integer arithmetic).
+func (p Polygon) ContainsPoint(q Point) bool {
+	inside := false
+	n := len(p.pts)
+	for i := 0; i < n; i++ {
+		a, b := p.pts[i], p.pts[(i+1)%n]
+		// Boundary test for axis-aligned segments.
+		if a.X == b.X && q.X == a.X && q.Y >= minInt64(a.Y, b.Y) && q.Y <= maxInt64(a.Y, b.Y) {
+			return true
+		}
+		if a.Y == b.Y && q.Y == a.Y && q.X >= minInt64(a.X, b.X) && q.X <= maxInt64(a.X, b.X) {
+			return true
+		}
+		// Ray cast to +x: count crossings of vertical edges.
+		if (a.Y > q.Y) != (b.Y > q.Y) {
+			// For rectilinear polygons only vertical edges can satisfy
+			// the straddle condition; the x intersection is a.X == b.X.
+			// Allow the general case anyway via exact rational compare:
+			// x = a.X + (q.Y-a.Y)*(b.X-a.X)/(b.Y-a.Y)
+			num := (q.Y-a.Y)*(b.X-a.X) + a.X*(b.Y-a.Y)
+			den := b.Y - a.Y
+			// q.X < x  ⇔  q.X*den < num  (careful with sign of den)
+			if den > 0 {
+				if q.X*den < num {
+					inside = !inside
+				}
+			} else {
+				if q.X*den > num {
+					inside = !inside
+				}
+			}
+		}
+	}
+	return inside
+}
+
+// Equal reports whether two polygons have identical canonical rings.
+func (p Polygon) Equal(q Polygon) bool {
+	if len(p.pts) != len(q.pts) {
+		return false
+	}
+	for i := range p.pts {
+		if p.pts[i] != q.pts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (p Polygon) String() string {
+	return fmt.Sprintf("Polygon%v", p.pts)
+}

@@ -1,0 +1,177 @@
+package geom
+
+import "fmt"
+
+// Rect is an axis-aligned rectangle, the minimum bounding rectangle (MBR)
+// unit of the layer-wise bounding volume hierarchy. The zero Rect is the
+// canonical empty rectangle (it is Empty and absorbs nothing in Union).
+//
+// A Rect is half-open in neither axis: it covers [XLo,XHi] × [YLo,YHi].
+// Degenerate rectangles with XLo==XHi or YLo==YHi are permitted (they arise
+// as MBRs of vertical/horizontal edges) and are not Empty.
+type Rect struct {
+	XLo, YLo, XHi, YHi int64
+}
+
+// EmptyRect returns the canonical empty rectangle, with inverted bounds so
+// that Union with any rectangle yields that rectangle.
+func EmptyRect() Rect {
+	const big = int64(1) << 62
+	return Rect{XLo: big, YLo: big, XHi: -big, YHi: -big}
+}
+
+// RectFromPoints returns the MBR of the given points; it is EmptyRect for an
+// empty slice.
+func RectFromPoints(pts []Point) Rect {
+	r := EmptyRect()
+	for _, p := range pts {
+		r = r.Include(p)
+	}
+	return r
+}
+
+// R is shorthand for constructing a rectangle from two corners in any order.
+func R(x0, y0, x1, y1 int64) Rect {
+	return Rect{minInt64(x0, x1), minInt64(y0, y1), maxInt64(x0, x1), maxInt64(y0, y1)}
+}
+
+// Empty reports whether the rectangle contains no points.
+func (r Rect) Empty() bool { return r.XLo > r.XHi || r.YLo > r.YHi }
+
+// Width returns the X extent. Negative for empty rectangles.
+func (r Rect) Width() int64 { return r.XHi - r.XLo }
+
+// Height returns the Y extent. Negative for empty rectangles.
+func (r Rect) Height() int64 { return r.YHi - r.YLo }
+
+// Area returns the area of the rectangle, 0 if empty or degenerate.
+func (r Rect) Area() int64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.Width() * r.Height()
+}
+
+// Contains reports whether p lies within r (boundary inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.XLo && p.X <= r.XHi && p.Y >= r.YLo && p.Y <= r.YHi
+}
+
+// ContainsRect reports whether s lies entirely within r. An empty s is
+// contained in everything.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.Empty() {
+		return true
+	}
+	return s.XLo >= r.XLo && s.XHi <= r.XHi && s.YLo >= r.YLo && s.YHi <= r.YHi
+}
+
+// Overlaps reports whether r and s share at least one point (touching edges
+// count: DRC interactions at distance zero are real interactions).
+func (r Rect) Overlaps(s Rect) bool {
+	if r.Empty() || s.Empty() {
+		return false
+	}
+	return r.XLo <= s.XHi && s.XLo <= r.XHi && r.YLo <= s.YHi && s.YLo <= r.YHi
+}
+
+// Intersect returns the common region of r and s; the result is Empty when
+// they do not overlap.
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		XLo: maxInt64(r.XLo, s.XLo),
+		YLo: maxInt64(r.YLo, s.YLo),
+		XHi: minInt64(r.XHi, s.XHi),
+		YHi: minInt64(r.YHi, s.YHi),
+	}
+	if out.Empty() {
+		return EmptyRect()
+	}
+	return out
+}
+
+// Union returns the MBR of r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		XLo: minInt64(r.XLo, s.XLo),
+		YLo: minInt64(r.YLo, s.YLo),
+		XHi: maxInt64(r.XHi, s.XHi),
+		YHi: maxInt64(r.YHi, s.YHi),
+	}
+}
+
+// Include returns the MBR of r and the point p.
+func (r Rect) Include(p Point) Rect {
+	return r.Union(Rect{p.X, p.Y, p.X, p.Y})
+}
+
+// Expand grows the rectangle by d on every side. Expanding an empty
+// rectangle leaves it empty. This implements the paper's rule-distance MBR
+// enlargement: "the MBRs should be enlarged by a minimum rule distance to
+// ensure non-overlapping indeed indicates no violations".
+func (r Rect) Expand(d int64) Rect {
+	if r.Empty() {
+		return EmptyRect()
+	}
+	out := Rect{r.XLo - d, r.YLo - d, r.XHi + d, r.YHi + d}
+	if out.Empty() {
+		return EmptyRect()
+	}
+	return out
+}
+
+// Translate returns r moved by the vector p.
+func (r Rect) Translate(p Point) Rect {
+	if r.Empty() {
+		return r
+	}
+	return Rect{r.XLo + p.X, r.YLo + p.Y, r.XHi + p.X, r.YHi + p.Y}
+}
+
+// Center returns the midpoint of the rectangle (rounded toward -inf).
+func (r Rect) Center() Point {
+	return Point{(r.XLo + r.XHi) / 2, (r.YLo + r.YHi) / 2}
+}
+
+// Corners returns the four corners in clockwise order starting at the
+// lower-left, matching the polygon vertex convention used by the checks.
+func (r Rect) Corners() [4]Point {
+	return [4]Point{
+		{r.XLo, r.YLo},
+		{r.XLo, r.YHi},
+		{r.XHi, r.YHi},
+		{r.XHi, r.YLo},
+	}
+}
+
+// Distance returns the minimum L∞-style axis distance between two disjoint
+// rectangles as the pair (dx, dy) of per-axis gaps (0 when projections
+// overlap on that axis). This is the quantity spacing rules constrain for
+// axis-aligned geometry.
+func (r Rect) Distance(s Rect) (dx, dy int64) {
+	if r.XHi < s.XLo {
+		dx = s.XLo - r.XHi
+	} else if s.XHi < r.XLo {
+		dx = r.XLo - s.XHi
+	}
+	if r.YHi < s.YLo {
+		dy = s.YLo - r.YHi
+	} else if s.YHi < r.YLo {
+		dy = r.YLo - s.YHi
+	}
+	return dx, dy
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	if r.Empty() {
+		return "Rect(empty)"
+	}
+	return fmt.Sprintf("Rect(%d,%d ; %d,%d)", r.XLo, r.YLo, r.XHi, r.YHi)
+}

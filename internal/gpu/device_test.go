@@ -1,0 +1,208 @@
+package gpu
+
+import (
+	"testing"
+	"time"
+)
+
+func TestKernelFunctionalExecution(t *testing.T) {
+	d := NewDevice(GTX1660Ti())
+	s := d.NewStream("s")
+	out := make([]int, 100)
+	total := s.Launch("fill", 100, func(tid int) int64 {
+		out[tid] = tid * tid
+		return 1
+	})
+	if total != 100 {
+		t.Errorf("total ops = %d", total)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestKernelCostModel(t *testing.T) {
+	d := NewDevice(GTX1660Ti())
+	s := d.NewStream("s")
+	// A balanced kernel: 1536 threads × 1000 ops each = exactly one op per
+	// lane per "cycle batch": warpCycles = 48 warps × 1000; concurrent
+	// warps = 1536/32 = 48 ⇒ exec = 1000 × CyclesPerOp / clock.
+	s.Launch("balanced", 1536, func(tid int) int64 { return 1000 })
+	s.Synchronize()
+	bal := d.HostClock()
+	p := d.Props()
+	secs := 1000 * p.CyclesPerOp / p.ClockHz
+	want := time.Duration(secs * float64(time.Second))
+	if diff := bal - p.LaunchOverhead - want; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Errorf("balanced kernel time = %v, want ≈ %v + launch", bal, want)
+	}
+
+	// An imbalanced kernel with the same total ops must be slower: all work
+	// in one thread serializes on the critical path.
+	d2 := NewDevice(GTX1660Ti())
+	s2 := d2.NewStream("s")
+	s2.Launch("imbalanced", 1536, func(tid int) int64 {
+		if tid == 0 {
+			return 1536 * 1000
+		}
+		return 0
+	})
+	s2.Synchronize()
+	if d2.HostClock() <= bal {
+		t.Errorf("imbalanced (%v) not slower than balanced (%v)", d2.HostClock(), bal)
+	}
+}
+
+func TestWarpDivergenceCharged(t *testing.T) {
+	// Two kernels, same total ops; one diverges within warps (alternating
+	// heavy/light threads), one groups heavy threads into whole warps. The
+	// divergent one must cost more.
+	// Needs more warps than the device runs concurrently (48), otherwise
+	// every warp runs in parallel and divergence is invisible.
+	run := func(body KernelFunc) time.Duration {
+		d := NewDevice(GTX1660Ti())
+		s := d.NewStream("s")
+		s.Launch("k", 4*1536, body)
+		s.Synchronize()
+		return d.HostClock()
+	}
+	divergent := run(func(tid int) int64 {
+		if tid%2 == 0 {
+			return 200
+		}
+		return 0
+	})
+	grouped := run(func(tid int) int64 {
+		if (tid/32)%2 == 0 {
+			return 200
+		}
+		return 0
+	})
+	if divergent <= grouped {
+		t.Errorf("divergent %v <= grouped %v; warp divergence not charged", divergent, grouped)
+	}
+}
+
+func TestStreamSerialization(t *testing.T) {
+	d := NewDevice(GTX1660Ti())
+	s := d.NewStream("s")
+	s.Launch("a", 32, func(int) int64 { return 100 })
+	s.Launch("b", 32, func(int) int64 { return 100 })
+	recs := d.Timeline()
+	var a, b Record
+	for _, r := range recs {
+		switch r.Name {
+		case "a":
+			a = r
+		case "b":
+			b = r
+		}
+	}
+	if b.Start < a.End {
+		t.Errorf("same-stream ops overlap: a=[%v,%v] b=[%v,%v]", a.Start, a.End, b.Start, b.End)
+	}
+}
+
+func TestCrossStreamOverlap(t *testing.T) {
+	d := NewDevice(GTX1660Ti())
+	s1 := d.NewStream("s1")
+	s2 := d.NewStream("s2")
+	s1.Launch("k1", 32, func(int) int64 { return 100000 })
+	s2.Launch("k2", 32, func(int) int64 { return 100000 })
+	recs := d.Timeline()
+	var k1, k2 Record
+	for _, r := range recs {
+		switch r.Name {
+		case "k1":
+			k1 = r
+		case "k2":
+			k2 = r
+		}
+	}
+	if k2.Start >= k1.End {
+		t.Errorf("different streams did not overlap: k1=[%v,%v] k2=[%v,%v]",
+			k1.Start, k1.End, k2.Start, k2.End)
+	}
+}
+
+func TestCopyOverlappedByHostWork(t *testing.T) {
+	// The paper's latency hiding: an async copy issued before host work is
+	// hidden when the host work takes longer than the transfer.
+	d := NewDevice(GTX1660Ti())
+	s := d.NewStream("io")
+	s.MemcpyAsync("edges", 1<<20) // ~3.6µs + 8µs overhead
+	d.HostAdvance(200 * time.Microsecond)
+	before := d.HostClock()
+	s.Synchronize() // must not advance the clock: copy long finished
+	if d.HostClock() != before {
+		t.Errorf("copy was not hidden: clock %v -> %v", before, d.HostClock())
+	}
+}
+
+func TestSynchronizeAdvancesClock(t *testing.T) {
+	d := NewDevice(GTX1660Ti())
+	s := d.NewStream("s")
+	s.MemcpyAsync("big", 1<<30) // ~3.7ms
+	s.Synchronize()
+	if d.HostClock() < time.Millisecond {
+		t.Errorf("sync did not wait for transfer: %v", d.HostClock())
+	}
+}
+
+func TestEvents(t *testing.T) {
+	d := NewDevice(GTX1660Ti())
+	prod := d.NewStream("producer")
+	cons := d.NewStream("consumer")
+	prod.Launch("produce", 32, func(int) int64 { return 50000 })
+	ev := prod.RecordEvent()
+	cons.WaitEvent(ev)
+	cons.Launch("consume", 32, func(int) int64 { return 10 })
+	recs := d.Timeline()
+	var produce, consume Record
+	for _, r := range recs {
+		switch r.Name {
+		case "produce":
+			produce = r
+		case "consume":
+			consume = r
+		}
+	}
+	if consume.Start < produce.End {
+		t.Errorf("consumer ran before event: produce ends %v, consume starts %v",
+			produce.End, consume.Start)
+	}
+}
+
+func TestPoolStats(t *testing.T) {
+	d := NewDevice(GTX1660Ti())
+	s := d.NewStream("s")
+	s.AllocAsync(1000)
+	s.AllocAsync(500)
+	s.FreeAsync(1000)
+	s.AllocAsync(200)
+	inUse, peak, total, allocs := d.PoolStats()
+	if inUse != 700 || peak != 1500 || total != 1700 || allocs != 3 {
+		t.Errorf("pool stats: inUse=%d peak=%d total=%d allocs=%d", inUse, peak, total, allocs)
+	}
+}
+
+func TestDeviceBusy(t *testing.T) {
+	d := NewDevice(GTX1660Ti())
+	s := d.NewStream("s")
+	s.Launch("k", 32, func(int) int64 { return 10000 })
+	s.Synchronize()
+	busy := d.DeviceBusy()
+	if busy <= 0 || busy > d.HostClock() {
+		t.Errorf("busy = %v, host = %v", busy, d.HostClock())
+	}
+}
+
+func TestHostAdvanceNegativeIgnored(t *testing.T) {
+	d := NewDevice(GTX1660Ti())
+	d.HostAdvance(-time.Second)
+	if d.HostClock() != 0 {
+		t.Errorf("negative advance changed clock: %v", d.HostClock())
+	}
+}

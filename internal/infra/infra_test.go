@@ -1,0 +1,161 @@
+package infra
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProfilerBreakdown(t *testing.T) {
+	p := NewProfiler()
+	p.Add("partition", 15*time.Millisecond)
+	p.Add("sweepline", 35*time.Millisecond)
+	p.Add("edge-checks", 50*time.Millisecond)
+	if p.Total() != 100*time.Millisecond {
+		t.Fatalf("total = %v", p.Total())
+	}
+	b := p.Breakdown()
+	if len(b) != 3 {
+		t.Fatalf("phases = %d", len(b))
+	}
+	if b[0].Name != "partition" || math.Abs(b[0].Fraction-0.15) > 1e-9 {
+		t.Errorf("partition share = %+v", b[0])
+	}
+	if b[2].Name != "edge-checks" || math.Abs(b[2].Fraction-0.50) > 1e-9 {
+		t.Errorf("edge-checks share = %+v", b[2])
+	}
+	// Accumulation into an existing phase.
+	p.Add("partition", 5*time.Millisecond)
+	if p.Get("partition") != 20*time.Millisecond {
+		t.Errorf("accumulated = %v", p.Get("partition"))
+	}
+}
+
+func TestProfilerPhaseStopwatch(t *testing.T) {
+	p := NewProfiler()
+	stop := p.Phase("work")
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	if p.Get("work") < time.Millisecond {
+		t.Errorf("phase recorded %v", p.Get("work"))
+	}
+}
+
+func TestProfilerMergeAndTop(t *testing.T) {
+	a := NewProfiler()
+	a.Add("x", 10*time.Millisecond)
+	b := NewProfiler()
+	b.Add("x", 5*time.Millisecond)
+	b.Add("y", 30*time.Millisecond)
+	a.Merge(b)
+	if a.Get("x") != 15*time.Millisecond || a.Get("y") != 30*time.Millisecond {
+		t.Errorf("merge: x=%v y=%v", a.Get("x"), a.Get("y"))
+	}
+	top := a.TopPhases(1)
+	if len(top) != 1 || top[0].Name != "y" {
+		t.Errorf("top = %+v", top)
+	}
+}
+
+func TestProfilerWriteTo(t *testing.T) {
+	p := NewProfiler()
+	p.Add("alpha", 25*time.Millisecond)
+	p.Add("beta", 75*time.Millisecond)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "75.0%") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestProfilerEmpty(t *testing.T) {
+	p := NewProfiler()
+	if p.Total() != 0 || len(p.Breakdown()) != 0 {
+		t.Error("empty profiler not empty")
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	l.Debugf("hidden %d", 1)
+	l.Infof("shown %d", 2)
+	l.Warnf("warned")
+	l.Errorf("failed")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Error("debug leaked through info level")
+	}
+	for _, want := range []string{"shown 2", "warned", "failed", "INFO", "WARN", "ERROR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilLoggerSafe(t *testing.T) {
+	var l *Logger
+	l.Infof("no crash") // must not panic
+	(&Logger{}).Infof("also fine")
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	a = NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collide too often: %d/100", same)
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.Int63n(1000); v < 0 || v >= 1000 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRandChance(t *testing.T) {
+	r := NewRand(11)
+	hits := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if r.Chance(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.27 || frac > 0.33 {
+		t.Errorf("Chance(0.3) frequency = %g", frac)
+	}
+}

@@ -1,0 +1,100 @@
+package infra
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Level is a log severity.
+type Level int
+
+// Log levels.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+var levelNames = [...]string{"DEBUG", "INFO", "WARN", "ERROR"}
+
+// Logger is a minimal leveled logger. The zero value discards everything;
+// NewLogger attaches an output. Safe for concurrent use.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	min   Level
+	clock func() time.Time
+}
+
+// NewLogger writes messages at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{w: w, min: min, clock: time.Now}
+}
+
+func (l *Logger) log(lv Level, format string, args ...any) {
+	if l == nil || l.w == nil || lv < l.min {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, "%s %-5s %s\n",
+		l.clock().Format("15:04:05.000"), levelNames[lv], fmt.Sprintf(format, args...))
+}
+
+// Debugf logs at debug level.
+func (l *Logger) Debugf(format string, args ...any) { l.log(LevelDebug, format, args...) }
+
+// Infof logs at info level.
+func (l *Logger) Infof(format string, args ...any) { l.log(LevelInfo, format, args...) }
+
+// Warnf logs at warn level.
+func (l *Logger) Warnf(format string, args ...any) { l.log(LevelWarn, format, args...) }
+
+// Errorf logs at error level.
+func (l *Logger) Errorf(format string, args ...any) { l.log(LevelError, format, args...) }
+
+// Rand is a deterministic splitmix64 PRNG. The synthesizer uses it so
+// benchmark layouts are bit-reproducible across runs and platforms,
+// independent of math/rand version changes.
+type Rand struct {
+	state uint64
+}
+
+// NewRand seeds a generator.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next value.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). Panics when n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("infra: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns an int64 in [0, n).
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("infra: Int63n with non-positive bound")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Chance returns true with probability p.
+func (r *Rand) Chance(p float64) bool { return r.Float64() < p }

@@ -1,0 +1,115 @@
+// Package infra is OpenDRC's infrastructure layer: the phase profiler
+// behind the paper's runtime-breakdown figure, a small leveled logger, and a
+// deterministic PRNG for reproducible workload synthesis.
+package infra
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Profiler accumulates named phase durations. It is not safe for concurrent
+// use; the engine's phases are sequential by construction.
+type Profiler struct {
+	order  []string
+	totals map[string]time.Duration
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{totals: make(map[string]time.Duration)}
+}
+
+// Phase starts timing a phase; call the returned stop function to finish.
+//
+//	stop := prof.Phase("sweepline")
+//	... work ...
+//	stop()
+func (p *Profiler) Phase(name string) func() {
+	start := time.Now()
+	return func() { p.Add(name, time.Since(start)) }
+}
+
+// Add accumulates d into the named phase.
+func (p *Profiler) Add(name string, d time.Duration) {
+	if _, ok := p.totals[name]; !ok {
+		p.order = append(p.order, name)
+	}
+	p.totals[name] += d
+}
+
+// Total returns the sum over all phases.
+func (p *Profiler) Total() time.Duration {
+	var t time.Duration
+	for _, d := range p.totals {
+		t += d
+	}
+	return t
+}
+
+// Share is one row of a runtime breakdown.
+type Share struct {
+	Name     string
+	Duration time.Duration
+	Fraction float64 // of the profiler total
+}
+
+// Breakdown returns the phases in first-seen order with their fractions —
+// the data behind Fig. 4.
+func (p *Profiler) Breakdown() []Share {
+	total := p.Total()
+	out := make([]Share, 0, len(p.order))
+	for _, name := range p.order {
+		d := p.totals[name]
+		frac := 0.0
+		if total > 0 {
+			frac = float64(d) / float64(total)
+		}
+		out = append(out, Share{Name: name, Duration: d, Fraction: frac})
+	}
+	return out
+}
+
+// Get returns the accumulated duration of one phase.
+func (p *Profiler) Get(name string) time.Duration { return p.totals[name] }
+
+// Merge adds every phase of q into p.
+func (p *Profiler) Merge(q *Profiler) {
+	for _, name := range q.order {
+		p.Add(name, q.totals[name])
+	}
+}
+
+// WriteTo renders an aligned text breakdown (sorted by first-seen order)
+// with a bar chart, e.g. for cmd/odrc-bench -fig 4.
+func (p *Profiler) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	width := 0
+	for _, name := range p.order {
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	for _, s := range p.Breakdown() {
+		bar := strings.Repeat("#", int(s.Fraction*40+0.5))
+		c, err := fmt.Fprintf(w, "%-*s %10v %5.1f%% %s\n", width, s.Name, s.Duration.Round(time.Microsecond), s.Fraction*100, bar)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// TopPhases returns the n largest phases by duration.
+func (p *Profiler) TopPhases(n int) []Share {
+	all := p.Breakdown()
+	sort.Slice(all, func(i, j int) bool { return all[i].Duration > all[j].Duration })
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}

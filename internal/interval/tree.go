@@ -1,0 +1,220 @@
+// Package interval implements the centered interval tree OpenDRC's
+// sequential sweepline uses in place of a segment tree ("interval trees are
+// used instead of segment trees for implementation simplicity"). The tree is
+// a binary search tree over a fixed skeleton of candidate keys; an interval
+// is stored in the highest node whose key it contains, and every node keeps
+// its intervals in two lists — one sorted by left endpoint, one by right —
+// enabling output-sensitive stabbing and overlap queries.
+package interval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is one stored interval with its caller-assigned identifier.
+type Entry struct {
+	Lo, Hi int64 // closed interval [Lo, Hi]
+	ID     int
+}
+
+type node struct {
+	key         int64
+	left, right int32 // child indices; -1 = none
+	// byLo sorted ascending by Lo; byHi sorted descending by Hi. Every
+	// entry stored at the node contains key.
+	byLo []Entry
+	byHi []Entry
+}
+
+// Tree is a dynamic interval tree over a fixed coordinate skeleton. Build it
+// with NewTree from every endpoint that will ever be inserted (the sweepline
+// knows all MBRs up front), then Insert/Delete freely.
+type Tree struct {
+	nodes []node
+	root  int32
+	size  int
+}
+
+// NewTree builds the balanced skeleton from the candidate key coordinates
+// (duplicates allowed, any order). Every interval later inserted must
+// contain at least one of these keys — guaranteed when the keys include the
+// interval endpoints.
+func NewTree(coords []int64) *Tree {
+	u := append([]int64(nil), coords...)
+	sort.Slice(u, func(i, j int) bool { return u[i] < u[j] })
+	u = dedupSorted(u)
+	t := &Tree{root: -1}
+	if len(u) == 0 {
+		return t
+	}
+	t.nodes = make([]node, 0, len(u))
+	t.root = t.build(u)
+	return t
+}
+
+func dedupSorted(v []int64) []int64 {
+	out := v[:0]
+	for i, x := range v {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func (t *Tree) build(coords []int64) int32 {
+	if len(coords) == 0 {
+		return -1
+	}
+	mid := len(coords) / 2
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{key: coords[mid], left: -1, right: -1})
+	l := t.build(coords[:mid])
+	r := t.build(coords[mid+1:])
+	t.nodes[idx].left = l
+	t.nodes[idx].right = r
+	return idx
+}
+
+// Len returns the number of intervals currently stored.
+func (t *Tree) Len() int { return t.size }
+
+// locate descends to the highest node whose key the interval contains.
+func (t *Tree) locate(lo, hi int64) (int32, error) {
+	if lo > hi {
+		return -1, fmt.Errorf("interval: inverted interval [%d,%d]", lo, hi)
+	}
+	cur := t.root
+	for cur >= 0 {
+		n := &t.nodes[cur]
+		switch {
+		case hi < n.key:
+			cur = n.left
+		case lo > n.key:
+			cur = n.right
+		default:
+			return cur, nil
+		}
+	}
+	return -1, fmt.Errorf("interval: [%d,%d] contains no skeleton key", lo, hi)
+}
+
+// Insert stores the interval. The endpoints must be covered by the skeleton.
+func (t *Tree) Insert(lo, hi int64, id int) error {
+	idx, err := t.locate(lo, hi)
+	if err != nil {
+		return err
+	}
+	n := &t.nodes[idx]
+	e := Entry{Lo: lo, Hi: hi, ID: id}
+	// Insert in sorted position in both lists.
+	i := sort.Search(len(n.byLo), func(i int) bool { return n.byLo[i].Lo > lo })
+	n.byLo = append(n.byLo, Entry{})
+	copy(n.byLo[i+1:], n.byLo[i:])
+	n.byLo[i] = e
+	j := sort.Search(len(n.byHi), func(i int) bool { return n.byHi[i].Hi < hi })
+	n.byHi = append(n.byHi, Entry{})
+	copy(n.byHi[j+1:], n.byHi[j:])
+	n.byHi[j] = e
+	t.size++
+	return nil
+}
+
+// Delete removes the interval previously inserted with the same endpoints
+// and id; it reports whether the interval was found.
+func (t *Tree) Delete(lo, hi int64, id int) bool {
+	idx, err := t.locate(lo, hi)
+	if err != nil {
+		return false
+	}
+	n := &t.nodes[idx]
+	if !removeEntry(&n.byLo, func(e Entry) bool { return e.Lo == lo && e.Hi == hi && e.ID == id }) {
+		return false
+	}
+	removeEntry(&n.byHi, func(e Entry) bool { return e.Lo == lo && e.Hi == hi && e.ID == id })
+	t.size--
+	return true
+}
+
+func removeEntry(list *[]Entry, match func(Entry) bool) bool {
+	for i, e := range *list {
+		if match(e) {
+			copy((*list)[i:], (*list)[i+1:])
+			*list = (*list)[:len(*list)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// Stab visits every stored interval containing x.
+func (t *Tree) Stab(x int64, visit func(Entry)) {
+	cur := t.root
+	for cur >= 0 {
+		n := &t.nodes[cur]
+		switch {
+		case x < n.key:
+			// Stored intervals contain key > x; they contain x iff Lo <= x.
+			for _, e := range n.byLo {
+				if e.Lo > x {
+					break
+				}
+				visit(e)
+			}
+			cur = n.left
+		case x > n.key:
+			for _, e := range n.byHi {
+				if e.Hi < x {
+					break
+				}
+				visit(e)
+			}
+			cur = n.right
+		default:
+			for _, e := range n.byLo {
+				visit(e)
+			}
+			cur = -1
+		}
+	}
+}
+
+// Query visits every stored interval overlapping [lo, hi] (closed; touching
+// endpoints count — zero-gap geometry interacts in DRC terms).
+func (t *Tree) Query(lo, hi int64, visit func(Entry)) {
+	t.query(t.root, lo, hi, visit)
+}
+
+func (t *Tree) query(cur int32, lo, hi int64, visit func(Entry)) {
+	for cur >= 0 {
+		n := &t.nodes[cur]
+		switch {
+		case hi < n.key:
+			// Node intervals contain key; overlap iff their Lo <= hi.
+			for _, e := range n.byLo {
+				if e.Lo > hi {
+					break
+				}
+				visit(e)
+			}
+			cur = n.left
+		case lo > n.key:
+			for _, e := range n.byHi {
+				if e.Hi < lo {
+					break
+				}
+				visit(e)
+			}
+			cur = n.right
+		default:
+			// Query straddles the key: everything here overlaps, and both
+			// subtrees may hold more.
+			for _, e := range n.byLo {
+				visit(e)
+			}
+			t.query(n.left, lo, hi, visit)
+			cur = n.right
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package interval
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func collect(t *Tree, lo, hi int64) []int {
+	var ids []int
+	t.Query(lo, hi, func(e Entry) { ids = append(ids, e.ID) })
+	sort.Ints(ids)
+	return ids
+}
+
+func eqInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestInsertQueryBasic(t *testing.T) {
+	tr := NewTree([]int64{0, 5, 10, 15, 20, 25, 30})
+	must := func(lo, hi int64, id int) {
+		t.Helper()
+		if err := tr.Insert(lo, hi, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(0, 10, 1)
+	must(5, 15, 2)
+	must(20, 30, 3)
+	must(10, 20, 4)
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if got := collect(tr, 0, 4); !eqInts(got, []int{1}) {
+		t.Errorf("query [0,4] = %v", got)
+	}
+	if got := collect(tr, 7, 12); !eqInts(got, []int{1, 2, 4}) {
+		t.Errorf("query [7,12] = %v", got)
+	}
+	if got := collect(tr, 16, 19); !eqInts(got, []int{4}) {
+		t.Errorf("query [16,19] = %v", got)
+	}
+	// Touching endpoints count as overlap.
+	if got := collect(tr, 15, 15); !eqInts(got, []int{2, 4}) {
+		t.Errorf("query [15,15] = %v", got)
+	}
+	if got := collect(tr, 30, 40); !eqInts(got, []int{3}) {
+		t.Errorf("query [30,40] = %v", got)
+	}
+	if got := collect(tr, 31, 40); len(got) != 0 {
+		t.Errorf("query [31,40] = %v", got)
+	}
+}
+
+func TestStab(t *testing.T) {
+	tr := NewTree([]int64{0, 10, 20, 30})
+	tr.Insert(0, 10, 1)
+	tr.Insert(10, 20, 2)
+	tr.Insert(0, 30, 3)
+	var ids []int
+	tr.Stab(10, func(e Entry) { ids = append(ids, e.ID) })
+	sort.Ints(ids)
+	if !eqInts(ids, []int{1, 2, 3}) {
+		t.Errorf("stab(10) = %v", ids)
+	}
+	ids = nil
+	tr.Stab(25, func(e Entry) { ids = append(ids, e.ID) })
+	if !eqInts(ids, []int{3}) {
+		t.Errorf("stab(25) = %v", ids)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := NewTree([]int64{0, 10, 20})
+	tr.Insert(0, 10, 1)
+	tr.Insert(0, 10, 2) // identical interval, distinct id
+	tr.Insert(5, 20, 3)
+	if !tr.Delete(0, 10, 1) {
+		t.Fatal("delete(1) failed")
+	}
+	if tr.Delete(0, 10, 1) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Delete(0, 10, 99) {
+		t.Fatal("deleting unknown id succeeded")
+	}
+	if got := collect(tr, 0, 20); !eqInts(got, []int{2, 3}) {
+		t.Errorf("after delete: %v", got)
+	}
+	if tr.Len() != 2 {
+		t.Errorf("len = %d", tr.Len())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tr := NewTree([]int64{10, 20})
+	if err := tr.Insert(30, 40, 1); err == nil {
+		t.Error("expected error: interval misses skeleton")
+	}
+	if err := tr.Insert(20, 10, 2); err == nil {
+		t.Error("expected error: inverted interval")
+	}
+	empty := NewTree(nil)
+	if err := empty.Insert(0, 1, 1); err == nil {
+		t.Error("expected error on empty skeleton")
+	}
+	empty.Query(0, 10, func(Entry) { t.Error("query on empty tree visited something") })
+}
+
+// TestRandomizedAgainstBruteForce cross-checks queries and deletions against
+// a naive list over many random operations.
+func TestRandomizedAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const domain = 200
+	coords := make([]int64, domain+1)
+	for i := range coords {
+		coords[i] = int64(i)
+	}
+	tr := NewTree(coords)
+	type iv struct{ lo, hi int64 }
+	live := map[int]iv{}
+	nextID := 0
+	for step := 0; step < 3000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // insert
+			lo := int64(rng.Intn(domain))
+			hi := lo + int64(rng.Intn(domain-int(lo)+1))
+			if err := tr.Insert(lo, hi, nextID); err != nil {
+				t.Fatal(err)
+			}
+			live[nextID] = iv{lo, hi}
+			nextID++
+		case op < 7: // delete random live
+			for id, v := range live {
+				if !tr.Delete(v.lo, v.hi, id) {
+					t.Fatalf("delete live id %d failed", id)
+				}
+				delete(live, id)
+				break
+			}
+		default: // query
+			lo := int64(rng.Intn(domain))
+			hi := lo + int64(rng.Intn(domain-int(lo)+1))
+			var want []int
+			for id, v := range live {
+				if v.lo <= hi && lo <= v.hi {
+					want = append(want, id)
+				}
+			}
+			sort.Ints(want)
+			if got := collect(tr, lo, hi); !eqInts(got, want) {
+				t.Fatalf("step %d query [%d,%d]: got %v want %v", step, lo, hi, got, want)
+			}
+		}
+	}
+	if tr.Len() != len(live) {
+		t.Errorf("len = %d, want %d", tr.Len(), len(live))
+	}
+}
+
+func TestStabMatchesQueryPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	coords := make([]int64, 101)
+	for i := range coords {
+		coords[i] = int64(i)
+	}
+	tr := NewTree(coords)
+	for i := 0; i < 300; i++ {
+		lo := int64(rng.Intn(100))
+		hi := lo + int64(rng.Intn(100-int(lo)+1))
+		tr.Insert(lo, hi, i)
+	}
+	for x := int64(0); x <= 100; x += 7 {
+		var stab, query []int
+		tr.Stab(x, func(e Entry) { stab = append(stab, e.ID) })
+		tr.Query(x, x, func(e Entry) { query = append(query, e.ID) })
+		sort.Ints(stab)
+		sort.Ints(query)
+		if !eqInts(stab, query) {
+			t.Errorf("stab(%d) != query point: %v vs %v", x, stab, query)
+		}
+	}
+}

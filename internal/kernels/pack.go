@@ -1,0 +1,155 @@
+// Package kernels implements the edge-based GPU check kernels of OpenDRC's
+// parallel mode (Section IV-E) on the simulated device: polygon edges are
+// packed into flattened structure-of-arrays buffers ("OpenDRC packs the
+// edges of relevant polygons into a flattened array, which is transferred
+// from the host memory to the GPU device memory"), and checks run either as
+// a brute-force executor (one thread per polygon or pair) or as a parallel
+// sweepline executor in the style of X-Check: a scan kernel that determines
+// each edge's check range, then a check kernel that tests each edge against
+// the edges in its range. The kernels call the same edge-pair predicates as
+// the sequential mode, so both modes return identical violations.
+package kernels
+
+import (
+	"sort"
+
+	"opendrc/internal/geom"
+	"opendrc/internal/gpu"
+)
+
+// Edges is the packed, flattened edge buffer: one entry per directed polygon
+// edge. X2/Y2 hold the vertex after P1, so each entry also describes the
+// corner at P1 (needed by the diagonal-spacing test). Poly maps the edge to
+// its owning polygon index; PolyStart gives each polygon's edge range.
+type Edges struct {
+	X0, Y0, X1, Y1, X2, Y2 []int64
+	Poly                   []int32
+	PolyStart              []int32 // len = numPolys+1
+}
+
+// Pack flattens the polygons into an edge buffer.
+func Pack(polys []geom.Polygon) *Edges {
+	total := 0
+	for _, p := range polys {
+		total += p.NumEdges()
+	}
+	e := &Edges{
+		X0: make([]int64, 0, total), Y0: make([]int64, 0, total),
+		X1: make([]int64, 0, total), Y1: make([]int64, 0, total),
+		X2: make([]int64, 0, total), Y2: make([]int64, 0, total),
+		Poly:      make([]int32, 0, total),
+		PolyStart: make([]int32, 1, len(polys)+1),
+	}
+	for pi, p := range polys {
+		n := p.NumEdges()
+		for i := 0; i < n; i++ {
+			a := p.Vertex(i)
+			b := p.Vertex((i + 1) % n)
+			c := p.Vertex((i + 2) % n)
+			e.X0 = append(e.X0, a.X)
+			e.Y0 = append(e.Y0, a.Y)
+			e.X1 = append(e.X1, b.X)
+			e.Y1 = append(e.Y1, b.Y)
+			e.X2 = append(e.X2, c.X)
+			e.Y2 = append(e.Y2, c.Y)
+			e.Poly = append(e.Poly, int32(pi))
+		}
+		e.PolyStart = append(e.PolyStart, int32(len(e.X0)))
+	}
+	return e
+}
+
+// Len returns the edge count.
+func (e *Edges) Len() int { return len(e.X0) }
+
+// NumPolys returns the polygon count.
+func (e *Edges) NumPolys() int { return len(e.PolyStart) - 1 }
+
+// Bytes returns the buffer size for transfer modeling: 6 coordinates plus a
+// polygon id per edge, plus the offset table.
+func (e *Edges) Bytes() int64 {
+	return int64(e.Len())*(6*8+4) + int64(len(e.PolyStart))*4
+}
+
+// Edge returns the i-th packed edge.
+func (e *Edges) Edge(i int) geom.Edge {
+	return geom.Edge{P0: geom.Pt(e.X0[i], e.Y0[i]), P1: geom.Pt(e.X1[i], e.Y1[i])}
+}
+
+// NextEdge returns the edge following i around its polygon (P1 -> P2).
+func (e *Edges) NextEdge(i int) geom.Edge {
+	return geom.Edge{P0: geom.Pt(e.X1[i], e.Y1[i]), P1: geom.Pt(e.X2[i], e.Y2[i])}
+}
+
+// PolyEdges returns the half-open edge index range of polygon p.
+func (e *Edges) PolyEdges(p int) (int, int) {
+	return int(e.PolyStart[p]), int(e.PolyStart[p+1])
+}
+
+// views: index lists of horizontal/vertical edges sorted by perpendicular
+// coordinate, and all corners sorted by x — the sorted orders the sweepline
+// kernels walk.
+type views struct {
+	horiz []int32 // horizontal edges sorted by y
+	vert  []int32 // vertical edges sorted by x
+}
+
+// buildViews sorts edge indices on the host and charges the device a
+// bitonic-sort-equivalent kernel (n threads × log² n ops), matching how
+// X-Check prepares its sweep orders on device.
+func buildViews(s *gpu.Stream, e *Edges) views {
+	var v views
+	for i := 0; i < e.Len(); i++ {
+		switch e.Edge(i).Dir() {
+		case geom.DirEast, geom.DirWest:
+			v.horiz = append(v.horiz, int32(i))
+		case geom.DirNorth, geom.DirSouth:
+			v.vert = append(v.vert, int32(i))
+		}
+	}
+	sort.Slice(v.horiz, func(a, b int) bool {
+		ia, ib := v.horiz[a], v.horiz[b]
+		if e.Y0[ia] != e.Y0[ib] {
+			return e.Y0[ia] < e.Y0[ib]
+		}
+		return ia < ib
+	})
+	sort.Slice(v.vert, func(a, b int) bool {
+		ia, ib := v.vert[a], v.vert[b]
+		if e.X0[ia] != e.X0[ib] {
+			return e.X0[ia] < e.X0[ib]
+		}
+		return ia < ib
+	})
+	n := e.Len()
+	if n > 0 && s != nil {
+		logn := int64(1)
+		for 1<<logn < n {
+			logn++
+		}
+		s.Launch("sort-edges", n, func(tid int) int64 { return logn * logn })
+	}
+	return v
+}
+
+// Slice returns a view of polygons [p0, p1) as an Edges buffer of its own:
+// coordinate arrays are shared (no copy — the row kernels address ranges of
+// the single transferred buffer), while the small Poly/PolyStart index
+// tables are rebased.
+func (e *Edges) Slice(p0, p1 int) *Edges {
+	elo, ehi := int(e.PolyStart[p0]), int(e.PolyStart[p1])
+	out := &Edges{
+		X0: e.X0[elo:ehi], Y0: e.Y0[elo:ehi],
+		X1: e.X1[elo:ehi], Y1: e.Y1[elo:ehi],
+		X2: e.X2[elo:ehi], Y2: e.Y2[elo:ehi],
+		Poly:      make([]int32, ehi-elo),
+		PolyStart: make([]int32, p1-p0+1),
+	}
+	for i := elo; i < ehi; i++ {
+		out.Poly[i-elo] = e.Poly[i] - int32(p0)
+	}
+	for p := p0; p <= p1; p++ {
+		out.PolyStart[p-p0] = e.PolyStart[p] - int32(elo)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package klayout
+
+import (
+	"sort"
+	"time"
+
+	"opendrc/internal/checks"
+	"opendrc/internal/geom"
+	"opendrc/internal/layout"
+	"opendrc/internal/rules"
+	"opendrc/internal/sweep"
+)
+
+// Tiling mode: the layout plane is cut into a fixed grid of tiles; each tile
+// processes the flat geometry intersecting the tile extended by the rule
+// halo, and results are attributed to the tile containing the marker's
+// center so halo duplicates are dropped. Real KLayout runs tiles on a worker
+// pool; on this single-core host each tile's wall time is measured and the
+// multi-thread makespan is modeled by longest-processing-time scheduling
+// onto Options.Threads workers.
+
+// checkTiling runs one rule in tiling mode.
+func checkTiling(lo *layout.Layout, r rules.Rule, opts Options, res *Result) error {
+	bounds := lo.Top.LayerMBR(r.Layer)
+	if r.Kind == rules.Enclosure {
+		bounds = bounds.Union(lo.Top.LayerMBR(r.Outer))
+	}
+	if bounds.Empty() {
+		return nil
+	}
+	halo := r.Reach()
+	ts := opts.TileSize
+	if ts <= 0 {
+		ext := bounds.Width()
+		if h := bounds.Height(); h > ext {
+			ext = h
+		}
+		ts = ext / 8
+		if ts < 1000 {
+			ts = 1000
+		}
+	}
+
+	var tileTimes []time.Duration
+	emit := emitFn(res, r)
+	for ty := bounds.YLo; ty <= bounds.YHi; ty += ts {
+		for tx := bounds.XLo; tx <= bounds.XHi; tx += ts {
+			tile := geom.R(tx, ty, tx+ts-1, ty+ts-1)
+			start := time.Now()
+			processed := tileCheck(lo, r, tile, halo, func(m checks.Marker) {
+				// Ownership: the tile containing the marker center reports
+				// it; halo copies elsewhere are dropped.
+				if tile.Contains(m.Box.Center()) {
+					emit(m)
+				}
+			})
+			if processed {
+				tileTimes = append(tileTimes, time.Since(start))
+				res.Tiles++
+			}
+		}
+	}
+	res.Modeled = makespan(tileTimes, opts.Threads)
+	return nil
+}
+
+// tileCheck runs the flat algorithms restricted to one tile+halo window;
+// returns false when the window holds no geometry.
+func tileCheck(lo *layout.Layout, r rules.Rule, tile geom.Rect, halo int64, emit func(checks.Marker)) bool {
+	window := tile.Expand(halo)
+	polys, _ := lo.QueryLayer(r.Layer, window)
+	if len(polys) == 0 {
+		return false
+	}
+	switch r.Kind {
+	case rules.Spacing:
+		lim := r.SpacingLimit()
+		boxes := make([]geom.Rect, len(polys))
+		for i := range polys {
+			boxes[i] = polys[i].Shape.MBR().Expand(lim.Reach())
+			checks.CheckNotchLim(polys[i].Shape, lim, emit)
+		}
+		sweep.Overlaps(boxes, func(a, b int) {
+			checks.CheckSpacingLim(polys[a].Shape, polys[b].Shape, lim, emit)
+		})
+	case rules.Enclosure:
+		metals, _ := lo.QueryLayer(r.Outer, window)
+		viaBoxes := make([]geom.Rect, len(polys))
+		for i := range polys {
+			viaBoxes[i] = polys[i].Shape.MBR().Expand(r.Min)
+		}
+		metalBoxes := make([]geom.Rect, len(metals))
+		for i := range metals {
+			metalBoxes[i] = metals[i].Shape.MBR()
+		}
+		cands := make([][]geom.Polygon, len(polys))
+		sweep.OverlapsBetween(viaBoxes, metalBoxes, func(v, m int) {
+			cands[v] = append(cands[v], metals[m].Shape)
+		})
+		for i := range polys {
+			checks.EvaluateEnclosure(polys[i].Shape, cands[i], r.Min, emit)
+		}
+	default:
+		for _, pp := range polys {
+			checkPolyIntra(pp.Shape, flatName(pp), r, emit)
+		}
+	}
+	return true
+}
+
+// makespan models LPT scheduling of tile durations onto the worker pool.
+func makespan(times []time.Duration, threads int) time.Duration {
+	if len(times) == 0 {
+		return 0
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	sorted := append([]time.Duration(nil), times...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	workers := make([]time.Duration, threads)
+	for _, t := range sorted {
+		min := 0
+		for w := 1; w < threads; w++ {
+			if workers[w] < workers[min] {
+				min = w
+			}
+		}
+		workers[min] += t
+	}
+	var out time.Duration
+	for _, w := range workers {
+		if w > out {
+			out = w
+		}
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+// Package layout is OpenDRC's hierarchical layout database. It preserves the
+// GDSII cell hierarchy instead of flattening (Section IV-A of the paper):
+// each structure reference stores a pointer to the shared cell definition,
+// and every cell is augmented with per-layer minimum bounding rectangles so
+// that layer range queries can prune whole subtrees whose MBR for the layer
+// of interest is empty. The package also builds the layer-wise duplicated
+// hierarchy ("a separated hierarchy tree is built for each layer") and the
+// element-level inverted indices the paper describes as a space-for-speed
+// trade.
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"opendrc/internal/geom"
+)
+
+// Layer identifies a mask layer. OpenDRC keys geometry by GDSII layer number
+// (datatypes are preserved on polygons but rules bind to layers, as in the
+// paper's `db.layer(19)` interface).
+type Layer int16
+
+// Common ASAP7-style BEOL layer numbers used by the benchmarks and examples.
+// The numbers follow the ASAP7 PDK GDS layer map.
+const (
+	LayerM1 Layer = 19
+	LayerV1 Layer = 21
+	LayerM2 Layer = 20
+	LayerV2 Layer = 22
+	LayerM3 Layer = 30
+)
+
+// LayerName returns a human-readable name for well-known layers.
+func LayerName(l Layer) string {
+	switch l {
+	case LayerM1:
+		return "M1"
+	case LayerM2:
+		return "M2"
+	case LayerM3:
+		return "M3"
+	case LayerV1:
+		return "V1"
+	case LayerV2:
+		return "V2"
+	}
+	return fmt.Sprintf("L%d", int16(l))
+}
+
+// Poly is one polygon on a layer within a cell, in the cell's local frame.
+type Poly struct {
+	Layer    Layer
+	DataType int16
+	Shape    geom.Polygon
+}
+
+// Label is a text annotation within a cell.
+type Label struct {
+	Layer Layer
+	Pos   geom.Point
+	Text  string
+}
+
+// Ref is a placement of a child cell, possibly repeated as a Cols × Rows
+// array (an AREF kept unexpanded to preserve the hierarchy's compression;
+// SREFs have Cols == Rows == 1). Trans places instance (0,0); instance
+// (c, r) adds c·ColStep + r·RowStep to the offset.
+type Ref struct {
+	Child      *Cell
+	Trans      geom.Transform
+	Cols, Rows int
+	ColStep    geom.Point
+	RowStep    geom.Point
+}
+
+// NumPlacements returns the number of instances the reference expands to.
+func (r *Ref) NumPlacements() int { return r.Cols * r.Rows }
+
+// Placement returns the transform of instance (col, row).
+func (r *Ref) Placement(col, row int) geom.Transform {
+	t := r.Trans
+	t.Offset = t.Offset.Add(r.ColStep.Scale(int64(col))).Add(r.RowStep.Scale(int64(row)))
+	return t
+}
+
+// ForEachPlacement calls fn with the transform of every instance.
+func (r *Ref) ForEachPlacement(fn func(geom.Transform)) {
+	for c := 0; c < r.Cols; c++ {
+		for row := 0; row < r.Rows; row++ {
+			fn(r.Placement(c, row))
+		}
+	}
+}
+
+// Cell is one structure definition. Cells are shared: every Ref to a cell
+// points at the same *Cell, so geometry is stored once no matter how many
+// times the cell is instantiated.
+type Cell struct {
+	Name   string
+	ID     int // dense index in Layout.Cells; stable node id for pruning
+	Polys  []Poly
+	Labels []Label
+	Refs   []Ref
+
+	// layerMBR[l] is the MBR of all layer-l geometry in the cell's frame,
+	// including geometry inside referenced children ("for a cell that spans
+	// multiple layers, separated MBRs are computed for each layer").
+	layerMBR map[Layer]geom.Rect
+	// mbr is the all-layer bounding box.
+	mbr geom.Rect
+	// localEdgeCount[l] counts the axis-aligned edges of the cell's own
+	// layer-l polygons; used by executor selection in the parallel mode.
+	localEdgeCount map[Layer]int
+	// polysByLayer indexes the cell's own polygons per layer so range
+	// queries and flattening never scan other layers' shapes (essential
+	// for top cells holding tens of thousands of routing polygons).
+	polysByLayer map[Layer][]int32
+}
+
+// MBR returns the cell's all-layer bounding box (local frame).
+func (c *Cell) MBR() geom.Rect { return c.mbr }
+
+// LayerMBR returns the cell's bounding box for one layer (local frame); it
+// is empty when the subtree rooted at the cell has no geometry on the layer.
+func (c *Cell) LayerMBR(l Layer) geom.Rect {
+	if r, ok := c.layerMBR[l]; ok {
+		return r
+	}
+	return geom.EmptyRect()
+}
+
+// HasLayer reports whether the subtree rooted at the cell contains any
+// geometry on the layer — the subtree-pruning predicate for range queries.
+func (c *Cell) HasLayer(l Layer) bool {
+	return !c.LayerMBR(l).Empty()
+}
+
+// Layers returns the layers present in the subtree, sorted.
+func (c *Cell) Layers() []Layer {
+	out := make([]Layer, 0, len(c.layerMBR))
+	for l := range c.layerMBR {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LocalEdgeCount returns the number of polygon edges the cell itself (not
+// its children) contributes on the layer.
+func (c *Cell) LocalEdgeCount(l Layer) int { return c.localEdgeCount[l] }
+
+// LocalPolys returns the indices of the cell's own polygons on the layer.
+func (c *Cell) LocalPolys(l Layer) []int {
+	idx := c.polysByLayer[l]
+	out := make([]int, len(idx))
+	for i, v := range idx {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// localPolyIndex returns the per-layer index without copying.
+func (c *Cell) localPolyIndex(l Layer) []int32 { return c.polysByLayer[l] }
+
+// Layout is the loaded hierarchical database.
+type Layout struct {
+	Name string
+	// DBUPerMeter converts database units to meters (1e9 for 1nm units).
+	DBUPerMeter float64
+	// Cells in topological order: children before parents. Cell.ID indexes
+	// this slice.
+	Cells []*Cell
+	// Top is the hierarchy root (the unique unreferenced cell; when several
+	// exist the one with the largest bounding box is chosen and the rest
+	// are recorded in Warnings).
+	Top *Cell
+
+	byName map[string]*Cell
+
+	// layerCells is the layer-wise duplicated hierarchy: for each layer,
+	// the IDs of cells whose subtree touches the layer, in topological
+	// order. A query for layer l only ever visits layerCells[l].
+	layerCells map[Layer][]int
+
+	// inverted is the element-level inverted index: for each layer, every
+	// (cell, polygon index) pair owning a polygon on that layer.
+	inverted map[Layer][]PolyRef
+
+	Warnings []string
+}
+
+// PolyRef addresses one polygon inside one cell definition.
+type PolyRef struct {
+	Cell *Cell
+	Idx  int
+}
+
+// CellByName returns the named cell, or nil.
+func (lo *Layout) CellByName(name string) *Cell { return lo.byName[name] }
+
+// Layers returns all layers present anywhere in the layout, sorted.
+func (lo *Layout) Layers() []Layer {
+	out := make([]Layer, 0, len(lo.inverted))
+	for l := range lo.inverted {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LayerCells returns the cells participating in the layer's duplicated
+// hierarchy tree, children before parents.
+func (lo *Layout) LayerCells(l Layer) []*Cell {
+	ids := lo.layerCells[l]
+	out := make([]*Cell, len(ids))
+	for i, id := range ids {
+		out[i] = lo.Cells[id]
+	}
+	return out
+}
+
+// LayerPolys returns the inverted index for a layer: every polygon
+// definition on the layer across all cells.
+func (lo *Layout) LayerPolys(l Layer) []PolyRef { return lo.inverted[l] }
+
+// NumPolysOnLayer returns the number of polygon *definitions* on the layer
+// (not instance-expanded).
+func (lo *Layout) NumPolysOnLayer(l Layer) int { return len(lo.inverted[l]) }

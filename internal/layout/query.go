@@ -1,0 +1,218 @@
+package layout
+
+import (
+	"opendrc/internal/geom"
+)
+
+// PlacedPoly is a polygon instance in the global (top-cell) frame.
+type PlacedPoly struct {
+	Src   PolyRef        // the defining polygon
+	Trans geom.Transform // cell frame -> global frame
+	Shape geom.Polygon   // transformed shape
+}
+
+// QueryStats counts hierarchy-tree work during a range query, exposing the
+// MBR pruning the paper credits for the O(min(n, kh)) query complexity.
+type QueryStats struct {
+	NodesVisited int // cell instances whose subtree was descended
+	NodesPruned  int // cell instances skipped by layer-MBR or range tests
+	PolysTested  int // leaf polygons whose MBR was tested
+	PolysHit     int // leaf polygons reported
+}
+
+// QueryLayer returns every polygon on the given layer whose MBR intersects
+// the query window, walking the hierarchy from the top cell and pruning
+// subtrees whose layer MBR misses the window. Pass geom.EmptyRect().Union
+// of everything — or simply a huge rect — to enumerate the whole layer; use
+// FlattenLayer for that common case.
+func (lo *Layout) QueryLayer(l Layer, window geom.Rect) ([]PlacedPoly, QueryStats) {
+	var out []PlacedPoly
+	var st QueryStats
+	lo.queryCell(lo.Top, geom.Identity(), l, window, &out, &st)
+	return out, st
+}
+
+func (lo *Layout) queryCell(c *Cell, t geom.Transform, l Layer, window geom.Rect, out *[]PlacedPoly, st *QueryStats) {
+	st.NodesVisited++
+	for _, pi := range c.localPolyIndex(l) {
+		i := int(pi)
+		p := &c.Polys[i]
+		st.PolysTested++
+		if !t.ApplyRect(p.Shape.MBR()).Overlaps(window) {
+			continue
+		}
+		st.PolysHit++
+		*out = append(*out, PlacedPoly{
+			Src:   PolyRef{Cell: c, Idx: i},
+			Trans: t,
+			Shape: p.Shape.Transform(t),
+		})
+	}
+	for ri := range c.Refs {
+		ref := &c.Refs[ri]
+		childR := ref.Child.LayerMBR(l)
+		if childR.Empty() {
+			st.NodesPruned++ // whole subtree has nothing on this layer
+			continue
+		}
+		ref.ForEachPlacement(func(pt geom.Transform) {
+			inst := pt.Compose(t)
+			if !inst.ApplyRect(childR).Overlaps(window) {
+				st.NodesPruned++
+				return
+			}
+			lo.queryCell(ref.Child, inst, l, window, out, st)
+		})
+	}
+}
+
+// FlattenLayer returns every polygon instance on the layer in the global
+// frame. This is what the flat baselines and the parallel mode's edge
+// packing consume.
+func (lo *Layout) FlattenLayer(l Layer) []PlacedPoly {
+	window := lo.Top.LayerMBR(l)
+	if window.Empty() {
+		return nil
+	}
+	out, _ := lo.QueryLayer(l, window)
+	return out
+}
+
+// NumInstancesOnLayer counts instance-expanded polygons on the layer (the
+// flat size, versus NumPolysOnLayer's definition count).
+func (lo *Layout) NumInstancesOnLayer(l Layer) int {
+	counts := lo.instanceCounts()
+	n := 0
+	for _, pr := range lo.inverted[l] {
+		n += counts[pr.Cell.ID]
+	}
+	return n
+}
+
+// instanceCounts returns, per cell ID, how many times the cell is
+// instantiated in the fully expanded layout (the top cell counts once).
+// Computed by a reverse-topological pass: parents before children.
+func (lo *Layout) instanceCounts() []int {
+	counts := make([]int, len(lo.Cells))
+	counts[lo.Top.ID] = 1
+	for i := len(lo.Cells) - 1; i >= 0; i-- { // parents after children in Cells
+		c := lo.Cells[i]
+		if counts[c.ID] == 0 {
+			continue
+		}
+		for ri := range c.Refs {
+			ref := &c.Refs[ri]
+			counts[ref.Child.ID] += counts[c.ID] * ref.NumPlacements()
+		}
+	}
+	return counts
+}
+
+// TopPlacement is a direct child instance of the top cell — the unit the
+// adaptive row-based partition groups into rows (standard cells in a
+// row-based placement are exactly these).
+type TopPlacement struct {
+	Child *Cell
+	Trans geom.Transform
+	MBR   geom.Rect // global-frame all-layer bounding box of the instance
+}
+
+// TopPlacements expands the top cell's direct references (including arrays)
+// into a flat list of placements. Top-level loose polygons are not included;
+// callers that need them use FlattenLayer.
+func (lo *Layout) TopPlacements() []TopPlacement {
+	var out []TopPlacement
+	for ri := range lo.Top.Refs {
+		ref := &lo.Top.Refs[ri]
+		ref.ForEachPlacement(func(t geom.Transform) {
+			out = append(out, TopPlacement{
+				Child: ref.Child,
+				Trans: t,
+				MBR:   t.ApplyRect(ref.Child.MBR()),
+			})
+		})
+	}
+	return out
+}
+
+// LayerDensity returns the fraction of the top-cell layer MBR covered by
+// polygon MBRs on the layer (a cheap congestion proxy used by reports and
+// the synthesizer's self-checks; overlaps are double counted).
+func (lo *Layout) LayerDensity(l Layer) float64 {
+	total := lo.Top.LayerMBR(l)
+	if total.Empty() || total.Area() == 0 {
+		return 0
+	}
+	var covered int64
+	for _, pp := range lo.FlattenLayer(l) {
+		covered += pp.Shape.MBR().Area()
+	}
+	return float64(covered) / float64(total.Area())
+}
+
+// Placements returns, for every cell ID, the global-frame transforms of all
+// of that cell's instances in the fully expanded layout (the top cell has
+// exactly the identity placement). This is the instance enumeration the
+// hierarchical check pruning uses to replay per-definition results.
+func (lo *Layout) Placements() [][]geom.Transform {
+	out := make([][]geom.Transform, len(lo.Cells))
+	out[lo.Top.ID] = []geom.Transform{geom.Identity()}
+	// Parents come after children in Cells, so walk backwards: every
+	// placement of a parent spawns placements of its children.
+	for i := len(lo.Cells) - 1; i >= 0; i-- {
+		c := lo.Cells[i]
+		parents := out[c.ID]
+		if len(parents) == 0 {
+			continue
+		}
+		for ri := range c.Refs {
+			ref := &c.Refs[ri]
+			ref.ForEachPlacement(func(pt geom.Transform) {
+				for _, t := range parents {
+					out[ref.Child.ID] = append(out[ref.Child.ID], pt.Compose(t))
+				}
+			})
+		}
+	}
+	return out
+}
+
+// QuerySubtree returns every polygon on the layer within the subtree rooted
+// at cell whose transformed MBR overlaps the window; both the window and the
+// returned shapes are in the cell's local frame. Subtrees without layer
+// geometry are pruned by the layer-wise MBRs exactly as in QueryLayer.
+func (lo *Layout) QuerySubtree(cell *Cell, l Layer, window geom.Rect) []PlacedPoly {
+	var out []PlacedPoly
+	var st QueryStats
+	lo.queryCell(cell, geom.Identity(), l, window, &out, &st)
+	return out
+}
+
+// CompressionStats quantifies what preserving the hierarchy saves — the
+// paper's memory argument for structure references ("a structure reference
+// effectively stores a pointer to the structure definition to reduce memory
+// consumption") and the baseline its data-compression roadmap item would
+// improve on.
+type CompressionStats struct {
+	DefinitionPolys int     // polygons stored (one per definition)
+	InstancePolys   int     // polygons a flat layout would store
+	DefinitionCells int     // cell definitions
+	InstanceCells   int     // cell instances in the expanded layout
+	Ratio           float64 // InstancePolys / DefinitionPolys
+}
+
+// Compression returns the hierarchy's polygon compression statistics.
+func (lo *Layout) Compression() CompressionStats {
+	counts := lo.instanceCounts()
+	var st CompressionStats
+	st.DefinitionCells = len(lo.Cells)
+	for _, c := range lo.Cells {
+		st.DefinitionPolys += len(c.Polys)
+		st.InstanceCells += counts[c.ID]
+		st.InstancePolys += counts[c.ID] * len(c.Polys)
+	}
+	if st.DefinitionPolys > 0 {
+		st.Ratio = float64(st.InstancePolys) / float64(st.DefinitionPolys)
+	}
+	return st
+}

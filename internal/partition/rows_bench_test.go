@@ -1,0 +1,20 @@
+package partition
+
+import (
+	"testing"
+
+	"opendrc/internal/geom"
+)
+
+func BenchmarkRows4k(b *testing.B) {
+	boxes := make([]geom.Rect, 4400)
+	for i := range boxes {
+		y := int64((i % 28) * 270)
+		x := int64(i * 37 % 5000)
+		boxes[i] = geom.R(x, y+40, x+100, y+230)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Rows(boxes, 18, Pigeonhole)
+	}
+}

@@ -1,0 +1,123 @@
+package rules
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"opendrc/internal/layout"
+)
+
+const sampleDeck = `
+# BEOL evaluation deck
+layer M1 19
+layer M2 20
+layer V1 21
+
+rule M1.W.1     width       M1      18
+rule M1.S.1     spacing     M1      18
+rule M2.S.2     spacing     M2      20  prl 100 26
+rule M1.A.1     area        M1      500
+rule M1.RECT.1  rectilinear M1
+rule V1.EN.1    enclosure   V1  M1  5
+rule V1.COV.1   coverage    V1  M1
+rule V1.OV.1    overlap     V1  M1  300
+rule L30.W.1    width       30      24   # numeric layer reference
+`
+
+func TestParseDeck(t *testing.T) {
+	deck, err := ParseDeck(strings.NewReader(sampleDeck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deck) != 9 {
+		t.Fatalf("rules = %d", len(deck))
+	}
+	byID := map[string]Rule{}
+	for _, r := range deck {
+		byID[r.ID] = r
+	}
+	if r := byID["M1.W.1"]; r.Kind != Width || r.Layer != layout.LayerM1 || r.Min != 18 {
+		t.Errorf("M1.W.1 = %+v", r)
+	}
+	if r := byID["M2.S.2"]; r.Kind != Spacing || r.PRLLength != 100 || r.PRLMin != 26 {
+		t.Errorf("M2.S.2 = %+v", r)
+	}
+	if r := byID["V1.EN.1"]; r.Kind != Enclosure || r.Outer != layout.LayerM1 || r.Min != 5 {
+		t.Errorf("V1.EN.1 = %+v", r)
+	}
+	if r := byID["V1.COV.1"]; r.Kind != Coverage || r.Outer != layout.LayerM1 {
+		t.Errorf("V1.COV.1 = %+v", r)
+	}
+	if r := byID["V1.OV.1"]; r.Kind != MinOverlap || r.Min != 300 {
+		t.Errorf("V1.OV.1 = %+v", r)
+	}
+	if r := byID["L30.W.1"]; r.Layer != layout.Layer(30) || r.Min != 24 {
+		t.Errorf("L30.W.1 = %+v", r)
+	}
+}
+
+func TestParseDeckErrors(t *testing.T) {
+	bad := []string{
+		"bogus directive",
+		"layer M1",                       // missing number
+		"layer M1 notanumber",            // bad number
+		"rule X width",                   // missing layer
+		"rule X width M9 18",             // undeclared symbolic layer
+		"rule X width 19",                // missing value
+		"rule X frobnicate 19 18",        // unknown kind
+		"rule X width 19 18 extra",       // trailing tokens
+		"rule X enclosure 21",            // missing outer
+		"rule X enclosure 21 19",         // missing value
+		"rule X width 19 18 prl 100 24",  // prl on width
+		"rule X spacing 19 18 prl 10 10", // PRLMin <= Min (validation)
+		"rule X width 19 0",              // invalid minimum (validation)
+	}
+	for _, in := range bad {
+		if _, err := ParseDeck(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted bad deck line %q", in)
+		}
+	}
+}
+
+func TestDeckRoundTrip(t *testing.T) {
+	deck, err := ParseDeck(strings.NewReader(sampleDeck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDeck(&buf, deck); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseDeck(&buf)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, buf.String())
+	}
+	if len(again) != len(deck) {
+		t.Fatalf("round trip lost rules: %d vs %d", len(again), len(deck))
+	}
+	for i := range deck {
+		a, b := deck[i], again[i]
+		if a.ID != b.ID || a.Kind != b.Kind || a.Layer != b.Layer ||
+			a.Outer != b.Outer || a.Min != b.Min ||
+			a.PRLLength != b.PRLLength || a.PRLMin != b.PRLMin {
+			t.Errorf("rule %d changed: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestWriteDeckCustomSkipped(t *testing.T) {
+	deck := Deck{
+		Layer(20).Polygons().Ensure("named", func(Obj) bool { return true }).Named("X"),
+	}
+	var buf bytes.Buffer
+	if err := WriteDeck(&buf, deck); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# custom rule X") {
+		t.Errorf("custom rule not commented: %q", buf.String())
+	}
+	if _, err := ParseDeck(&buf); err != nil {
+		t.Errorf("comment line broke re-parse: %v", err)
+	}
+}

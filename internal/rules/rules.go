@@ -1,0 +1,310 @@
+// Package rules defines OpenDRC's rule deck and the chaining programming
+// interface of the paper's Listing 1: selectors locate the target objects
+// (db.layer(19).width()) and predicates state what they must satisfy
+// (greater_than(18), is_rectilinear(), ensures(fn)). Rules are plain values;
+// the engine dispatches on Kind.
+package rules
+
+import (
+	"fmt"
+
+	"opendrc/internal/checks"
+	"opendrc/internal/geom"
+	"opendrc/internal/layout"
+)
+
+// Kind classifies a design rule.
+type Kind int
+
+// Rule kinds.
+const (
+	Width       Kind = iota // minimum interior width, intra-polygon
+	Spacing                 // minimum exterior spacing, inter-polygon (and notches)
+	Enclosure               // minimum margin of Layer inside Outer (inter-layer)
+	Area                    // minimum polygon area, intra-polygon
+	Rectilinear             // all edges axis-aligned, intra-polygon
+	Custom                  // user predicate over polygons
+
+	// Derived-layer rules (boolean mask operations, see internal/boolop):
+	Coverage   // the NOT CUT residue Layer \ Outer must be empty per shape
+	MinOverlap // each Layer shape must overlap Outer by at least Min area
+)
+
+var kindNames = [...]string{"width", "spacing", "enclosure", "area", "rectilinear", "custom", "coverage", "min-overlap"}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Intra reports whether the rule only relates edges of a single polygon,
+// enabling the hierarchy pruning of Section IV-C's intra-polygon branch.
+func (k Kind) Intra() bool {
+	return k == Width || k == Area || k == Rectilinear || k == Custom
+}
+
+// Obj is the view of a polygon a Custom predicate receives.
+type Obj struct {
+	Shape geom.Polygon
+	Layer layout.Layer
+	// Name is the text of a label on the same layer located on or inside
+	// the polygon; empty when none exists (the paper's name predicate).
+	Name string
+}
+
+// Rule is one design rule. Zero Min with a distance kind is invalid; use the
+// builders rather than constructing literals.
+type Rule struct {
+	ID    string
+	Kind  Kind
+	Layer layout.Layer
+	Outer layout.Layer // enclosure/derived: the other layer
+	Min   int64        // threshold: distance, or area (units²)
+	Desc  string
+	Pred  func(Obj) bool // Custom only
+
+	// PRLLength/PRLMin make a spacing rule conditional on projection
+	// length: pairs sharing at least PRLLength of parallel run require
+	// PRLMin instead of Min. Zero PRLLength disables the condition.
+	PRLLength int64
+	PRLMin    int64
+}
+
+// WhenProjectionAtLeast upgrades a spacing rule with a parallel-run-length
+// condition: edge pairs whose projection overlap is at least length must
+// keep min2 (> Min) spacing. Mirrors foundry PRL spacing tables.
+func (r Rule) WhenProjectionAtLeast(length, min2 int64) Rule {
+	r.PRLLength = length
+	r.PRLMin = min2
+	return r
+}
+
+// SpacingLimit returns the rule's spacing threshold for the check layer.
+func (r Rule) SpacingLimit() checks.SpacingLimit {
+	return checks.SpacingLimit{Min: r.Min, PRLLength: r.PRLLength, PRLMin: r.PRLMin}
+}
+
+// Named returns a copy of the rule with the given identifier (e.g. "M1.W.1",
+// the paper's rule naming scheme).
+func (r Rule) Named(id string) Rule {
+	r.ID = id
+	return r
+}
+
+// String implements fmt.Stringer.
+func (r Rule) String() string {
+	if r.ID != "" {
+		return r.ID
+	}
+	switch r.Kind {
+	case Enclosure:
+		return fmt.Sprintf("%s.%s.EN(%d)", layout.LayerName(r.Layer), layout.LayerName(r.Outer), r.Min)
+	case Coverage:
+		return fmt.Sprintf("%s.%s.COV", layout.LayerName(r.Layer), layout.LayerName(r.Outer))
+	case MinOverlap:
+		return fmt.Sprintf("%s.%s.OV(%d)", layout.LayerName(r.Layer), layout.LayerName(r.Outer), r.Min)
+	case Custom:
+		return fmt.Sprintf("%s.custom(%s)", layout.LayerName(r.Layer), r.Desc)
+	default:
+		return fmt.Sprintf("%s.%s(%d)", layout.LayerName(r.Layer), r.Kind, r.Min)
+	}
+}
+
+// Validate reports whether the rule is well formed.
+func (r Rule) Validate() error {
+	switch r.Kind {
+	case Width, Spacing, Area:
+		if r.Min <= 0 {
+			return fmt.Errorf("rules: %v rule needs a positive minimum, got %d", r.Kind, r.Min)
+		}
+		if r.PRLLength != 0 {
+			if r.Kind != Spacing {
+				return fmt.Errorf("rules: projection condition only applies to spacing rules")
+			}
+			if r.PRLLength < 0 || r.PRLMin <= r.Min {
+				return fmt.Errorf("rules: projection condition needs PRLLength > 0 and PRLMin > Min")
+			}
+		}
+	case Enclosure:
+		if r.Min <= 0 {
+			return fmt.Errorf("rules: enclosure rule needs a positive minimum, got %d", r.Min)
+		}
+		if r.Outer == r.Layer {
+			return fmt.Errorf("rules: enclosure rule with identical layers %d", r.Layer)
+		}
+	case Rectilinear:
+	case Custom:
+		if r.Pred == nil {
+			return fmt.Errorf("rules: custom rule %q without predicate", r.Desc)
+		}
+	case Coverage:
+		if r.Outer == r.Layer {
+			return fmt.Errorf("rules: coverage rule with identical layers %d", r.Layer)
+		}
+	case MinOverlap:
+		if r.Min <= 0 {
+			return fmt.Errorf("rules: min-overlap rule needs a positive area, got %d", r.Min)
+		}
+		if r.Outer == r.Layer {
+			return fmt.Errorf("rules: min-overlap rule with identical layers %d", r.Layer)
+		}
+	default:
+		return fmt.Errorf("rules: unknown kind %d", int(r.Kind))
+	}
+	return nil
+}
+
+// Reach returns the interaction distance of the rule: how far beyond an
+// object's MBR the rule can relate other geometry. Used for MBR enlargement
+// and the row-partition guard.
+func (r Rule) Reach() int64 {
+	switch r.Kind {
+	case Spacing:
+		return r.SpacingLimit().Reach()
+	case Enclosure:
+		return r.Min
+	}
+	return 0
+}
+
+// Selector selects geometry on one layer — the entry point of the chaining
+// interface.
+type Selector struct {
+	layer layout.Layer
+}
+
+// Layer starts a rule chain for the given layer, like the paper's
+// db.layer(19).
+func Layer(l layout.Layer) Selector { return Selector{layer: l} }
+
+// DistanceBuilder finishes a distance-style rule with a threshold predicate.
+type DistanceBuilder struct {
+	rule Rule
+}
+
+// AtLeast requires the selected distance to be >= v.
+func (b DistanceBuilder) AtLeast(v int64) Rule {
+	b.rule.Min = v
+	return b.rule
+}
+
+// GreaterThan requires the selected distance to be > v (the paper's
+// greater_than(18) reads as width > 18 exclusive; on the integer grid this
+// is AtLeast(v+1)).
+func (b DistanceBuilder) GreaterThan(v int64) Rule {
+	b.rule.Min = v + 1
+	return b.rule
+}
+
+// Width selects the layer's interior width.
+func (s Selector) Width() DistanceBuilder {
+	return DistanceBuilder{rule: Rule{Kind: Width, Layer: s.layer}}
+}
+
+// Spacing selects the layer's exterior spacing (including notches).
+func (s Selector) Spacing() DistanceBuilder {
+	return DistanceBuilder{rule: Rule{Kind: Spacing, Layer: s.layer}}
+}
+
+// EnclosedBy selects the margin of this layer's shapes inside the outer
+// layer's shapes (via-in-metal enclosure).
+func (s Selector) EnclosedBy(outer layout.Layer) DistanceBuilder {
+	return DistanceBuilder{rule: Rule{Kind: Enclosure, Layer: s.layer, Outer: outer}}
+}
+
+// CoveredBy requires every shape on this layer to be fully covered by the
+// union of the outer layer's shapes — the paper's empty-NOT-CUT constraint.
+// Unlike EnclosedBy, coverage by several abutting shapes counts.
+func (s Selector) CoveredBy(outer layout.Layer) Rule {
+	return Rule{Kind: Coverage, Layer: s.layer, Outer: outer}
+}
+
+// OverlapWith selects the overlap area between this layer's shapes and the
+// outer layer — the paper's minimum overlapping area constraint. Finish
+// with AtLeast(area).
+func (s Selector) OverlapWith(outer layout.Layer) DistanceBuilder {
+	return DistanceBuilder{rule: Rule{Kind: MinOverlap, Layer: s.layer, Outer: outer}}
+}
+
+// Area selects the polygon area on the layer.
+func (s Selector) Area() DistanceBuilder {
+	return DistanceBuilder{rule: Rule{Kind: Area, Layer: s.layer}}
+}
+
+// PolygonSelector selects whole polygons for shape predicates.
+type PolygonSelector struct {
+	layer layout.Layer
+}
+
+// Polygons selects the layer's polygons.
+func (s Selector) Polygons() PolygonSelector { return PolygonSelector{layer: s.layer} }
+
+// AreRectilinear requires every selected polygon to be rectilinear.
+func (ps PolygonSelector) AreRectilinear() Rule {
+	return Rule{Kind: Rectilinear, Layer: ps.layer}
+}
+
+// Ensure attaches a user-defined predicate (the paper's ensures(callable)):
+// a violation is reported for every polygon the predicate rejects.
+func (ps PolygonSelector) Ensure(desc string, pred func(Obj) bool) Rule {
+	return Rule{Kind: Custom, Layer: ps.layer, Desc: desc, Pred: pred}
+}
+
+// Violation is one reported design rule violation.
+type Violation struct {
+	Rule   string // rule identifier
+	Kind   Kind
+	Layer  layout.Layer
+	Marker checks.Marker
+	Cell   string // definition cell the geometry lives in, when known
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s @ %v", v.Rule, v.Marker.Box)
+}
+
+// Deck is an ordered rule list.
+type Deck []Rule
+
+// Validate checks every rule.
+func (d Deck) Validate() error {
+	for i, r := range d {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("rule %d (%s): %w", i, r, err)
+		}
+	}
+	return nil
+}
+
+// MaxReach returns the largest interaction distance in the deck, the guard
+// for the adaptive row partition.
+func (d Deck) MaxReach() int64 {
+	var m int64
+	for _, r := range d {
+		if v := r.Reach(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Layers returns the set of layers any rule in the deck touches.
+func (d Deck) Layers() []layout.Layer {
+	seen := make(map[layout.Layer]bool)
+	var out []layout.Layer
+	for _, r := range d {
+		if !seen[r.Layer] {
+			seen[r.Layer] = true
+			out = append(out, r.Layer)
+		}
+		if r.Kind == Enclosure && !seen[r.Outer] {
+			seen[r.Outer] = true
+			out = append(out, r.Outer)
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+// Package sweep implements the rectangle-intersection-report sweepline of
+// OpenDRC's sequential mode (Section IV-D): a conceptual horizontal line
+// moves from top to bottom across the plane; when the top side of an MBR is
+// reached its x-interval is inserted into an interval tree and queried for
+// everything it overlaps, and when the bottom side is reached the interval
+// is removed. All overlapping MBR pairs are reported exactly once.
+package sweep
+
+import (
+	"sort"
+
+	"opendrc/internal/geom"
+	"opendrc/internal/interval"
+)
+
+// Pair is an overlapping rectangle pair, reported with A < B.
+type Pair struct {
+	A, B int
+}
+
+// Stats reports sweepline work for profiling and tests.
+type Stats struct {
+	Events      int // top/bottom events processed
+	MaxLive     int // peak interval-tree occupancy
+	PairsFound  int
+	TreeQueries int
+}
+
+type event struct {
+	y   int64
+	id  int
+	top bool
+}
+
+// Overlaps reports every pair of rectangles that overlap or touch, invoking
+// fn once per pair with indices (a < b). Empty rectangles never interact.
+func Overlaps(boxes []geom.Rect, fn func(a, b int)) Stats {
+	var st Stats
+	events := make([]event, 0, 2*len(boxes))
+	coords := make([]int64, 0, 2*len(boxes))
+	for i, b := range boxes {
+		if b.Empty() {
+			continue
+		}
+		events = append(events,
+			event{y: b.YHi, id: i, top: true},
+			event{y: b.YLo, id: i, top: false})
+		coords = append(coords, b.XLo, b.XHi)
+	}
+	// Descending y; at equal y process top events (insertions) before
+	// bottom events (removals) so rectangles that merely touch in y are
+	// simultaneously live and get reported.
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].y != events[j].y {
+			return events[i].y > events[j].y
+		}
+		return events[i].top && !events[j].top
+	})
+
+	tree := interval.NewTree(coords)
+	for _, ev := range events {
+		st.Events++
+		b := boxes[ev.id]
+		if ev.top {
+			st.TreeQueries++
+			tree.Query(b.XLo, b.XHi, func(e interval.Entry) {
+				st.PairsFound++
+				a, c := e.ID, ev.id
+				if a > c {
+					a, c = c, a
+				}
+				fn(a, c)
+			})
+			// Insert after querying so the rectangle does not report
+			// itself; endpoints are in the skeleton by construction.
+			if err := tree.Insert(b.XLo, b.XHi, ev.id); err != nil {
+				// Unreachable: skeleton contains every endpoint.
+				panic("sweep: " + err.Error())
+			}
+			if l := tree.Len(); l > st.MaxLive {
+				st.MaxLive = l
+			}
+		} else {
+			tree.Delete(b.XLo, b.XHi, ev.id)
+		}
+	}
+	return st
+}
+
+// OverlapsBetween reports overlapping pairs between two distinct rectangle
+// sets (for inter-layer checks such as enclosure): fn(a, b) receives an
+// index into as and an index into bs. Implemented as one sweep over the
+// union with set tags, so the cost stays O((n+m) log(n+m) + k).
+func OverlapsBetween(as, bs []geom.Rect, fn func(a, b int)) Stats {
+	boxes := make([]geom.Rect, 0, len(as)+len(bs))
+	boxes = append(boxes, as...)
+	boxes = append(boxes, bs...)
+	return Overlaps(boxes, func(x, y int) {
+		switch {
+		case x < len(as) && y >= len(as):
+			fn(x, y-len(as))
+		case y < len(as) && x >= len(as):
+			fn(y, x-len(as))
+		}
+		// same-set pairs are ignored
+	})
+}
+
+// BruteForcePairs is the quadratic reference used by tests and tiny inputs.
+func BruteForcePairs(boxes []geom.Rect, fn func(a, b int)) {
+	for i := 0; i < len(boxes); i++ {
+		for j := i + 1; j < len(boxes); j++ {
+			if boxes[i].Overlaps(boxes[j]) {
+				fn(i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package sweep
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"opendrc/internal/geom"
+)
+
+func pairsOf(boxes []geom.Rect) ([]Pair, Stats) {
+	var out []Pair
+	st := Overlaps(boxes, func(a, b int) { out = append(out, Pair{a, b}) })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out, st
+}
+
+func brutePairs(boxes []geom.Rect) []Pair {
+	var out []Pair
+	BruteForcePairs(boxes, func(a, b int) { out = append(out, Pair{a, b}) })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+func eqPairs(a, b []Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOverlapsFigure3Scene(t *testing.T) {
+	// A scene in the spirit of the paper's Fig. 3: staggered MBRs where
+	// some overlap, some only touch, and some are disjoint.
+	boxes := []geom.Rect{
+		geom.R(0, 0, 4, 4),     // 0
+		geom.R(3, 3, 7, 7),     // 1 overlaps 0
+		geom.R(4, 0, 8, 2),     // 2 touches 0 at x=4, overlaps nothing else... touches 1? x[4,8]∩[3,7],y[0,2]∩[3,7]=∅
+		geom.R(10, 10, 12, 12), // 3 isolated
+		geom.R(7, 7, 9, 9),     // 4 touches 1 at corner (7,7)
+	}
+	got, st := pairsOf(boxes)
+	want := []Pair{{0, 1}, {0, 2}, {1, 4}}
+	if !eqPairs(got, want) {
+		t.Errorf("pairs = %v, want %v", got, want)
+	}
+	if st.Events != 10 {
+		t.Errorf("events = %d, want 10", st.Events)
+	}
+	if st.MaxLive < 2 {
+		t.Errorf("max live = %d", st.MaxLive)
+	}
+}
+
+func TestOverlapsIdenticalAndNested(t *testing.T) {
+	boxes := []geom.Rect{
+		geom.R(0, 0, 10, 10),
+		geom.R(0, 0, 10, 10), // identical
+		geom.R(2, 2, 4, 4),   // nested
+	}
+	got, _ := pairsOf(boxes)
+	want := []Pair{{0, 1}, {0, 2}, {1, 2}}
+	if !eqPairs(got, want) {
+		t.Errorf("pairs = %v", got)
+	}
+}
+
+func TestOverlapsEmptyInput(t *testing.T) {
+	got, st := pairsOf(nil)
+	if len(got) != 0 || st.Events != 0 {
+		t.Errorf("nil input: %v %+v", got, st)
+	}
+	got, _ = pairsOf([]geom.Rect{geom.EmptyRect(), geom.R(0, 0, 1, 1)})
+	if len(got) != 0 {
+		t.Errorf("empty rect produced pairs: %v", got)
+	}
+}
+
+func TestOverlapsDegenerate(t *testing.T) {
+	// Zero-height rectangles (horizontal edges' MBRs) still interact.
+	boxes := []geom.Rect{
+		geom.R(0, 5, 10, 5),
+		geom.R(5, 5, 15, 5),
+		geom.R(20, 5, 30, 5),
+	}
+	got, _ := pairsOf(boxes)
+	if !eqPairs(got, []Pair{{0, 1}}) {
+		t.Errorf("pairs = %v", got)
+	}
+}
+
+func TestOverlapsMatchesBruteForceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(120)
+		boxes := make([]geom.Rect, n)
+		for i := range boxes {
+			x := int64(rng.Intn(400))
+			y := int64(rng.Intn(400))
+			boxes[i] = geom.R(x, y, x+int64(rng.Intn(60)), y+int64(rng.Intn(60)))
+		}
+		got, _ := pairsOf(boxes)
+		want := brutePairs(boxes)
+		if !eqPairs(got, want) {
+			t.Fatalf("trial %d: %d pairs vs %d pairs", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestOverlapsProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 40)
+		boxes := make([]geom.Rect, n)
+		for i := range boxes {
+			x := int64(rng.Intn(100))
+			y := int64(rng.Intn(100))
+			boxes[i] = geom.R(x, y, x+int64(rng.Intn(30)), y+int64(rng.Intn(30)))
+		}
+		got, _ := pairsOf(boxes)
+		return eqPairs(got, brutePairs(boxes))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlapsBetween(t *testing.T) {
+	vias := []geom.Rect{geom.R(2, 2, 4, 4), geom.R(50, 50, 52, 52)}
+	metals := []geom.Rect{geom.R(0, 0, 10, 10), geom.R(40, 40, 45, 45)}
+	var got []Pair
+	OverlapsBetween(vias, metals, func(a, b int) { got = append(got, Pair{a, b}) })
+	if !eqPairs(got, []Pair{{0, 0}}) {
+		t.Errorf("between pairs = %v", got)
+	}
+}
+
+func TestOverlapsBetweenIgnoresSameSet(t *testing.T) {
+	// Two overlapping boxes in set A, none in B: no pairs.
+	as := []geom.Rect{geom.R(0, 0, 10, 10), geom.R(5, 5, 15, 15)}
+	var got []Pair
+	OverlapsBetween(as, nil, func(a, b int) { got = append(got, Pair{a, b}) })
+	if len(got) != 0 {
+		t.Errorf("same-set pairs leaked: %v", got)
+	}
+}
+
+func TestStatsReporting(t *testing.T) {
+	boxes := []geom.Rect{geom.R(0, 0, 2, 2), geom.R(1, 1, 3, 3), geom.R(2, 2, 4, 4)}
+	_, st := pairsOf(boxes)
+	if st.TreeQueries != 3 {
+		t.Errorf("queries = %d", st.TreeQueries)
+	}
+	if st.PairsFound != 3 { // (0,1), (1,2), (0,2) corner touch
+		t.Errorf("pairs found = %d", st.PairsFound)
+	}
+}

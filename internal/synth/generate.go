@@ -1,0 +1,385 @@
+package synth
+
+import (
+	"fmt"
+
+	"opendrc/internal/gdsii"
+	"opendrc/internal/geom"
+	"opendrc/internal/infra"
+	"opendrc/internal/layout"
+)
+
+// cellDef is one generated standard-cell definition.
+type cellDef struct {
+	st    *gdsii.Structure
+	width int64
+}
+
+// boundary appends a rectangle on a layer to the structure.
+func boundary(st *gdsii.Structure, l layout.Layer, r geom.Rect) {
+	st.Boundaries = append(st.Boundaries, gdsii.Boundary{
+		Layer: int16(l),
+		XY: []geom.Point{
+			{X: r.XLo, Y: r.YLo}, {X: r.XLo, Y: r.YHi},
+			{X: r.XHi, Y: r.YHi}, {X: r.XHi, Y: r.YLo},
+		},
+	})
+}
+
+// column content kinds.
+const (
+	colBar = iota
+	colTwoBars
+	colPadVia
+	colEmpty
+)
+
+// buildCellType generates one clean standard cell with the given number of
+// 42-DBU columns. The first and last columns are always bars (boundary
+// pins), and one interior column always carries a V1 via on an M1 pad.
+func buildCellType(name string, cols int, rng *infra.Rand) cellDef {
+	st := &gdsii.Structure{Name: name}
+	padCol := 1 + rng.Intn(cols-2)
+	for i := 0; i < cols; i++ {
+		x := int64(i) * colPitch
+		kind := colBar
+		switch {
+		case i == 0 || i == cols-1:
+			kind = colBar
+		case i == padCol:
+			kind = colPadVia
+		default:
+			switch r := rng.Intn(100); {
+			case r < 35:
+				kind = colBar
+			case r < 60:
+				kind = colTwoBars
+			case r < 75:
+				kind = colPadVia
+			default:
+				kind = colEmpty
+			}
+		}
+		switch kind {
+		case colBar:
+			y0 := int64(m1YLo + rng.Intn(31))
+			h := int64(40) + rng.Int63n(m1YHi-y0-40+1)
+			boundary(st, layout.LayerM1, geom.R(x+barXOff, y0, x+barXOff+barWidth, y0+h))
+		case colTwoBars:
+			h1 := int64(40 + rng.Intn(21))
+			gap := int64(MinSpaceM1 + rng.Intn(13))
+			y2 := int64(m1YLo) + h1 + gap
+			h2 := int64(40) + rng.Int63n(m1YHi-y2-40+1)
+			boundary(st, layout.LayerM1, geom.R(x+barXOff, m1YLo, x+barXOff+barWidth, m1YLo+h1))
+			boundary(st, layout.LayerM1, geom.R(x+barXOff, y2, x+barXOff+barWidth, y2+h2))
+		case colPadVia:
+			padY := int64(m1YLo) + rng.Int63n(m1YHi-m1YLo-padSize+1)
+			boundary(st, layout.LayerM1, geom.R(x+padXOff, padY, x+padXOff+padSize, padY+padSize))
+			boundary(st, layout.LayerV1, geom.R(
+				x+padXOff+viaInset, padY+viaInset,
+				x+padXOff+viaInset+viaSize, padY+viaInset+viaSize))
+		}
+	}
+	return cellDef{st: st, width: int64(cols) * colPitch}
+}
+
+// Bad-cell builders: each carries exactly one injected violation.
+
+func buildBadWidth() cellDef { // M1.W.1: 16-wide bar
+	st := &gdsii.Structure{Name: "BADW"}
+	boundary(st, layout.LayerM1, geom.R(barXOff+1, m1YLo, barXOff+1+16, 200))
+	addPadVia(st, colPitch)
+	boundary(st, layout.LayerM1, geom.R(2*colPitch+barXOff, m1YLo, 2*colPitch+barXOff+barWidth, 200))
+	return cellDef{st: st, width: 3 * colPitch}
+}
+
+func buildBadNotch() cellDef { // M1.S.1: U-shape with a 14-wide notch
+	st := &gdsii.Structure{Name: "BADN"}
+	st.Boundaries = append(st.Boundaries, gdsii.Boundary{
+		Layer: int16(layout.LayerM1),
+		XY: []geom.Point{
+			{X: 9, Y: 40}, {X: 9, Y: 140}, {X: 27, Y: 140}, {X: 27, Y: 80},
+			{X: 41, Y: 80}, {X: 41, Y: 140}, {X: 59, Y: 140}, {X: 59, Y: 40},
+		},
+	})
+	addPadVia(st, 2*colPitch)
+	boundary(st, layout.LayerM1, geom.R(3*colPitch+barXOff, m1YLo, 3*colPitch+barXOff+barWidth, 200))
+	return cellDef{st: st, width: 4 * colPitch}
+}
+
+func buildBadArea() cellDef { // M1.A.1: 18×27 bar, area 486 < 500
+	st := &gdsii.Structure{Name: "BADA"}
+	boundary(st, layout.LayerM1, geom.R(barXOff, m1YLo, barXOff+barWidth, m1YLo+27))
+	addPadVia(st, colPitch)
+	boundary(st, layout.LayerM1, geom.R(2*colPitch+barXOff, m1YLo, 2*colPitch+barXOff+barWidth, 200))
+	return cellDef{st: st, width: 3 * colPitch}
+}
+
+func buildBadVia() cellDef { // V1.M1.EN.1: via shifted +3, right margin 2
+	st := &gdsii.Structure{Name: "BADV"}
+	boundary(st, layout.LayerM1, geom.R(barXOff, m1YLo, barXOff+barWidth, 200))
+	x := int64(colPitch)
+	padY := int64(100)
+	boundary(st, layout.LayerM1, geom.R(x+padXOff, padY, x+padXOff+padSize, padY+padSize))
+	boundary(st, layout.LayerV1, geom.R(
+		x+padXOff+viaInset+3, padY+viaInset,
+		x+padXOff+viaInset+3+viaSize, padY+viaInset+viaSize))
+	boundary(st, layout.LayerM1, geom.R(2*colPitch+barXOff, m1YLo, 2*colPitch+barXOff+barWidth, 200))
+	return cellDef{st: st, width: 3 * colPitch}
+}
+
+// addPadVia appends a clean pad+via column at offset x.
+func addPadVia(st *gdsii.Structure, x int64) {
+	padY := int64(120)
+	boundary(st, layout.LayerM1, geom.R(x+padXOff, padY, x+padXOff+padSize, padY+padSize))
+	boundary(st, layout.LayerV1, geom.R(
+		x+padXOff+viaInset, padY+viaInset,
+		x+padXOff+viaInset+viaSize, padY+viaInset+viaSize))
+}
+
+// m2Segment is one generated horizontal route.
+type m2Segment struct {
+	track  int
+	x0, x1 int64
+}
+
+// Generate synthesizes the design and reports the injected violations.
+func (p Profile) Generate() (*gdsii.Library, Expected) {
+	rng := infra.NewRand(p.Seed)
+	var exp Expected
+
+	lib := &gdsii.Library{
+		Version: 600, Name: p.Name,
+		UserUnit: 1e-3, MeterUnit: 1e-9,
+	}
+
+	// Standard-cell library.
+	types := make([]cellDef, 0, p.CellTypes)
+	for t := 0; t < p.CellTypes; t++ {
+		cols := 3 + rng.Intn(4)
+		types = append(types, buildCellType(fmt.Sprintf("CT%02d", t), cols, rng))
+	}
+	bad := []cellDef{buildBadWidth(), buildBadNotch(), buildBadArea(), buildBadVia()}
+	for _, d := range types {
+		lib.Structures = append(lib.Structures, d.st)
+	}
+	for _, d := range bad {
+		lib.Structures = append(lib.Structures, d.st)
+	}
+
+	top := &gdsii.Structure{Name: "TOP"}
+	chipW := int64(p.CellsPerRow) * 4 * colPitch // approximate row span
+
+	// placeRow fills one row of cells into dst starting at the given origin
+	// and returns the row's actual width.
+	counter := 0
+	placeRow := func(dst *gdsii.Structure, row int, yBase int64, inject bool) int64 {
+		y := yBase + int64(row)*cellHeight
+		mirrored := row%2 == 1
+		var x int64
+		for c := 0; c < p.CellsPerRow; c++ {
+			var def cellDef
+			counter++
+			if inject && p.InjectEvery > 0 && counter%p.InjectEvery == 0 {
+				def = bad[(counter/p.InjectEvery)%len(bad)]
+				switch def.st.Name {
+				case "BADW":
+					exp.WidthM1++
+				case "BADN":
+					exp.NotchM1++
+				case "BADA":
+					exp.AreaM1++
+				case "BADV":
+					exp.EnclV1++
+				}
+			} else {
+				def = types[rng.Intn(len(types))]
+			}
+			sref := gdsii.SRef{Name: def.st.Name, Pos: geom.Pt(x, y)}
+			if mirrored {
+				sref.Trans = gdsii.Trans{Reflect: true}
+				sref.Pos = geom.Pt(x, y+cellHeight)
+			}
+			dst.SRefs = append(dst.SRefs, sref)
+			exp.CellsPlaced++
+			x += def.width
+			if x > chipW {
+				break
+			}
+		}
+		return x
+	}
+
+	for r := 0; r < p.Rows; r++ {
+		placeRow(top, r, 0, true)
+	}
+
+	// Macro blocks: 4-row composite cells instantiated twice each, above
+	// the core rows — a third hierarchy level.
+	macroBase := int64(p.Rows)*cellHeight + 400
+	for m := 0; m < p.MacroBlocks; m++ {
+		macro := &gdsii.Structure{Name: fmt.Sprintf("MACRO%d", m)}
+		saved := p.CellsPerRow
+		p.CellsPerRow = saved / 2
+		for r := 0; r < 4; r++ {
+			placeRow(macro, r, 0, false)
+		}
+		p.CellsPerRow = saved
+		lib.Structures = append(lib.Structures, macro)
+		y := macroBase + int64(m)*(4*cellHeight+400)
+		top.SRefs = append(top.SRefs,
+			gdsii.SRef{Name: macro.Name, Pos: geom.Pt(0, y)},
+			gdsii.SRef{Name: macro.Name, Pos: geom.Pt(chipW/2+200, y)},
+		)
+		exp.CellsPlaced += 2 * 4 * (saved / 2)
+	}
+
+	// M2 horizontal routing tracks across the core rows.
+	tracks := int(int64(p.Rows) * cellHeight / m2Pitch)
+	segs := make([][]m2Segment, tracks)
+	net := 0
+	segCounter := 0
+	for t := 0; t < tracks; t++ {
+		y := int64(15 + t*m2Pitch)
+		n := int(p.M2SegPerTrk)
+		if rng.Float64() < p.M2SegPerTrk-float64(n) {
+			n++
+		}
+		x := rng.Int63n(300)
+		for s := 0; s < n && x < chipW-400; s++ {
+			length := 400 + rng.Int63n(1600)
+			if x+length > chipW {
+				length = chipW - x
+			}
+			seg := m2Segment{track: t, x0: x, x1: x + length}
+			segs[t] = append(segs[t], seg)
+			boundary(top, layout.LayerM2, geom.R(seg.x0, y, seg.x1, y+m2Width))
+			exp.M2Segments++
+			segCounter++
+			// Net-name label; every InjectEvery-th segment stays unnamed.
+			if p.InjectEvery > 0 && segCounter%p.InjectEvery == 0 {
+				exp.UnnamedM2++
+			} else {
+				top.Texts = append(top.Texts, gdsii.Text{
+					Layer: int16(layout.LayerM2),
+					Pos:   geom.Pt(seg.x0+10, y+m2Width/2),
+					Str:   fmt.Sprintf("net%d", net),
+				})
+				net++
+			}
+			// Same-track gap: normally >= MinSpaceM2; inject 16 sometimes.
+			gap := int64(MinSpaceM2) + rng.Int63n(500)
+			if p.InjectEvery > 0 && (segCounter+7)%p.InjectEvery == 0 && s+1 < n {
+				gap = 16
+				exp.SpaceM2++
+			}
+			x = seg.x1 + gap
+		}
+	}
+
+	// M3 vertical routing columns.
+	cols := int(chipW / m3Pitch)
+	chipH := int64(p.Rows) * cellHeight
+	type m3Segment struct {
+		col    int
+		y0, y1 int64
+	}
+	m3segs := make([][]m3Segment, cols)
+	m3Counter := 0
+	for c := 0; c < cols; c++ {
+		if !rng.Chance(p.M3Density) {
+			continue
+		}
+		x := int64(12 + c*m3Pitch)
+		y := rng.Int63n(200)
+		for y < chipH-300 {
+			length := 500 + rng.Int63n(2500)
+			if y+length > chipH {
+				length = chipH - y
+			}
+			seg := m3Segment{col: c, y0: y, y1: y + length}
+			m3segs[c] = append(m3segs[c], seg)
+			boundary(top, layout.LayerM3, geom.R(x, seg.y0, x+m3Width, seg.y1))
+			exp.M3Segments++
+			m3Counter++
+			gap := int64(MinSpaceM3) + rng.Int63n(400)
+			if p.InjectEvery > 0 && (m3Counter+3)%p.InjectEvery == 0 && y+length < chipH-400 {
+				gap = 20
+				exp.SpaceM3++
+			}
+			y = seg.y1 + gap
+		}
+	}
+
+	// V2 vias at M2/M3 crossings with comfortable landing coverage.
+	v2Counter := 0
+	for c := 0; c < cols; c++ {
+		for _, ms := range m3segs[c] {
+			cx := int64(12 + c*m3Pitch)
+			for t := 0; t < tracks; t++ {
+				ty := int64(15 + t*m2Pitch)
+				if ty-10 < ms.y0 || ty+40 > ms.y1 {
+					continue // M3 must cover the track band with margin
+				}
+				covered := false
+				for _, s := range segs[t] {
+					if s.x0 <= cx-10 && s.x1 >= cx+40 {
+						covered = true
+						break
+					}
+				}
+				if !covered || !rng.Chance(0.4) {
+					continue
+				}
+				v2Counter++
+				vx, vy := cx+viaInset, ty+viaInset
+				if p.InjectEvery > 0 && v2Counter%p.InjectEvery == 0 {
+					if (v2Counter/p.InjectEvery)%2 == 0 {
+						vx += 2 // M3 x-margin becomes 3
+						exp.EnclV2M3++
+					} else {
+						vy += 2 // M2 y-margin becomes 3
+						exp.EnclV2M2++
+					}
+				}
+				boundary(top, layout.LayerV2, geom.R(vx, vy, vx+v2Size, vy+v2Size))
+				exp.V2Vias++
+			}
+		}
+	}
+
+	// Optional non-rectilinear injection.
+	if p.InjectDiagonal {
+		top.Boundaries = append(top.Boundaries, gdsii.Boundary{
+			Layer: int16(layout.LayerM1),
+			XY: []geom.Point{
+				{X: chipW + 200, Y: 100},
+				{X: chipW + 260, Y: 100},
+				{X: chipW + 260, Y: 160},
+			},
+		})
+		exp.NonRectil = 1
+	}
+
+	lib.Structures = append(lib.Structures, top)
+	exp.sum()
+	return lib, exp
+}
+
+// Load generates the design at the given scale and builds the layout
+// database, returning the expected injected-violation counts alongside.
+func Load(name string, scale float64) (*layout.Layout, Expected, error) {
+	p, err := Design(name)
+	if err != nil {
+		return nil, Expected{}, err
+	}
+	if scale > 0 && scale != 1 {
+		p = p.Scaled(scale)
+	}
+	lib, exp := p.Generate()
+	lo, err := layout.FromLibrary(lib)
+	if err != nil {
+		return nil, Expected{}, fmt.Errorf("synth: %s: %w", name, err)
+	}
+	return lo, exp, nil
+}

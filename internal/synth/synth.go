@@ -1,0 +1,183 @@
+// Package synth generates benchmark layouts that stand in for the paper's
+// OpenROAD + ASAP7 designs (aes, ethmac, ibex, jpeg, sha3, uart). Real GDSII
+// is emitted: a standard-cell library with per-type M1 geometry and V1 vias
+// on M1 landing pads, row-based placement with mirrored alternate rows,
+// top-level M2/M3 routing with V2 vias at crossings, and text labels for net
+// names. Geometry statistics (polygon/edge counts per layer, hierarchy
+// reuse, row structure, density) scale per design profile to match the six
+// designs' relative sizes, which is what DRC runtime depends on.
+//
+// The generator is DRC-clean by construction except for seeded, counted
+// violation injections, so a checker's output can be validated exactly.
+//
+// Dimensional system (1 DBU = 1 nm, ASAP7-like BEOL):
+//
+//	M1: bars 18 wide on a 42 pitch (in-cell gap 24), min spacing 18, min
+//	area 500. Bars sit 9 DBU from the cell edge, so geometry in abutting
+//	cells is separated by exactly the minimum spacing — legal, but every
+//	neighboring cell pair must be *examined*, as in real standard-cell
+//	layouts. Cell height 270; M1 inset to y ∈ [40, 230] so the row
+//	partition separates abutting placement rows by layer geometry.
+//	V1: 14×14 on 24×24 M1 pads (margin 5).
+//	M2: horizontal tracks, width 30, pitch 50 (gap 20).
+//	M3: vertical columns, width 30, pitch 54 (gap 24).
+//	V2: 20×20 at M2/M3 crossings (margin 5 on both wires).
+package synth
+
+import (
+	"fmt"
+
+	"opendrc/internal/layout"
+	"opendrc/internal/rules"
+)
+
+// Geometry constants (DBU).
+const (
+	cellHeight = 270
+	colPitch   = 42
+	barWidth   = 18
+	barXOff    = 9 // bar x inside its column; cross-cell bar gap = exactly MinSpaceM1
+	padSize    = 24
+	padXOff    = 9
+	viaSize    = 14
+	viaInset   = 5 // via inset inside pad
+
+	m1YLo = 40
+	m1YHi = 230
+
+	m2Width = 30
+	m2Pitch = 50
+	m3Width = 30
+	m3Pitch = 54
+	v2Size  = 20
+
+	// Rule deck values.
+	MinWidthM1   = 18
+	MinWidthM2   = 20
+	MinWidthM3   = 24
+	MinSpaceM1   = 18
+	MinSpaceM2   = 20
+	MinSpaceM3   = 24
+	MinAreaM1    = 500
+	MinAreaM2    = 1000
+	MinAreaM3    = 1000
+	MinEnclosure = 5
+)
+
+// Profile describes one benchmark design.
+type Profile struct {
+	Name        string
+	Rows        int
+	CellsPerRow int
+	CellTypes   int     // distinct standard-cell definitions
+	M2SegPerTrk float64 // average route segments per M2 track
+	M3Density   float64 // fraction of M3 columns populated
+	MacroBlocks int     // extra hierarchy level: blocks of rows instantiated twice
+	Seed        uint64
+
+	// InjectEvery inserts one violation-carrying cell (or route defect)
+	// every N opportunities; 0 disables injection.
+	InjectEvery int
+	// InjectDiagonal adds one non-rectilinear top-level polygon.
+	InjectDiagonal bool
+}
+
+// Designs returns the six evaluation profiles, sized to reproduce the
+// paper's relative design magnitudes (ethmac largest, uart smallest, jpeg
+// with the densest M3 routing).
+func Designs() []Profile {
+	return []Profile{
+		{Name: "aes", Rows: 48, CellsPerRow: 56, CellTypes: 24, M2SegPerTrk: 2.0, M3Density: 0.5, MacroBlocks: 1, Seed: 0xAE5, InjectEvery: 211, InjectDiagonal: true},
+		{Name: "ethmac", Rows: 80, CellsPerRow: 84, CellTypes: 32, M2SegPerTrk: 2.2, M3Density: 0.55, MacroBlocks: 2, Seed: 0xE7AC, InjectEvery: 223, InjectDiagonal: true},
+		{Name: "ibex", Rows: 24, CellsPerRow: 30, CellTypes: 16, M2SegPerTrk: 1.6, M3Density: 0.4, MacroBlocks: 0, Seed: 0x1BE, InjectEvery: 127, InjectDiagonal: false},
+		{Name: "jpeg", Rows: 64, CellsPerRow: 72, CellTypes: 28, M2SegPerTrk: 2.4, M3Density: 0.95, MacroBlocks: 1, Seed: 0x77E6, InjectEvery: 217, InjectDiagonal: true},
+		{Name: "sha3", Rows: 40, CellsPerRow: 48, CellTypes: 20, M2SegPerTrk: 1.8, M3Density: 0.45, MacroBlocks: 0, Seed: 0x5A3, InjectEvery: 173, InjectDiagonal: false},
+		{Name: "uart", Rows: 12, CellsPerRow: 20, CellTypes: 12, M2SegPerTrk: 1.4, M3Density: 0.35, MacroBlocks: 0, Seed: 0x0A27, InjectEvery: 89, InjectDiagonal: false},
+	}
+}
+
+// Design returns the named profile.
+func Design(name string) (Profile, error) {
+	for _, p := range Designs() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("synth: unknown design %q (have aes, ethmac, ibex, jpeg, sha3, uart)", name)
+}
+
+// Scaled shrinks or grows the profile's instance counts by factor f (>= 0),
+// keeping at least one row and one cell per row. Used to fit test budgets.
+func (p Profile) Scaled(f float64) Profile {
+	scale := func(v int) int {
+		s := int(float64(v) * f)
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	p.Rows = scale(p.Rows)
+	p.CellsPerRow = scale(p.CellsPerRow)
+	if p.MacroBlocks > p.Rows/4 {
+		p.MacroBlocks = p.Rows / 4
+	}
+	return p
+}
+
+// Expected counts the violations injected into a generated layout, keyed the
+// way the standard deck names its rules.
+type Expected struct {
+	WidthM1     int // M1.W.1 (undersized bar in BADW cells)
+	NotchM1     int // M1.S.1 (notch in BADN cells)
+	AreaM1      int // M1.A.1 (small bar in BADA cells)
+	EnclV1      int // V1.M1.EN.1 (shifted via in BADV cells)
+	SpaceM2     int // M2.S.1 (same-track gap 16)
+	SpaceM3     int // M3.S.1 (same-column gap 20)
+	EnclV2M2    int // V2.M2.EN.1 (y-shifted V2)
+	EnclV2M3    int // V2.M3.EN.1 (x-shifted V2)
+	UnnamedM2   int // M2.NAME.1 (segment without label)
+	NonRectil   int // M1.RECT.1 (diagonal polygon)
+	Total       int
+	CellsPlaced int
+	M2Segments  int
+	M3Segments  int
+	V2Vias      int
+}
+
+func (e *Expected) sum() {
+	e.Total = e.WidthM1 + e.NotchM1 + e.AreaM1 + e.EnclV1 +
+		e.SpaceM2 + e.SpaceM3 + e.EnclV2M2 + e.EnclV2M3 +
+		e.UnnamedM2 + e.NonRectil
+}
+
+// Deck returns the standard evaluation rule deck with the paper's rule
+// naming scheme.
+func Deck() rules.Deck {
+	return rules.Deck{
+		rules.Layer(layout.LayerM1).Polygons().AreRectilinear().Named("M1.RECT.1"),
+		rules.Layer(layout.LayerM1).Width().AtLeast(MinWidthM1).Named("M1.W.1"),
+		rules.Layer(layout.LayerM2).Width().AtLeast(MinWidthM2).Named("M2.W.1"),
+		rules.Layer(layout.LayerM3).Width().AtLeast(MinWidthM3).Named("M3.W.1"),
+		rules.Layer(layout.LayerM1).Area().AtLeast(MinAreaM1).Named("M1.A.1"),
+		rules.Layer(layout.LayerM2).Area().AtLeast(MinAreaM2).Named("M2.A.1"),
+		rules.Layer(layout.LayerM3).Area().AtLeast(MinAreaM3).Named("M3.A.1"),
+		rules.Layer(layout.LayerM1).Spacing().AtLeast(MinSpaceM1).Named("M1.S.1"),
+		rules.Layer(layout.LayerM2).Spacing().AtLeast(MinSpaceM2).Named("M2.S.1"),
+		rules.Layer(layout.LayerM3).Spacing().AtLeast(MinSpaceM3).Named("M3.S.1"),
+		rules.Layer(layout.LayerV1).EnclosedBy(layout.LayerM1).AtLeast(MinEnclosure).Named("V1.M1.EN.1"),
+		rules.Layer(layout.LayerV2).EnclosedBy(layout.LayerM2).AtLeast(MinEnclosure).Named("V2.M2.EN.1"),
+		rules.Layer(layout.LayerV2).EnclosedBy(layout.LayerM3).AtLeast(MinEnclosure).Named("V2.M3.EN.1"),
+		rules.Layer(layout.LayerM2).Polygons().Ensure("non-empty name",
+			func(o rules.Obj) bool { return o.Name != "" }).Named("M2.NAME.1"),
+	}
+}
+
+// RuleByID returns the deck rule with the given ID.
+func RuleByID(id string) (rules.Rule, error) {
+	for _, r := range Deck() {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	return rules.Rule{}, fmt.Errorf("synth: unknown rule %q", id)
+}

@@ -1,0 +1,159 @@
+package synth
+
+import (
+	"bytes"
+	"testing"
+
+	"opendrc/internal/gdsii"
+	"opendrc/internal/layout"
+)
+
+func TestDesignLookup(t *testing.T) {
+	for _, name := range []string{"aes", "ethmac", "ibex", "jpeg", "sha3", "uart"} {
+		p, err := Design(name)
+		if err != nil || p.Name != name {
+			t.Errorf("Design(%q) = %+v, %v", name, p, err)
+		}
+	}
+	if _, err := Design("nonexistent"); err == nil {
+		t.Error("unknown design accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := Design("uart")
+	p = p.Scaled(0.5)
+	lib1, exp1 := p.Generate()
+	lib2, exp2 := p.Generate()
+	if exp1 != exp2 {
+		t.Fatalf("expected counts differ: %+v vs %+v", exp1, exp2)
+	}
+	var b1, b2 bytes.Buffer
+	if err := gdsii.NewWriter(&b1).WriteLibrary(lib1); err != nil {
+		t.Fatal(err)
+	}
+	if err := gdsii.NewWriter(&b2).WriteLibrary(lib2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("generation not byte-deterministic")
+	}
+}
+
+func TestGenerateRoundTripsAndBuilds(t *testing.T) {
+	p, _ := Design("ibex")
+	p = p.Scaled(0.3)
+	lib, exp := p.Generate()
+
+	var buf bytes.Buffer
+	if err := gdsii.NewWriter(&buf).WriteLibrary(lib); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := gdsii.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Warnings) != 0 {
+		t.Errorf("reader warnings: %v", parsed.Warnings)
+	}
+	lo, err := layout.FromLibrary(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Top.Name != "TOP" {
+		t.Errorf("top = %s", lo.Top.Name)
+	}
+	for _, l := range []layout.Layer{layout.LayerM1, layout.LayerM2, layout.LayerM3, layout.LayerV1, layout.LayerV2} {
+		if !lo.Top.HasLayer(l) {
+			t.Errorf("layer %s missing", layout.LayerName(l))
+		}
+	}
+	if exp.CellsPlaced == 0 || exp.M2Segments == 0 || exp.M3Segments == 0 || exp.V2Vias == 0 {
+		t.Errorf("degenerate generation: %+v", exp)
+	}
+	if n := lo.NumInstancesOnLayer(layout.LayerM1); n < exp.CellsPlaced {
+		t.Errorf("M1 instances %d < cells placed %d", n, exp.CellsPlaced)
+	}
+}
+
+func TestDesignSizeOrdering(t *testing.T) {
+	sizes := map[string]int{}
+	for _, p := range Designs() {
+		sizes[p.Name] = p.Rows * p.CellsPerRow
+	}
+	if !(sizes["ethmac"] > sizes["jpeg"] && sizes["jpeg"] > sizes["aes"] &&
+		sizes["aes"] > sizes["sha3"] && sizes["sha3"] > sizes["ibex"] &&
+		sizes["ibex"] > sizes["uart"]) {
+		t.Errorf("design size ordering broken: %v", sizes)
+	}
+	var jpeg, aes Profile
+	for _, p := range Designs() {
+		switch p.Name {
+		case "jpeg":
+			jpeg = p
+		case "aes":
+			aes = p
+		}
+	}
+	if jpeg.M3Density <= aes.M3Density {
+		t.Error("jpeg must have the densest M3 routing (paper's M3.S.1 blowup)")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p, _ := Design("ethmac")
+	s := p.Scaled(0.25)
+	if s.Rows != p.Rows/4 || s.CellsPerRow != p.CellsPerRow/4 {
+		t.Errorf("scaled = %+v", s)
+	}
+	tiny := p.Scaled(0.001)
+	if tiny.Rows < 1 || tiny.CellsPerRow < 1 {
+		t.Errorf("scaling floor broken: %+v", tiny)
+	}
+}
+
+func TestDeckValid(t *testing.T) {
+	d := Deck()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("standard deck invalid: %v", err)
+	}
+	if len(d) != 14 {
+		t.Errorf("deck size = %d", len(d))
+	}
+	if d.MaxReach() != MinSpaceM3 {
+		t.Errorf("max reach = %d", d.MaxReach())
+	}
+	if _, err := RuleByID("M1.S.1"); err != nil {
+		t.Error(err)
+	}
+	if _, err := RuleByID("BOGUS"); err == nil {
+		t.Error("unknown rule accepted")
+	}
+}
+
+func TestInjectionCountsScaleWithSize(t *testing.T) {
+	p, _ := Design("ethmac")
+	small := p.Scaled(0.2)
+	_, expSmall := small.Generate()
+	_, expFull := p.Generate()
+	if expFull.Total <= expSmall.Total {
+		t.Errorf("larger design should have more injections: %d vs %d",
+			expFull.Total, expSmall.Total)
+	}
+	if expFull.Total == 0 {
+		t.Error("no injections in full design")
+	}
+}
+
+func TestLoad(t *testing.T) {
+	lo, exp, err := Load("uart", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo == nil || exp.CellsPlaced == 0 {
+		t.Error("Load returned empty result")
+	}
+	if _, _, err := Load("bogus", 1); err == nil {
+		t.Error("unknown design accepted")
+	}
+}

@@ -1,0 +1,151 @@
+// Package opendrc is the public interface of OpenDRC-Go, a reproduction of
+// "OpenDRC: An Efficient Open-Source Design Rule Checking Engine with
+// Hierarchical GPU Acceleration" (DAC 2023). It mirrors the paper's Listing
+// 1 usage:
+//
+//	db, err := opendrc.ReadGDS("design.gds")
+//	if err != nil { ... }
+//	e := opendrc.NewEngine(opendrc.WithMode(opendrc.Parallel))
+//	err = e.AddRules(
+//	    opendrc.Layer(19).Polygons().AreRectilinear(),
+//	    opendrc.Layer(19).Width().GreaterThan(18),
+//	    opendrc.Layer(20).Polygons().Ensure("non-empty name",
+//	        func(o opendrc.Obj) bool { return o.Name != "" }),
+//	)
+//	report, err := e.Check(db)
+//
+// The sequential mode runs hierarchical cell-level sweeps on the CPU; the
+// parallel mode partitions the layout into independent rows and launches
+// edge-based check kernels on a simulated GPU device (see DESIGN.md for the
+// simulation substitution). Both modes return identical violations.
+package opendrc
+
+import (
+	"io"
+
+	"opendrc/internal/core"
+	"opendrc/internal/gdsii"
+	"opendrc/internal/gpu"
+	"opendrc/internal/layout"
+	"opendrc/internal/partition"
+	"opendrc/internal/rules"
+)
+
+// Layout is a loaded hierarchical layout database.
+type Layout = layout.Layout
+
+// LayerID identifies a mask layer by its GDSII layer number.
+type LayerID = layout.Layer
+
+// Rule is one design rule built through the chaining interface.
+type Rule = rules.Rule
+
+// Deck is an ordered list of rules.
+type Deck = rules.Deck
+
+// Obj is the polygon view passed to custom Ensure predicates.
+type Obj = rules.Obj
+
+// Violation is one reported design rule violation.
+type Violation = rules.Violation
+
+// Report is the result of Engine.Check.
+type Report = core.Report
+
+// Mode selects the execution branch.
+type Mode = core.Mode
+
+// Execution modes.
+const (
+	Sequential = core.Sequential
+	Parallel   = core.Parallel
+)
+
+// ReadGDS parses a GDSII file and builds the layout database with its
+// layer-wise bounding volume hierarchy.
+func ReadGDS(path string) (*Layout, error) {
+	lib, err := gdsii.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return layout.FromLibrary(lib)
+}
+
+// ReadGDSFrom parses a GDSII stream.
+func ReadGDSFrom(r io.Reader) (*Layout, error) {
+	lib, err := gdsii.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return layout.FromLibrary(lib)
+}
+
+// Layer starts a rule chain for a layer, e.g. Layer(19).Width().AtLeast(18).
+func Layer(l LayerID) rules.Selector { return rules.Layer(l) }
+
+// ParseDeck reads a rule deck from the line-oriented text format (see
+// internal/rules.ParseDeck for the grammar).
+func ParseDeck(r io.Reader) (Deck, error) { return rules.ParseDeck(r) }
+
+// WriteDeck serializes a deck into the text format.
+func WriteDeck(w io.Writer, d Deck) error { return rules.WriteDeck(w, d) }
+
+// Option configures an Engine.
+type Option func(*core.Options)
+
+// WithMode selects sequential or parallel execution.
+func WithMode(m Mode) Option {
+	return func(o *core.Options) { o.Mode = m }
+}
+
+// WithDevice overrides the simulated device model used by the parallel
+// mode (default: GTX 1660 Ti, the paper's evaluation GPU).
+func WithDevice(p gpu.Props) Option {
+	return func(o *core.Options) { o.Device = p }
+}
+
+// WithBruteEdgeThreshold tunes the executor selection cutoff: rows with at
+// most this many packed edges use the brute-force executor instead of the
+// parallel sweepline.
+func WithBruteEdgeThreshold(n int) Option {
+	return func(o *core.Options) { o.BruteEdgeThreshold = n }
+}
+
+// WithoutPruning disables hierarchy task pruning (ablation).
+func WithoutPruning() Option {
+	return func(o *core.Options) { o.DisablePruning = true }
+}
+
+// WithSortPartition selects the sort-based interval merging instead of the
+// pigeonhole array (ablation).
+func WithSortPartition() Option {
+	return func(o *core.Options) { o.PartitionAlg = partition.SortBased }
+}
+
+// Engine schedules and runs design rule checks.
+type Engine struct {
+	inner *core.Engine
+}
+
+// NewEngine creates an engine; the default is the sequential mode.
+func NewEngine(opts ...Option) *Engine {
+	var o core.Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return &Engine{inner: core.New(o)}
+}
+
+// AddRules appends validated rules to the deck.
+func (e *Engine) AddRules(rs ...Rule) error { return e.inner.AddRules(rs...) }
+
+// Deck returns the rules added so far.
+func (e *Engine) Deck() Deck { return e.inner.Deck() }
+
+// Check runs the deck against the layout and returns the report with
+// violations sorted deterministically.
+func (e *Engine) Check(db *Layout) (*Report, error) { return e.inner.Check(db) }
+
+// Dedup collapses exactly-identical violations (same rule, box, distance),
+// the way layout viewers merge markers.
+func Dedup(vs []Violation) []Violation { return core.DedupViolations(vs) }
