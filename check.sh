@@ -1,0 +1,16 @@
+#!/bin/sh
+# check.sh — the repository's verification gate: formatting, vet, and the
+# full test suite under the race detector (the worker-pool fan-out makes
+# -race part of tier-1 verification).
+set -e
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+go vet ./...
+go test -race ./...
+echo "check.sh: all green"

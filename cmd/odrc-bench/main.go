@@ -6,6 +6,9 @@
 //	odrc-bench -fig 3                    print the sweepline trace (Fig. 3)
 //	odrc-bench -fig 4 [-scale f]         runtime breakdown (Fig. 4)
 //	odrc-bench -ablation [-scale f]      design-choice ablations
+//	odrc-bench -speedup [-workers n] [-runs k] [-out f.json]
+//	                                     sequential-engine multi-core speedup
+//	                                     (Workers=1 vs Workers=n wall time)
 //
 // Time semantics: CPU checkers report measured wall time divided by the
 // host calibration constant; GPU checkers report modeled CPU+GPU time from
@@ -35,6 +38,10 @@ func run() error {
 	table := flag.Int("table", 0, "reproduce table 1 (intra-polygon) or 2 (inter-polygon)")
 	fig := flag.Int("fig", 0, "reproduce figure 3 (sweepline trace) or 4 (runtime breakdown)")
 	ablation := flag.Bool("ablation", false, "run the design-choice ablations")
+	speedup := flag.Bool("speedup", false, "run the multi-core speedup experiment (sequential engine)")
+	workers := flag.Int("workers", 0, "worker-pool size for -speedup (0 = GOMAXPROCS)")
+	runs := flag.Int("runs", 3, "repetitions per -speedup cell (minimum wall time is reported)")
+	out := flag.String("out", "", "also write the -speedup report as JSON to this file")
 	scale := flag.Float64("scale", 1, "design scale factor (1 = full synthetic size)")
 	flag.Parse()
 
@@ -58,8 +65,37 @@ func run() error {
 		return nil
 	case *ablation:
 		return runAblations(*scale)
+	case *speedup:
+		return runSpeedup(*scale, *workers, *runs, *out)
 	}
 	flag.Usage()
+	return nil
+}
+
+// runSpeedup measures Workers=1 vs Workers=N wall time on the six designs.
+func runSpeedup(scale float64, workers, runs int, outPath string) error {
+	lts, err := bench.Layouts(scale)
+	if err != nil {
+		return err
+	}
+	rep, err := bench.Speedup(lts, workers, runs, scale)
+	if err != nil {
+		return err
+	}
+	if _, err := rep.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
 	return nil
 }
 

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	odrc [-mode seq|par] [-rules deck] [-rule id[,id...]] [-v] [-stats] file.gds
+//	odrc [-mode seq|par] [-workers n] [-rules deck] [-rule id[,id...]] [-v] [-stats] file.gds
 //
 // The default rule deck is the ASAP7-like evaluation deck (see
 // internal/synth.Deck); -rule restricts it to specific rule IDs. Violations
@@ -29,6 +29,7 @@ func main() {
 
 func run() error {
 	mode := flag.String("mode", "seq", "execution mode: seq (hierarchical CPU) or par (simulated-GPU rows)")
+	workers := flag.Int("workers", 0, "host worker-pool size for fan-out phases (0 = GOMAXPROCS)")
 	ruleIDs := flag.String("rule", "", "comma-separated rule IDs from the standard deck (default: all)")
 	deckFile := flag.String("deck", "", "rule deck file (overrides the built-in deck; see internal/rules.ParseDeck)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout")
@@ -61,6 +62,7 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown mode %q (want seq or par)", *mode)
 	}
+	opts = append(opts, opendrc.WithWorkers(*workers))
 	eng := opendrc.NewEngine(opts...)
 
 	deck := synth.Deck()

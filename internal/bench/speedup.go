@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"time"
+
+	"opendrc/internal/core"
+	"opendrc/internal/layout"
+	"opendrc/internal/synth"
+)
+
+// Multi-core speedup experiment: the sequential engine's full standard deck
+// on every synth design, Workers=1 versus Workers=N, reporting measured
+// wall-clock time. Beyond the speedup itself, every row cross-checks that
+// the two runs produced the identical report (violations and scheduling
+// counters), which the engine guarantees by construction.
+
+// SpeedupRow compares Workers=1 and Workers=N on one design.
+type SpeedupRow struct {
+	Design     string  `json:"design"`
+	Wall1US    int64   `json:"wall_workers1_us"`
+	WallNUS    int64   `json:"wall_workersN_us"`
+	Speedup    float64 `json:"speedup"`
+	Violations int     `json:"violations"`
+	// Identical is true when both worker counts produced byte-identical
+	// sorted violations and equal Stats counters.
+	Identical bool `json:"reports_identical"`
+}
+
+// SpeedupReport is the whole experiment, serialized to BENCH_workers.json.
+type SpeedupReport struct {
+	Mode       string       `json:"mode"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Workers    int          `json:"workers"`
+	Scale      float64      `json:"scale"`
+	Runs       int          `json:"runs_per_cell"`
+	Rows       []SpeedupRow `json:"rows"`
+}
+
+// speedupRun checks the full standard deck on lo with the given worker
+// count and returns the report; wall time is the minimum over runs to damp
+// scheduler noise.
+func speedupRun(lo *layout.Layout, workers, runs int) (*core.Report, time.Duration, error) {
+	var best *core.Report
+	var wall time.Duration
+	for i := 0; i < runs; i++ {
+		eng := core.New(core.Options{Mode: core.Sequential, Workers: workers})
+		if err := eng.AddRules(synth.Deck()...); err != nil {
+			return nil, 0, err
+		}
+		rep, err := eng.Check(lo)
+		if err != nil {
+			return nil, 0, err
+		}
+		if best == nil || rep.HostWall < wall {
+			best = rep
+			wall = rep.HostWall
+		}
+	}
+	return best, wall, nil
+}
+
+// Speedup runs the experiment over the given layouts (use Layouts(scale)).
+// workers <= 0 selects GOMAXPROCS; runs is the repetitions per cell (min is
+// reported), at least 1.
+func Speedup(layouts map[string]*layout.Layout, workers, runs int, scale float64) (*SpeedupReport, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	out := &SpeedupReport{
+		Mode:       core.Sequential.String(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Scale:      scale,
+		Runs:       runs,
+	}
+	for _, design := range DesignNames() {
+		lo := layouts[design]
+		if lo == nil {
+			continue
+		}
+		rep1, wall1, err := speedupRun(lo, 1, runs)
+		if err != nil {
+			return nil, fmt.Errorf("%s workers=1: %w", design, err)
+		}
+		repN, wallN, err := speedupRun(lo, workers, runs)
+		if err != nil {
+			return nil, fmt.Errorf("%s workers=%d: %w", design, workers, err)
+		}
+		row := SpeedupRow{
+			Design:     design,
+			Wall1US:    wall1.Microseconds(),
+			WallNUS:    wallN.Microseconds(),
+			Violations: len(rep1.Violations),
+			Identical: reflect.DeepEqual(rep1.Violations, repN.Violations) &&
+				rep1.Stats == repN.Stats,
+		}
+		if wallN > 0 {
+			row.Speedup = float64(wall1) / float64(wallN)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// WriteJSON serializes the report.
+func (r *SpeedupReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTo renders an aligned text table.
+func (r *SpeedupReport) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	p := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	if err := p("Sequential-engine wall time, Workers=1 vs Workers=%d (GOMAXPROCS %d, scale %g, min of %d runs)\n",
+		r.Workers, r.GOMAXPROCS, r.Scale, r.Runs); err != nil {
+		return total, err
+	}
+	if err := p("%-8s %12s %12s %8s %8s %10s\n",
+		"design", "workers=1", fmt.Sprintf("workers=%d", r.Workers), "speedup", "viols", "identical"); err != nil {
+		return total, err
+	}
+	for _, row := range r.Rows {
+		if err := p("%-8s %12s %12s %7.2fx %8d %10v\n",
+			row.Design,
+			fmtDur(time.Duration(row.Wall1US)*time.Microsecond),
+			fmtDur(time.Duration(row.WallNUS)*time.Microsecond),
+			row.Speedup, row.Violations, row.Identical); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -56,6 +56,13 @@ type Options struct {
 	// PartitionAlg selects the interval-merging implementation (ablation).
 	PartitionAlg partition.Algorithm
 
+	// Workers bounds the host worker pool used by the fan-out phases:
+	// per cell definition in the intra checks and per partition row in the
+	// spacing sweep. Values <= 0 select GOMAXPROCS. Reports are
+	// bit-identical for every worker count: workers write into per-index
+	// result slots that merge in a fixed order.
+	Workers int
+
 	Logger *infra.Logger
 }
 
@@ -209,11 +216,14 @@ func sortViolations(vs []rules.Violation) {
 
 // DedupViolations removes exactly-identical violations (same rule, box,
 // distance and corner flag); repeated hierarchy instances of one physical
-// defect collapse into one marker, as layout viewers do.
+// defect collapse into one marker, as layout viewers do. The input slice is
+// left untouched; the deduplicated result is a freshly allocated, sorted
+// slice.
 func DedupViolations(vs []rules.Violation) []rules.Violation {
-	sortViolations(vs)
-	out := vs[:0]
-	for i, v := range vs {
+	sorted := append([]rules.Violation(nil), vs...)
+	sortViolations(sorted)
+	out := sorted[:0]
+	for i, v := range sorted {
 		if i > 0 {
 			p := out[len(out)-1]
 			if p.Rule == v.Rule && p.Marker.Box == v.Marker.Box &&

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"sort"
+
 	"opendrc/internal/checks"
 	"opendrc/internal/geom"
 	"opendrc/internal/layout"
+	"opendrc/internal/pool"
 	"opendrc/internal/rules"
 )
 
@@ -91,16 +94,28 @@ func rescaleMarker(m checks.Marker, t geom.Transform, r rules.Rule) checks.Marke
 // check, the check result could be safely reused" — all eight orientations
 // preserve widths, areas and rectilinearity; magnification rescales the
 // threshold).
+// Cell definitions are independent, so the loop fans out across the worker
+// pool; each definition writes into its own result slot and the slots merge
+// in definition order, keeping the report bit-identical for every worker
+// count.
 func (e *Engine) runIntraSeq(lo *layout.Layout, r rules.Rule, placements [][]geom.Transform, rep *Report) {
 	defer rep.Profile.Phase("intra:" + r.Kind.String())()
-	for _, c := range lo.LayerCells(r.Layer) {
+	cells := lo.LayerCells(r.Layer)
+	type shard struct {
+		vs    []rules.Violation
+		stats Stats
+	}
+	shards := make([]shard, len(cells))
+	pool.ForEach(e.opts.Workers, len(cells), func(i int) {
+		c := cells[i]
 		if len(c.LocalPolys(r.Layer)) == 0 {
-			continue // cell participates only through its children
+			return // cell participates only through its children
 		}
 		insts := placements[c.ID]
 		if len(insts) == 0 {
-			continue
+			return
 		}
+		sh := &shards[i]
 		if e.opts.DisablePruning {
 			for _, t := range insts {
 				mag := t.Mag
@@ -108,13 +123,14 @@ func (e *Engine) runIntraSeq(lo *layout.Layout, r rules.Rule, placements [][]geo
 					mag = 1
 				}
 				markers := intraMarkers(c, r, scaledIntraMin(r, mag))
-				rep.Stats.DefsChecked++
-				rep.Stats.InstancesEmitted++
-				e.emitMarkers(rep, r, c.Name, markers, t)
+				sh.stats.DefsChecked++
+				sh.stats.InstancesEmitted++
+				sh.vs = appendMarkers(sh.vs, r, c.Name, markers, t)
 			}
-			continue
+			return
 		}
-		// Group instances by magnification: one computation per group.
+		// Group instances by magnification: one computation per group,
+		// groups visited in ascending mag order for a deterministic report.
 		byMag := make(map[int64][]geom.Transform)
 		for _, t := range insts {
 			mag := t.Mag
@@ -123,27 +139,43 @@ func (e *Engine) runIntraSeq(lo *layout.Layout, r rules.Rule, placements [][]geo
 			}
 			byMag[mag] = append(byMag[mag], t)
 		}
-		for mag, group := range byMag {
+		mags := make([]int64, 0, len(byMag))
+		for mag := range byMag {
+			mags = append(mags, mag)
+		}
+		sort.Slice(mags, func(a, b int) bool { return mags[a] < mags[b] })
+		for _, mag := range mags {
 			markers := intraMarkers(c, r, scaledIntraMin(r, mag))
-			rep.Stats.DefsChecked++
-			for _, t := range group {
-				rep.Stats.InstancesEmitted++
-				e.emitMarkers(rep, r, c.Name, markers, t)
+			sh.stats.DefsChecked++
+			for _, t := range byMag[mag] {
+				sh.stats.InstancesEmitted++
+				sh.vs = appendMarkers(sh.vs, r, c.Name, markers, t)
 			}
 		}
+	})
+	for i := range shards {
+		rep.Violations = append(rep.Violations, shards[i].vs...)
+		rep.Stats.add(shards[i].stats)
 	}
 	if extra := rep.Stats.InstancesEmitted - rep.Stats.DefsChecked; extra > 0 {
 		rep.Stats.ChecksReused = extra
 	}
 }
 
-// emitMarkers appends instance-frame violations for the cell's local
-// markers.
-func (e *Engine) emitMarkers(rep *Report, r rules.Rule, cell string, markers []checks.Marker, t geom.Transform) {
+// appendMarkers appends instance-frame violations for the cell's local
+// markers to dst.
+func appendMarkers(dst []rules.Violation, r rules.Rule, cell string, markers []checks.Marker, t geom.Transform) []rules.Violation {
 	for _, m := range markers {
-		rep.Violations = append(rep.Violations, rules.Violation{
+		dst = append(dst, rules.Violation{
 			Rule: r.ID, Kind: r.Kind, Layer: r.Layer,
 			Marker: rescaleMarker(m, t, r), Cell: cell,
 		})
 	}
+	return dst
+}
+
+// emitMarkers appends instance-frame violations for the cell's local
+// markers to the report.
+func (e *Engine) emitMarkers(rep *Report, r rules.Rule, cell string, markers []checks.Marker, t geom.Transform) {
+	rep.Violations = appendMarkers(rep.Violations, r, cell, markers, t)
 }

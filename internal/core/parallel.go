@@ -70,7 +70,11 @@ func (e *Engine) checkParallel(lo *layout.Layout, rep *Report) error {
 			// User callables cannot run on the device; the paper's
 			// ensures() predicates execute host-side in both modes, with
 			// the same per-definition pruning as the sequential branch.
-			e.runIntraSeq(lo, r, placements, rep)
+			// Like the derived-layer rules, the work is host time and must
+			// advance the modeled device clock.
+			ctx.hostPhase(rep, "par:custom", func() {
+				e.runIntraSeq(lo, r, placements, rep)
+			})
 		case rules.Coverage, rules.MinOverlap:
 			// Derived-layer boolean rules are host-side in both modes
 			// (roadmap features beyond the paper's kernels).
@@ -220,7 +224,15 @@ func (e *Engine) runIntraParFlat(lo *layout.Layout, r rules.Rule, ctx *parCtx, r
 	c := collect(rep, r)
 	switch r.Kind {
 	case rules.Width:
-		kernels.WidthBrute(ctx.cs, edges, r.Min, c)
+		// Same executor selection as the pruned path, so the pruning
+		// ablation isolates pruning instead of conflating it with a
+		// different executor choice.
+		if maxPolyEdges(edges) > 32 {
+			kernels.SpacingSweep(ctx.cs, edges, checks.Lim(r.Min), kernels.FilterWidth, c)
+			rep.Stats.KernelLaunches += 4
+		} else {
+			kernels.WidthBrute(ctx.cs, edges, r.Min, c)
+		}
 	case rules.Area:
 		kernels.AreaKernel(ctx.cs, edges, 2*r.Min, c)
 	case rules.Rectilinear:

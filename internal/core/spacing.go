@@ -5,6 +5,7 @@ import (
 	"opendrc/internal/geom"
 	"opendrc/internal/layout"
 	"opendrc/internal/partition"
+	"opendrc/internal/pool"
 	"opendrc/internal/rules"
 	"opendrc/internal/sweep"
 )
@@ -104,46 +105,64 @@ func (e *Engine) cellSpacingMarkers(lo *layout.Layout, c *layout.Cell, r rules.R
 	rows := partition.Rows(raw, min, e.opts.PartitionAlg)
 	stopPart()
 
-	var pairs [][2]int
-	for _, row := range rows {
+	// Row independence is exactly what the worker pool needs: each row runs
+	// its sweepline and edge checks on a worker, writing markers and
+	// counters into its own slot; slots merge in row order so the result is
+	// bit-identical for every worker count.
+	type rowResult struct {
+		markers []checks.Marker
+		stats   Stats
+	}
+	results := make([]rowResult, len(rows))
+	pool.ForEach(e.opts.Workers, len(rows), func(ri int) {
+		row := rows[ri]
 		if len(row.Members) < 2 {
-			continue
+			return
 		}
+		res := &results[ri]
+		remit := func(m checks.Marker) { res.markers = append(res.markers, m) }
 		rowBoxes := make([]geom.Rect, len(row.Members))
 		for i, mi := range row.Members {
 			rowBoxes[i] = boxes[mi]
 		}
 		stopSweep := rep.Profile.Phase("spacing:sweepline")
+		var pairs [][2]int
 		sweep.Overlaps(rowBoxes, func(a, b int) {
 			pairs = append(pairs, [2]int{row.Members[a], row.Members[b]})
 		})
 		stopSweep()
-	}
-	rep.Stats.PairsConsidered += len(pairs)
+		res.stats.PairsConsidered += len(pairs)
 
-	defer rep.Profile.Phase("spacing:edge-checks")()
-	for _, pr := range pairs {
-		a, b := items[pr[0]], items[pr[1]]
-		switch {
-		case a.polyIdx >= 0 && b.polyIdx >= 0:
-			rep.Stats.PairsChecked++
-			checks.CheckSpacingLim(c.Polys[a.polyIdx].Shape, c.Polys[b.polyIdx].Shape, lim, emit)
-		case a.polyIdx >= 0:
-			e.spacingPolyVsSubtree(lo, c, a.polyIdx, b, r.Layer, lim, rep, emit)
-		case b.polyIdx >= 0:
-			e.spacingPolyVsSubtree(lo, c, b.polyIdx, a, r.Layer, lim, rep, emit)
-		default:
-			e.spacingSubtreeVsSubtree(lo, a, b, r.Layer, lim, rep, emit)
+		stopRowChecks := rep.Profile.Phase("spacing:edge-checks")
+		for _, pr := range pairs {
+			a, b := items[pr[0]], items[pr[1]]
+			switch {
+			case a.polyIdx >= 0 && b.polyIdx >= 0:
+				res.stats.PairsChecked++
+				checks.CheckSpacingLim(c.Polys[a.polyIdx].Shape, c.Polys[b.polyIdx].Shape, lim, remit)
+			case a.polyIdx >= 0:
+				e.spacingPolyVsSubtree(lo, c, a.polyIdx, b, r.Layer, lim, &res.stats, remit)
+			case b.polyIdx >= 0:
+				e.spacingPolyVsSubtree(lo, c, b.polyIdx, a, r.Layer, lim, &res.stats, remit)
+			default:
+				e.spacingSubtreeVsSubtree(lo, a, b, r.Layer, lim, &res.stats, remit)
+			}
 		}
+		stopRowChecks()
+	})
+	for i := range results {
+		out = append(out, results[i].markers...)
+		rep.Stats.add(results[i].stats)
 	}
 	return out
 }
 
 // collectSubtree returns the layer polygons of item's child subtree, in the
 // parent cell's frame, restricted to those whose MBR intersects the window
-// (also parent frame).
-func collectSubtree(lo *layout.Layout, it spaceItem, l layout.Layer, window geom.Rect, rep *Report) []geom.Polygon {
-	rep.Stats.SubtreeQueries++
+// (also parent frame). Counters accumulate into st, which is a per-row
+// shard during the fan-out.
+func collectSubtree(lo *layout.Layout, it spaceItem, l layout.Layer, window geom.Rect, st *Stats) []geom.Polygon {
+	st.SubtreeQueries++
 	childWindow := it.place.Inverse().ApplyRect(window)
 	found := lo.QuerySubtree(it.child, l, childWindow)
 	out := make([]geom.Polygon, len(found))
@@ -153,34 +172,34 @@ func collectSubtree(lo *layout.Layout, it spaceItem, l layout.Layer, window geom
 	return out
 }
 
-func (e *Engine) spacingPolyVsSubtree(lo *layout.Layout, c *layout.Cell, polyIdx int, ref spaceItem, l layout.Layer, lim checks.SpacingLimit, rep *Report, emit func(checks.Marker)) {
+func (e *Engine) spacingPolyVsSubtree(lo *layout.Layout, c *layout.Cell, polyIdx int, ref spaceItem, l layout.Layer, lim checks.SpacingLimit, st *Stats, emit func(checks.Marker)) {
 	p := c.Polys[polyIdx].Shape
-	near := collectSubtree(lo, ref, l, p.MBR().Expand(lim.Reach()), rep)
+	near := collectSubtree(lo, ref, l, p.MBR().Expand(lim.Reach()), st)
 	for _, q := range near {
-		rep.Stats.PairsChecked++
+		st.PairsChecked++
 		checks.CheckSpacingLim(p, q, lim, emit)
 	}
 }
 
-func (e *Engine) spacingSubtreeVsSubtree(lo *layout.Layout, a, b spaceItem, l layout.Layer, lim checks.SpacingLimit, rep *Report, emit func(checks.Marker)) {
+func (e *Engine) spacingSubtreeVsSubtree(lo *layout.Layout, a, b spaceItem, l layout.Layer, lim checks.SpacingLimit, st *Stats, emit func(checks.Marker)) {
 	// Polygons of A near B's box, and vice versa; a violating pair (p, q)
 	// has p within reach of q, so p intersects B's expanded box and q
 	// intersects A's expanded box.
 	reach := lim.Reach()
 	aBox := a.place.ApplyRect(a.child.LayerMBR(l)).Expand(reach)
 	bBox := b.place.ApplyRect(b.child.LayerMBR(l)).Expand(reach)
-	pa := collectSubtree(lo, a, l, bBox, rep)
+	pa := collectSubtree(lo, a, l, bBox, st)
 	if len(pa) == 0 {
 		return
 	}
-	pb := collectSubtree(lo, b, l, aBox, rep)
+	pb := collectSubtree(lo, b, l, aBox, st)
 	for _, p := range pa {
 		pm := p.MBR().Expand(reach)
 		for _, q := range pb {
 			if !pm.Overlaps(q.MBR()) {
 				continue
 			}
-			rep.Stats.PairsChecked++
+			st.PairsChecked++
 			checks.CheckSpacingLim(p, q, lim, emit)
 		}
 	}

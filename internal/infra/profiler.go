@@ -8,12 +8,16 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
-// Profiler accumulates named phase durations. It is not safe for concurrent
-// use; the engine's phases are sequential by construction.
+// Profiler accumulates named phase durations. It is safe for concurrent use:
+// the engine's fan-out phases record per-worker timings into the shared
+// profiler, so a phase total is the summed worker time (it can exceed wall
+// time when workers overlap — the wall clock is Report.HostWall).
 type Profiler struct {
+	mu     sync.Mutex
 	order  []string
 	totals map[string]time.Duration
 }
@@ -35,6 +39,8 @@ func (p *Profiler) Phase(name string) func() {
 
 // Add accumulates d into the named phase.
 func (p *Profiler) Add(name string, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if _, ok := p.totals[name]; !ok {
 		p.order = append(p.order, name)
 	}
@@ -43,6 +49,13 @@ func (p *Profiler) Add(name string, d time.Duration) {
 
 // Total returns the sum over all phases.
 func (p *Profiler) Total() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total()
+}
+
+// total sums all phases; callers hold p.mu.
+func (p *Profiler) total() time.Duration {
 	var t time.Duration
 	for _, d := range p.totals {
 		t += d
@@ -60,7 +73,9 @@ type Share struct {
 // Breakdown returns the phases in first-seen order with their fractions —
 // the data behind Fig. 4.
 func (p *Profiler) Breakdown() []Share {
-	total := p.Total()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := p.total()
 	out := make([]Share, 0, len(p.order))
 	for _, name := range p.order {
 		d := p.totals[name]
@@ -74,12 +89,23 @@ func (p *Profiler) Breakdown() []Share {
 }
 
 // Get returns the accumulated duration of one phase.
-func (p *Profiler) Get(name string) time.Duration { return p.totals[name] }
+func (p *Profiler) Get(name string) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.totals[name]
+}
 
-// Merge adds every phase of q into p.
+// Merge adds every phase of q into p. p and q must be distinct profilers.
 func (p *Profiler) Merge(q *Profiler) {
-	for _, name := range q.order {
-		p.Add(name, q.totals[name])
+	q.mu.Lock()
+	order := append([]string(nil), q.order...)
+	totals := make(map[string]time.Duration, len(q.totals))
+	for k, v := range q.totals {
+		totals[k] = v
+	}
+	q.mu.Unlock()
+	for _, name := range order {
+		p.Add(name, totals[name])
 	}
 }
 
@@ -87,13 +113,14 @@ func (p *Profiler) Merge(q *Profiler) {
 // with a bar chart, e.g. for cmd/odrc-bench -fig 4.
 func (p *Profiler) WriteTo(w io.Writer) (int64, error) {
 	var n int64
+	shares := p.Breakdown()
 	width := 0
-	for _, name := range p.order {
-		if len(name) > width {
-			width = len(name)
+	for _, s := range shares {
+		if len(s.Name) > width {
+			width = len(s.Name)
 		}
 	}
-	for _, s := range p.Breakdown() {
+	for _, s := range shares {
 		bar := strings.Repeat("#", int(s.Fraction*40+0.5))
 		c, err := fmt.Fprintf(w, "%-*s %10v %5.1f%% %s\n", width, s.Name, s.Duration.Round(time.Microsecond), s.Fraction*100, bar)
 		n += int64(c)

@@ -68,12 +68,19 @@ type Options struct {
 	// Threads models the tiling worker pool for the makespan estimate
 	// (default 8, matching the paper's multi-core host).
 	Threads int
+	// Workers is the real worker-pool size executing tiles on this host
+	// (<= 0 selects GOMAXPROCS). Result.Wall measures the pooled run;
+	// Result.Modeled stays the Threads-worker LPT makespan, so measured
+	// and modeled multi-core times are reported side by side.
+	Workers int
 }
 
 // Result is the outcome of checking one rule.
 type Result struct {
 	Violations []rules.Violation
-	// Wall is the measured single-core host time.
+	// Wall is the measured host wall-clock time. Flat and deep modes run
+	// on one core; tiling mode runs its tiles on the Options.Workers pool,
+	// so Wall is the real multi-core time on this host.
 	Wall time.Duration
 	// Modeled is the estimated time with the mode's parallelism: equal to
 	// Wall for flat/deep; for tiling, the LPT makespan of per-tile times

@@ -7,6 +7,7 @@ import (
 	"opendrc/internal/checks"
 	"opendrc/internal/geom"
 	"opendrc/internal/layout"
+	"opendrc/internal/pool"
 	"opendrc/internal/rules"
 	"opendrc/internal/sweep"
 )
@@ -14,10 +15,11 @@ import (
 // Tiling mode: the layout plane is cut into a fixed grid of tiles; each tile
 // processes the flat geometry intersecting the tile extended by the rule
 // halo, and results are attributed to the tile containing the marker's
-// center so halo duplicates are dropped. Real KLayout runs tiles on a worker
-// pool; on this single-core host each tile's wall time is measured and the
-// multi-thread makespan is modeled by longest-processing-time scheduling
-// onto Options.Threads workers.
+// center so halo duplicates are dropped. As in real KLayout, tiles execute
+// on a worker pool (Options.Workers); per-tile wall times are additionally
+// measured so the Options.Threads-worker makespan can be modeled by
+// longest-processing-time scheduling and reported next to the measured
+// pooled wall time.
 
 // checkTiling runs one rule in tiling mode.
 func checkTiling(lo *layout.Layout, r rules.Rule, opts Options, res *Result) error {
@@ -41,23 +43,47 @@ func checkTiling(lo *layout.Layout, r rules.Rule, opts Options, res *Result) err
 		}
 	}
 
-	var tileTimes []time.Duration
-	emit := emitFn(res, r)
+	var tiles []geom.Rect
 	for ty := bounds.YLo; ty <= bounds.YHi; ty += ts {
 		for tx := bounds.XLo; tx <= bounds.XHi; tx += ts {
-			tile := geom.R(tx, ty, tx+ts-1, ty+ts-1)
-			start := time.Now()
-			processed := tileCheck(lo, r, tile, halo, func(m checks.Marker) {
-				// Ownership: the tile containing the marker center reports
-				// it; halo copies elsewhere are dropped.
-				if tile.Contains(m.Box.Center()) {
-					emit(m)
-				}
-			})
-			if processed {
-				tileTimes = append(tileTimes, time.Since(start))
-				res.Tiles++
+			tiles = append(tiles, geom.R(tx, ty, tx+ts-1, ty+ts-1))
+		}
+	}
+
+	// Tiles are independent by construction (halo ownership drops
+	// duplicates), so they fan out across the worker pool; per-tile slots
+	// merged in grid order keep the violation list bit-identical for every
+	// worker count.
+	type tileResult struct {
+		vs        []rules.Violation
+		dur       time.Duration
+		processed bool
+	}
+	results := make([]tileResult, len(tiles))
+	pool.ForEach(opts.Workers, len(tiles), func(i int) {
+		tile := tiles[i]
+		tr := &results[i]
+		start := time.Now()
+		tr.processed = tileCheck(lo, r, tile, halo, func(m checks.Marker) {
+			// Ownership: the tile containing the marker center reports
+			// it; halo copies elsewhere are dropped.
+			if tile.Contains(m.Box.Center()) {
+				tr.vs = append(tr.vs, rules.Violation{
+					Rule: r.ID, Kind: r.Kind, Layer: r.Layer, Marker: m,
+				})
 			}
+		})
+		if tr.processed {
+			tr.dur = time.Since(start)
+		}
+	})
+
+	var tileTimes []time.Duration
+	for i := range results {
+		res.Violations = append(res.Violations, results[i].vs...)
+		if results[i].processed {
+			tileTimes = append(tileTimes, results[i].dur)
+			res.Tiles++
 		}
 	}
 	res.Modeled = makespan(tileTimes, opts.Threads)

@@ -1,0 +1,167 @@
+// Package pool is OpenDRC's bounded host worker pool: the execution layer
+// behind the engine's multi-core fan-out (per cell definition in the intra
+// checks, per partition row in the spacing sweep, per tile in the KLayout
+// tiling baseline). The pool is deliberately small: fixed workers pulling
+// from a bounded queue, panic propagation to the waiter, and an indexed
+// ForEach whose callers write results into per-index slots so merged output
+// is bit-identical regardless of the worker count.
+package pool
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a configured worker count: values <= 0 select
+// runtime.GOMAXPROCS(0), the number of usable host cores.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// PanicError wraps a panic recovered inside a worker so Wait (or ForEach)
+// can re-panic it on the submitting goroutine with the worker's stack
+// preserved.
+type PanicError struct {
+	Value any    // the original panic value
+	Stack []byte // the panicking worker's stack
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pool: worker panic: %v\n%s", e.Value, e.Stack)
+}
+
+// Pool is a bounded worker pool: a fixed set of goroutines executing
+// submitted tasks. Submit blocks when the queue is full (bounded memory);
+// Wait blocks until every submitted task finished and re-panics the first
+// worker panic, if any. A Pool must be Closed when no longer needed.
+type Pool struct {
+	tasks   chan func()
+	pending sync.WaitGroup // open tasks
+	workers sync.WaitGroup // live worker goroutines
+
+	mu  sync.Mutex
+	err *PanicError // first worker panic, cleared by Wait
+}
+
+// New starts a pool with the given number of workers (<= 0 selects
+// GOMAXPROCS).
+func New(workers int) *Pool {
+	workers = Workers(workers)
+	p := &Pool{tasks: make(chan func(), 2*workers)}
+	p.workers.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.workers.Done()
+	for fn := range p.tasks {
+		p.run(fn)
+	}
+}
+
+// run executes one task, converting a panic into the pool's stored error.
+func (p *Pool) run(fn func()) {
+	defer p.pending.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			p.mu.Lock()
+			if p.err == nil {
+				p.err = &PanicError{Value: r, Stack: debug.Stack()}
+			}
+			p.mu.Unlock()
+		}
+	}()
+	fn()
+}
+
+// Submit enqueues one task; it blocks while the queue is full.
+func (p *Pool) Submit(fn func()) {
+	p.pending.Add(1)
+	p.tasks <- fn
+}
+
+// Wait blocks until all submitted tasks completed. If any task panicked,
+// Wait re-panics the first captured *PanicError; the pool stays usable for
+// further Submit/Wait rounds either way.
+func (p *Pool) Wait() {
+	p.pending.Wait()
+	p.mu.Lock()
+	err := p.err
+	p.err = nil
+	p.mu.Unlock()
+	if err != nil {
+		panic(err)
+	}
+}
+
+// Close stops the workers after the queued tasks drain. Submit must not be
+// called after Close.
+func (p *Pool) Close() {
+	close(p.tasks)
+	p.workers.Wait()
+}
+
+// ForEach runs fn(0..n-1) on up to `workers` goroutines (<= 0 selects
+// GOMAXPROCS) and returns when every index completed. Indices are handed
+// out dynamically, so uneven task costs balance across workers. With one
+// worker (or one index) fn runs inline on the caller — zero overhead and
+// byte-identical scheduling to a plain loop. If any fn panics, ForEach
+// finishes the remaining indices on the surviving workers and then
+// re-panics the first *PanicError on the caller.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next int64
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		perr *PanicError
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if perr == nil {
+						perr = &PanicError{Value: r, Stack: debug.Stack()}
+					}
+					mu.Unlock()
+				}
+			}()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if perr != nil {
+		panic(perr)
+	}
+}

@@ -1,0 +1,110 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefault(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+func TestPoolSubmitWait(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var sum int64
+	for i := 1; i <= 100; i++ {
+		i := i
+		p.Submit(func() { atomic.AddInt64(&sum, int64(i)) })
+	}
+	p.Wait()
+	if sum != 5050 {
+		t.Fatalf("sum = %d, want 5050", sum)
+	}
+	// The pool is reusable after Wait.
+	p.Submit(func() { atomic.AddInt64(&sum, 1) })
+	p.Wait()
+	if sum != 5051 {
+		t.Fatalf("second round sum = %d, want 5051", sum)
+	}
+}
+
+func TestPoolPanicPropagation(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	p.Submit(func() { panic("boom") })
+	p.Submit(func() {}) // healthy task alongside the panicking one
+	func() {
+		defer func() {
+			r := recover()
+			pe, ok := r.(*PanicError)
+			if !ok {
+				t.Fatalf("recovered %T (%v), want *PanicError", r, r)
+			}
+			if pe.Value != "boom" {
+				t.Fatalf("panic value = %v, want boom", pe.Value)
+			}
+			if len(pe.Stack) == 0 {
+				t.Fatal("panic stack not captured")
+			}
+		}()
+		p.Wait()
+		t.Fatal("Wait returned instead of panicking")
+	}()
+	// The panic is consumed: the next round is clean.
+	p.Submit(func() {})
+	p.Wait()
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 1000
+		hits := make([]int32, n)
+		ForEach(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachInlineWhenSingle(t *testing.T) {
+	// One worker must run on the calling goroutine, in index order.
+	var order []int
+	ForEach(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline order = %v", order)
+		}
+	}
+}
+
+func TestForEachPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		pe, ok := r.(*PanicError)
+		if !ok || pe.Value != "kaput" {
+			t.Fatalf("recovered %v, want *PanicError{kaput}", r)
+		}
+	}()
+	ForEach(4, 100, func(i int) {
+		if i == 42 {
+			panic("kaput")
+		}
+	})
+	t.Fatal("ForEach returned instead of panicking")
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	ForEach(4, 0, func(int) { t.Fatal("fn called for n=0") })
+}

@@ -116,6 +116,14 @@ func WithoutPruning() Option {
 	return func(o *core.Options) { o.DisablePruning = true }
 }
 
+// WithWorkers bounds the host worker pool used by the engine's fan-out
+// phases — per cell definition in the intra checks, per partition row in
+// the spacing sweep (<= 0 selects GOMAXPROCS). Reports are bit-identical
+// for every worker count.
+func WithWorkers(n int) Option {
+	return func(o *core.Options) { o.Workers = n }
+}
+
 // WithSortPartition selects the sort-based interval merging instead of the
 // pigeonhole array (ablation).
 func WithSortPartition() Option {
