@@ -1,7 +1,9 @@
 #!/bin/sh
-# check.sh — the repository's verification gate: formatting, vet, and the
-# full test suite under the race detector (the worker-pool fan-out makes
-# -race part of tier-1 verification).
+# check.sh — the repository's verification gate: formatting, vet, the
+# odrc-lint invariant suite (determinism, clock discipline, pool-only
+# concurrency, no caller-slice mutation), and the full test suite under the
+# race detector (the worker-pool fan-out makes -race part of tier-1
+# verification).
 set -e
 
 unformatted=$(gofmt -l .)
@@ -12,5 +14,6 @@ if [ -n "$unformatted" ]; then
 fi
 
 go vet ./...
+go run ./cmd/odrc-lint
 go test -race ./...
 echo "check.sh: all green"

@@ -1,0 +1,65 @@
+// Command odrc-lint enforces the engine's written invariants as
+// machine-checked rules: deterministic map iteration, clock discipline
+// (host timing through the Profiler/hostPhase), pool-only concurrency, and
+// no in-place mutation of caller slices by exported functions. See
+// internal/analysis for the checkers and the //odrc:allow waiver syntax.
+//
+// Usage:
+//
+//	odrc-lint [-C dir]
+//
+// It walks up from -C (default ".") to the enclosing go.mod, lints every
+// non-test package in the module, prints findings as "file:line: [check]
+// message", and exits nonzero when any finding (including a stale waiver)
+// survives.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"opendrc/internal/analysis"
+)
+
+func main() {
+	dir := flag.String("C", ".", "directory inside the module to lint")
+	flag.Parse()
+
+	root, err := findModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odrc-lint:", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odrc-lint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "odrc-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from dir to the nearest directory with a go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ArgMut guards against the DedupViolations bug class: an exported function
+// that sorts a parameter slice in place, or appends back into it, mutates
+// the caller's data through the shared backing array. Exported APIs must
+// copy before reordering or growing.
+var ArgMut = &Checker{
+	Name: "argmut",
+	Doc:  "exported functions must not sort or append in place into a parameter slice",
+	Run:  runArgMut,
+}
+
+func runArgMut(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			params := sliceParams(p.Info, fd)
+			if len(params) == 0 {
+				continue
+			}
+			checkArgMutBody(p, fd, params)
+		}
+	}
+}
+
+// sliceParams returns the objects of fd's slice-typed parameters.
+func sliceParams(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+func checkArgMutBody(p *Pass, fd *ast.FuncDecl, params map[types.Object]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			if arg, ok := sortedInPlaceArg(p.Info, st); ok {
+				if obj := p.Info.ObjectOf(arg); obj != nil && params[obj] {
+					p.Reportf(st.Pos(), "argmut",
+						"exported %s sorts its parameter %q in place; the caller's slice must stay untouched — sort a copy", fd.Name.Name, arg.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(st.Rhs) {
+					continue
+				}
+				obj := p.Info.ObjectOf(id)
+				if obj == nil || !params[obj] {
+					continue
+				}
+				call, ok := st.Rhs[i].(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(p.Info, call) || len(call.Args) == 0 {
+					continue
+				}
+				if first, ok := call.Args[0].(*ast.Ident); ok && p.Info.ObjectOf(first) == obj {
+					p.Reportf(st.Pos(), "argmut",
+						"exported %s appends back into its parameter %q; spare capacity aliases the caller's array — build a fresh slice", fd.Name.Name, id.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sortedInPlaceArg matches in-place ordering calls (sort.Slice and friends,
+// slices.Sort*) and returns the identifier being sorted, when it is one.
+func sortedInPlaceArg(info *types.Info, call *ast.CallExpr) (*ast.Ident, bool) {
+	if !isSortCall(info, call) {
+		return nil, false
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	return id, ok
+}

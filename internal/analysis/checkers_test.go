@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// lintFixture type-checks one testdata file as a package with the given
+// import path and runs the full suite (checkers + waivers) over it.
+func lintFixture(t *testing.T, pkgPath, file string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	parsed, err := parser.ParseFile(fset, filepath.Join("testdata", file), nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", file, err)
+	}
+	cfg := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := newInfo()
+	pkg, err := cfg.Check(pkgPath, fset, []*ast.File{parsed}, info)
+	if err != nil {
+		t.Fatalf("type-check %s: %v", file, err)
+	}
+	return checkPackage(fset, pkgPath, []*ast.File{parsed}, pkg, info)
+}
+
+// keysOf compresses findings to "check:line" for table comparison.
+func keysOf(fs []Finding) []string {
+	out := make([]string, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, fmt.Sprintf("%s:%d", f.Check, f.Pos.Line))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestCheckers(t *testing.T) {
+	cases := []struct {
+		name    string
+		file    string
+		pkgPath string
+		want    []string // "check:line", sorted
+	}{
+		{
+			name:    "maprange in deterministic package",
+			file:    "maprange_src.go",
+			pkgPath: "example.com/internal/core",
+			want:    []string{"maprange:10", "maprange:19", "maprange:28"},
+		},
+		{
+			name:    "maprange ignores non-deterministic packages",
+			file:    "maprange_src.go",
+			pkgPath: "example.com/internal/gpu",
+			want:    nil,
+		},
+		{
+			name:    "maprange does not match a merely core-named package",
+			file:    "maprange_src.go",
+			pkgPath: "example.com/pkg/core",
+			want:    nil,
+		},
+		{
+			name:    "clock in a regular package",
+			file:    "clock_src.go",
+			pkgPath: "example.com/internal/core",
+			want:    []string{"clock:9", "clock:11"},
+		},
+		{
+			name:    "clock exempt in infra",
+			file:    "clock_src.go",
+			pkgPath: "example.com/internal/infra",
+			want:    nil,
+		},
+		{
+			name:    "clock exempt in bench",
+			file:    "clock_src.go",
+			pkgPath: "example.com/internal/bench",
+			want:    nil,
+		},
+		{
+			name:    "rawgo in a regular package",
+			file:    "rawgo_src.go",
+			pkgPath: "example.com/internal/core",
+			want:    []string{"rawgo:7"},
+		},
+		{
+			name:    "rawgo exempt in pool",
+			file:    "rawgo_src.go",
+			pkgPath: "example.com/internal/pool",
+			want:    nil,
+		},
+		{
+			name:    "argmut on exported functions",
+			file:    "argmut_src.go",
+			pkgPath: "example.com/internal/geom",
+			want:    []string{"argmut:14", "argmut:19", "argmut:9"},
+		},
+		{
+			name:    "waivers suppress, stale waivers report",
+			file:    "waiver_src.go",
+			pkgPath: "example.com/internal/core",
+			want:    []string{"clock:21", "waiver:15", "waiver:21"},
+		},
+		{
+			name:    "malformed waivers",
+			file:    "badwaiver_src.go",
+			pkgPath: "example.com/internal/core",
+			want:    []string{"waiver:7", "waiver:12", "waiver:17", "waiver:22"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := keysOf(lintFixture(t, tc.pkgPath, tc.file))
+			want := append([]string(nil), tc.want...)
+			sort.Strings(want)
+			if len(want) == 0 {
+				want = nil
+			}
+			if len(got) == 0 {
+				got = nil
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("findings = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{
+		Pos:     token.Position{Filename: "internal/core/x.go", Line: 7, Column: 3},
+		Check:   "maprange",
+		Message: "bad",
+	}
+	if got, want := f.String(), "internal/core/x.go:7: [maprange] bad"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

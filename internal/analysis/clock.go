@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Clock enforces the timing discipline behind the modeled CPU+GPU timeline:
+// all host timing flows through infra.Profiler / the parallel branch's
+// hostPhase, so the only packages that may read the wall clock directly are
+// internal/infra (the profiler itself) and internal/bench (measurement
+// harness). A stray time.Now elsewhere produces host work the modeled device
+// clock never sees — the silent drift PR 1 fixed in the custom-rule path.
+var Clock = &Checker{
+	Name: "clock",
+	Doc:  "no direct time.Now/time.Since outside internal/infra and internal/bench",
+	Run:  runClock,
+}
+
+func isClockExemptPkg(pkgPath string) bool {
+	return pkgIs(pkgPath, "internal/infra") || pkgIs(pkgPath, "internal/bench")
+}
+
+func runClock(p *Pass) {
+	if isClockExemptPkg(p.PkgPath) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || pkgNameOf(p.Info, id) != "time" {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Now", "Since":
+				p.Reportf(sel.Pos(), "clock",
+					"time.%s outside internal/infra and internal/bench: time host work through the Profiler/hostPhase so it enters the modeled timeline", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange enforces determinism in report-producing packages: `range` over a
+// map type is forbidden unless the loop only collects the keys into a slice
+// that is sorted later in the same function. Go randomizes map iteration
+// order, so anything else makes violation order (and therefore report bytes)
+// differ from run to run — the byMag bug class PR 1 fixed by hand.
+var MapRange = &Checker{
+	Name: "maprange",
+	Doc:  "no map iteration in deterministic packages unless keys are collected and sorted",
+	Run:  runMapRange,
+}
+
+func runMapRange(p *Pass) {
+	if !isDeterministicPkg(p.PkgPath) {
+		return
+	}
+	for _, f := range p.Files {
+		bodies := functionBodies(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if collectsAndSortsKeys(p, rs, enclosingBody(bodies, rs)) {
+				return true
+			}
+			p.Reportf(rs.Pos(), "maprange",
+				"map iteration order is randomized; collect the keys into a slice and sort it before ranging")
+			return true
+		})
+	}
+}
+
+// functionBodies returns every function body in the file (declarations and
+// literals), used to find the innermost function enclosing a statement.
+func functionBodies(f *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, fn.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, fn.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// enclosingBody returns the smallest function body containing n, or nil.
+func enclosingBody(bodies []*ast.BlockStmt, n ast.Node) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range bodies {
+		if b.Pos() <= n.Pos() && n.End() <= b.End() {
+			if best == nil || (best.Pos() <= b.Pos() && b.End() <= best.End()) {
+				best = b
+			}
+		}
+	}
+	return best
+}
+
+// collectsAndSortsKeys recognizes the one permitted map-range idiom:
+//
+//	for k := range m {
+//	    keys = append(keys, k)
+//	}
+//	sort.Slice(keys, ...)   // or sort.Ints/Strings/..., slices.Sort*
+//
+// The loop may not use the map value, every statement in its body must be an
+// append into a slice, and at least one appended-to slice must be passed to
+// a sort call later in the same function.
+func collectsAndSortsKeys(p *Pass, rs *ast.RangeStmt, body *ast.BlockStmt) bool {
+	if !identIsBlankOrNil(rs.Value) {
+		return false
+	}
+	// Every body statement must be `dst = append(dst, ...)`; remember dsts.
+	var dsts []types.Object
+	for _, st := range rs.Body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(p.Info, call) || len(call.Args) == 0 {
+			return false
+		}
+		first, ok := call.Args[0].(*ast.Ident)
+		if !ok || p.Info.ObjectOf(first) != p.Info.ObjectOf(lhs) {
+			return false
+		}
+		dsts = append(dsts, p.Info.ObjectOf(lhs))
+	}
+	if len(dsts) == 0 || body == nil {
+		return false
+	}
+	// A sort of any collected slice after the loop blesses the idiom.
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if !isSortCall(p.Info, call) {
+			return true
+		}
+		arg, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.ObjectOf(arg)
+		for _, d := range dsts {
+			if obj == d {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+func identIsBlankOrNil(e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// isSortCall matches sort.* and slices.Sort* calls that order their first
+// argument in place.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	if name, _, ok := selectorPkgCall(info, call, "sort"); ok {
+		switch name {
+		case "Slice", "SliceStable", "Sort", "Stable", "Ints", "Strings", "Float64s":
+			return true
+		}
+	}
+	if name, _, ok := selectorPkgCall(info, call, "slices"); ok {
+		switch name {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,29 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// RawGo keeps all concurrency on the bounded worker pool: a raw `go`
+// statement outside internal/pool escapes the pool's worker bound, its panic
+// propagation, and the fan-out paths the race detector exercises in tests.
+var RawGo = &Checker{
+	Name: "rawgo",
+	Doc:  "no go statements outside internal/pool",
+	Run:  runRawGo,
+}
+
+func runRawGo(p *Pass) {
+	if pkgIs(p.PkgPath, "internal/pool") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.Reportf(g.Pos(), "rawgo",
+					"raw go statement: fan out through internal/pool so concurrency stays bounded and panic-safe")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,40 @@
+// Fixture for the argmut checker. Line numbers are asserted in
+// checkers_test.go — append new cases at the end.
+package fixture
+
+import "sort"
+
+// SortInPlace reorders the caller's slice: finding on line 9.
+func SortInPlace(vs []int) {
+	sort.Ints(vs)
+}
+
+// SortSliceInPlace reorders through sort.Slice: finding on line 14.
+func SortSliceInPlace(vs []int) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+}
+
+// GrowInPlace appends back into the parameter: finding on line 19.
+func GrowInPlace(vs []int) []int {
+	vs = append(vs, 1)
+	return vs
+}
+
+// SortCopy sorts a fresh copy: clean.
+func SortCopy(vs []int) []int {
+	out := append([]int(nil), vs...)
+	sort.Ints(out)
+	return out
+}
+
+// unexported mutation is outside the exported-API contract: clean.
+func sortPrivate(vs []int) {
+	sort.Ints(vs)
+}
+
+// AppendElsewhere appends the parameter into another slice: clean.
+func AppendElsewhere(vs []int) []int {
+	var out []int
+	out = append(out, vs...)
+	return out
+}

@@ -1,0 +1,23 @@
+// Fixture for malformed waivers. Line numbers are asserted in
+// checkers_test.go — append new cases at the end.
+package fixture
+
+// missing dash and reason: waiver finding on line 7.
+
+//odrc:allow maprange
+func a() {}
+
+// unknown check name: waiver finding on line 12.
+
+//odrc:allow frobnicate — no such checker
+func b() {}
+
+// dash but empty reason: waiver finding on line 17.
+
+//odrc:allow clock —
+func c() {}
+
+// double-dash separator with a reason is accepted: clean.
+func d() int {
+	return 2 + 2 //odrc:allow argmut -- fixture: valid form, but stale (line 22)
+}

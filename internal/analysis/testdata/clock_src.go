@@ -1,0 +1,19 @@
+// Fixture for the clock checker. Line numbers are asserted in
+// checkers_test.go — append new cases at the end.
+package fixture
+
+import "time"
+
+// rawNow reads the wall clock directly: findings on lines 9 and 11.
+func rawNow() time.Duration {
+	start := time.Now()
+	work()
+	return time.Since(start)
+}
+
+// durationsOnly uses time types and constants but never the clock: clean.
+func durationsOnly(d time.Duration) time.Duration {
+	return d + 5*time.Millisecond
+}
+
+func work() {}

@@ -1,0 +1,61 @@
+// Fixture for the maprange checker. Line numbers are asserted in
+// checkers_test.go — append new cases at the end.
+package fixture
+
+import "sort"
+
+// rangeDirect iterates a map directly: finding on line 10.
+func rangeDirect(m map[string]int) int {
+	n := 0
+	for k := range m {
+		n += len(k)
+	}
+	return n
+}
+
+// rangeValue uses the map value inside the loop: finding on line 19.
+func rangeValue(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// collectWithoutSort collects keys but never sorts them: finding on line 28.
+func collectWithoutSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// collectAndSort is the blessed idiom: no finding.
+func collectAndSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectAndSortSlice uses sort.Slice: no finding.
+func collectAndSortSlice(m map[int64]bool) []int64 {
+	var keys []int64
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// sliceRange ranges over a slice, not a map: no finding.
+func sliceRange(vs []int) int {
+	n := 0
+	for _, v := range vs {
+		n += v
+	}
+	return n
+}

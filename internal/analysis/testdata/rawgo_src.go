@@ -1,0 +1,13 @@
+// Fixture for the rawgo checker. Line numbers are asserted in
+// checkers_test.go — append new cases at the end.
+package fixture
+
+// spawn launches a raw goroutine: finding on line 7.
+func spawn(fn func()) {
+	go fn()
+}
+
+// submit hands the closure to a pool-style runner instead: clean.
+func submit(run func(func()), fn func()) {
+	run(fn)
+}

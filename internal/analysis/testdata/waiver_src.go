@@ -1,0 +1,22 @@
+// Fixture for the //odrc:allow waiver machinery. Line numbers are asserted
+// in checkers_test.go — append new cases at the end.
+package fixture
+
+import "time"
+
+// waivedNow triggers clock but carries a valid waiver: no finding.
+func waivedNow() time.Time {
+	return time.Now() //odrc:allow clock — fixture: deliberate exception with a reason
+}
+
+// staleWaiver excuses a check the line does not trigger: waiver finding on
+// line 15.
+func staleWaiver() int {
+	return 1 //odrc:allow clock — fixture: nothing here reads the clock
+}
+
+// wrongCheckWaiver triggers clock but waives rawgo: clock finding on line 21
+// AND a stale-waiver finding on line 21.
+func wrongCheckWaiver() time.Time {
+	return time.Now() //odrc:allow rawgo — fixture: waiver for the wrong check
+}

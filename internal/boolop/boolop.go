@@ -151,9 +151,14 @@ func compactDeltas(ds []delta) []delta {
 	for _, d := range ds {
 		sum[d.y] += d.w
 	}
+	ys := make([]int64, 0, len(sum))
+	for y := range sum {
+		ys = append(ys, y)
+	}
+	sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
 	out := ds[:0]
-	for y, w := range sum {
-		if w != 0 {
+	for _, y := range ys {
+		if w := sum[y]; w != 0 {
 			out = append(out, delta{y: y, w: w})
 		}
 	}

@@ -37,9 +37,9 @@ type parCtx struct {
 // advances the modeled host clock, during which the device may still be
 // executing previously enqueued work.
 func (p *parCtx) hostPhase(rep *Report, name string, fn func()) {
-	start := time.Now()
+	start := time.Now() //odrc:allow clock — hostPhase IS the clock discipline: it charges the profiler and advances the modeled device clock
 	fn()
-	d := time.Since(start)
+	d := time.Since(start) //odrc:allow clock — paired with the hostPhase start above; d feeds both Profiler and HostAdvance
 	rep.Profile.Add(name, d)
 	p.dev.HostAdvance(d)
 }
@@ -125,15 +125,20 @@ func (e *Engine) runIntraPar(lo *layout.Layout, r rules.Rule, placements [][]geo
 		if len(c.LocalPolys(r.Layer)) == 0 || len(placements[c.ID]) == 0 {
 			continue
 		}
-		mags := make(map[int64]bool)
+		magSet := make(map[int64]bool)
 		for _, t := range placements[c.ID] {
 			mag := t.Mag
 			if mag == 0 {
 				mag = 1
 			}
-			mags[mag] = true
+			magSet[mag] = true
 		}
-		for mag := range mags {
+		cellMags := make([]int64, 0, len(magSet))
+		for mag := range magSet {
+			cellMags = append(cellMags, mag)
+		}
+		sort.Slice(cellMags, func(i, j int) bool { return cellMags[i] < cellMags[j] })
+		for _, mag := range cellMags {
 			groups[mag] = append(groups[mag], c)
 		}
 	}

@@ -133,7 +133,7 @@ func (p Polygon) Edge(i int) Edge {
 func (p Polygon) AppendEdges(dst []Edge) []Edge {
 	n := len(p.pts)
 	for i := 0; i < n; i++ {
-		dst = append(dst, Edge{p.pts[i], p.pts[(i+1)%n]})
+		dst = append(dst, Edge{p.pts[i], p.pts[(i+1)%n]}) //odrc:allow argmut — append-and-return API in the strconv.AppendX convention; callers reassign the result
 	}
 	return dst
 }

@@ -98,6 +98,21 @@ func TestLoggerLevels(t *testing.T) {
 	}
 }
 
+func TestLoggerInjectedClock(t *testing.T) {
+	var buf bytes.Buffer
+	at := time.Date(2024, 3, 1, 9, 30, 15, 250*int(time.Millisecond), time.UTC)
+	l := NewLoggerWithClock(&buf, LevelInfo, func() time.Time { return at })
+	l.Infof("tick %d", 1)
+	at = at.Add(1500 * time.Millisecond)
+	l.Warnf("tock")
+	want := "09:30:15.250 INFO  tick 1\n09:30:16.750 WARN  tock\n"
+	if got := buf.String(); got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+	// A nil clock must fall back to the wall clock, not panic.
+	NewLoggerWithClock(&buf, LevelInfo, nil).Infof("wall")
+}
+
 func TestNilLoggerSafe(t *testing.T) {
 	var l *Logger
 	l.Infof("no crash") // must not panic

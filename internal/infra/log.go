@@ -29,9 +29,20 @@ type Logger struct {
 	clock func() time.Time
 }
 
-// NewLogger writes messages at or above min to w.
+// NewLogger writes messages at or above min to w, timestamping with the
+// wall clock.
 func NewLogger(w io.Writer, min Level) *Logger {
-	return &Logger{w: w, min: min, clock: time.Now}
+	return NewLoggerWithClock(w, min, time.Now)
+}
+
+// NewLoggerWithClock is NewLogger with an injectable time source, so tests
+// (and replayed runs) can produce byte-identical output. A nil clock falls
+// back to time.Now.
+func NewLoggerWithClock(w io.Writer, min Level, clock func() time.Time) *Logger {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Logger{w: w, min: min, clock: clock}
 }
 
 func (l *Logger) log(lv Level, format string, args ...any) {

@@ -1,6 +1,8 @@
 package klayout
 
 import (
+	"sort"
+
 	"opendrc/internal/checks"
 	"opendrc/internal/geom"
 	"opendrc/internal/layout"
@@ -198,7 +200,15 @@ func deepSpacing(lo *layout.Layout, r rules.Rule, emit func(checks.Marker)) {
 	for i := 0; i < n; i++ {
 		clusters[find(i)] = append(clusters[find(i)], i)
 	}
-	for _, members := range clusters {
+	// Visit clusters in sorted root order so marker emission order never
+	// depends on map iteration.
+	roots := make([]int, 0, len(clusters))
+	for root := range clusters {
+		roots = append(roots, root)
+	}
+	sort.Ints(roots)
+	for _, root := range roots {
+		members := clusters[root]
 		if len(members) < 2 {
 			continue
 		}

@@ -171,7 +171,8 @@ func (lo *Layout) computeMBRs() {
 			corners := [4][2]int{
 				{0, 0}, {ref.Cols - 1, 0}, {0, ref.Rows - 1}, {ref.Cols - 1, ref.Rows - 1},
 			}
-			for l, childR := range child.layerMBR {
+			for _, l := range child.Layers() {
+				childR := child.layerMBR[l]
 				if childR.Empty() {
 					continue
 				}
@@ -196,8 +197,8 @@ func (lo *Layout) buildIndices() {
 	lo.layerCells = make(map[Layer][]int)
 	lo.inverted = make(map[Layer][]PolyRef)
 	for _, c := range lo.Cells { // topological order is preserved per layer
-		for l, r := range c.layerMBR {
-			if !r.Empty() {
+		for _, l := range c.Layers() {
+			if !c.layerMBR[l].Empty() {
 				lo.layerCells[l] = append(lo.layerCells[l], c.ID)
 			}
 		}

@@ -80,6 +80,39 @@ func TestParseDeckErrors(t *testing.T) {
 	}
 }
 
+func TestParseDeckDuplicateRule(t *testing.T) {
+	dup := `
+layer M1 19
+layer M2 20
+rule M1.W.1 width M1 18
+rule M1.W.2 width M1 24
+`
+	_, err := ParseDeck(strings.NewReader(dup))
+	if err == nil {
+		t.Fatal("accepted deck with two width rules on the same layer")
+	}
+	if !strings.Contains(err.Error(), "duplicates") {
+		t.Errorf("error does not name the duplicate: %v", err)
+	}
+
+	// Same kind on different layers, different layer pairs, or different
+	// PRL conditions are all legitimate.
+	ok := `
+layer M1 19
+layer M2 20
+layer V1 21
+rule M1.W.1 width M1 18
+rule M2.W.1 width M2 20
+rule M1.S.1 spacing M1 18
+rule M1.S.2 spacing M1 20 prl 100 26
+rule V1.EN.1 enclosure V1 M1 5
+rule V1.EN.2 enclosure V1 M2 6
+`
+	if _, err := ParseDeck(strings.NewReader(ok)); err != nil {
+		t.Errorf("rejected legitimate deck: %v", err)
+	}
+}
+
 func TestDeckRoundTrip(t *testing.T) {
 	deck, err := ParseDeck(strings.NewReader(sampleDeck))
 	if err != nil {

@@ -270,12 +270,32 @@ func (v Violation) String() string {
 // Deck is an ordered rule list.
 type Deck []Rule
 
-// Validate checks every rule.
+// Validate checks every rule and rejects duplicates: two rules of the same
+// kind on the same layer pair with the same projection condition would either
+// be redundant or silently contradict each other, so the deck is refused
+// outright. Custom rules are exempt — several distinct predicates per layer
+// are legitimate.
 func (d Deck) Validate() error {
+	type ruleKey struct {
+		kind      Kind
+		layer     layout.Layer
+		outer     layout.Layer
+		prlLength int64
+	}
+	seen := make(map[ruleKey]int)
 	for i, r := range d {
 		if err := r.Validate(); err != nil {
 			return fmt.Errorf("rule %d (%s): %w", i, r, err)
 		}
+		if r.Kind == Custom {
+			continue
+		}
+		k := ruleKey{kind: r.Kind, layer: r.Layer, outer: r.Outer, prlLength: r.PRLLength}
+		if j, dup := seen[k]; dup {
+			return fmt.Errorf("rules: rule %d (%s) duplicates rule %d (%s): one %v rule per layer pair",
+				i, r, j, d[j], r.Kind)
+		}
+		seen[k] = i
 	}
 	return nil
 }
