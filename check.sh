@@ -1,9 +1,10 @@
 #!/bin/sh
 # check.sh — the repository's verification gate: formatting, vet, the
 # odrc-lint invariant suite (determinism, clock discipline, pool-only
-# concurrency, no caller-slice mutation), and the full test suite under the
+# concurrency, no caller-slice mutation), the full test suite under the
 # race detector (the worker-pool fan-out makes -race part of tier-1
-# verification).
+# verification; the chaos and cancellation suites run here too), and a
+# short fuzz smoke over the GDSII reader and the polygon/transform algebra.
 set -e
 
 unformatted=$(gofmt -l .)
@@ -16,4 +17,10 @@ fi
 go vet ./...
 go run ./cmd/odrc-lint
 go test -race ./...
+
+# Fuzz smoke: ten seconds per target. Regressions found by longer fuzz runs
+# land as corpus files under testdata/fuzz/, which plain `go test` replays.
+go test -run=NONE -fuzz=FuzzReadLibrary -fuzztime=10s ./internal/gdsii
+go test -run=NONE -fuzz=FuzzPolygonTransform -fuzztime=10s ./internal/geom
+
 echo "check.sh: all green"

@@ -10,12 +10,17 @@
 //	                                     sequential-engine multi-core speedup
 //	                                     (Workers=1 vs Workers=n wall time)
 //
+// Every experiment accepts -timeout d; an expired deadline aborts between
+// cells and exits with code 3 (the same taxonomy as cmd/odrc).
+//
 // Time semantics: CPU checkers report measured wall time divided by the
 // host calibration constant; GPU checkers report modeled CPU+GPU time from
 // the simulated device (see DESIGN.md).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +34,10 @@ import (
 
 func main() {
 	if err := run(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "odrc-bench: timeout:", err)
+			os.Exit(3)
+		}
 		fmt.Fprintln(os.Stderr, "odrc-bench:", err)
 		os.Exit(1)
 	}
@@ -43,13 +52,21 @@ func run() error {
 	runs := flag.Int("runs", 3, "repetitions per -speedup cell (minimum wall time is reported)")
 	out := flag.String("out", "", "also write the -speedup report as JSON to this file")
 	scale := flag.Float64("scale", 1, "design scale factor (1 = full synthetic size)")
+	timeout := flag.Duration("timeout", 0, "abort the experiment after this duration (0 = no deadline); exits 3 on expiry")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	switch {
 	case *table == 1:
-		return runTable("Table I — intra-polygon checks (width, area)", bench.TableIRules(), *scale)
+		return runTable(ctx, "Table I — intra-polygon checks (width, area)", bench.TableIRules(), *scale)
 	case *table == 2:
-		return runTable("Table II — inter-polygon checks (spacing, enclosure)", bench.TableIIRules(), *scale)
+		return runTable(ctx, "Table II — inter-polygon checks (spacing, enclosure)", bench.TableIIRules(), *scale)
 	case *fig == 3:
 		return bench.Fig3(os.Stdout)
 	case *fig == 4:
@@ -57,7 +74,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		rows, err := bench.Fig4(lts)
+		rows, err := bench.Fig4Context(ctx, lts)
 		if err != nil {
 			return err
 		}
@@ -66,19 +83,19 @@ func run() error {
 	case *ablation:
 		return runAblations(*scale)
 	case *speedup:
-		return runSpeedup(*scale, *workers, *runs, *out)
+		return runSpeedup(ctx, *scale, *workers, *runs, *out)
 	}
 	flag.Usage()
 	return nil
 }
 
 // runSpeedup measures Workers=1 vs Workers=N wall time on the six designs.
-func runSpeedup(scale float64, workers, runs int, outPath string) error {
+func runSpeedup(ctx context.Context, scale float64, workers, runs int, outPath string) error {
 	lts, err := bench.Layouts(scale)
 	if err != nil {
 		return err
 	}
-	rep, err := bench.Speedup(lts, workers, runs, scale)
+	rep, err := bench.SpeedupContext(ctx, lts, workers, runs, scale)
 	if err != nil {
 		return err
 	}
@@ -99,12 +116,12 @@ func runSpeedup(scale float64, workers, runs int, outPath string) error {
 	return nil
 }
 
-func runTable(title string, rules []string, scale float64) error {
+func runTable(ctx context.Context, title string, rules []string, scale float64) error {
 	lts, err := bench.Layouts(scale)
 	if err != nil {
 		return err
 	}
-	tbl, err := bench.Run(fmt.Sprintf("%s (scale %g)", title, scale), lts, rules)
+	tbl, err := bench.RunContext(ctx, fmt.Sprintf("%s (scale %g)", title, scale), lts, rules)
 	if err != nil {
 		return err
 	}

@@ -2,14 +2,25 @@
 //
 // Usage:
 //
-//	odrc [-mode seq|par] [-workers n] [-rules deck] [-rule id[,id...]] [-v] [-stats] file.gds
+//	odrc [-mode seq|par] [-workers n] [-timeout d] [-rules deck] [-rule id[,id...]] [-v] [-stats] file.gds
 //
 // The default rule deck is the ASAP7-like evaluation deck (see
 // internal/synth.Deck); -rule restricts it to specific rule IDs. Violations
 // print one per line as: rule layer box distance [cell].
+//
+// Exit codes:
+//
+//	0  check completed, report is complete
+//	1  error (bad input, I/O failure, invalid rule deck)
+//	2  usage error
+//	3  the -timeout deadline expired or the run was cancelled
+//	4  check completed but the report is degraded (one or more rules
+//	   failed in isolation; their partial results were discarded)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,22 +31,32 @@ import (
 	"opendrc/internal/synth"
 )
 
+// Exit codes; see the package comment.
+const (
+	exitOK       = 0
+	exitError    = 1
+	exitUsage    = 2
+	exitTimeout  = 3
+	exitDegraded = 4
+)
+
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "odrc:", err)
-		os.Exit(1)
-	}
+	os.Exit(run())
 }
 
-func run() error {
+func run() int {
 	mode := flag.String("mode", "seq", "execution mode: seq (hierarchical CPU) or par (simulated-GPU rows)")
 	workers := flag.Int("workers", 0, "host worker-pool size for fan-out phases (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort the check after this duration (0 = no deadline); exits 3 on expiry")
 	ruleIDs := flag.String("rule", "", "comma-separated rule IDs from the standard deck (default: all)")
 	deckFile := flag.String("deck", "", "rule deck file (overrides the built-in deck; see internal/rules.ParseDeck)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout")
 	verbose := flag.Bool("v", false, "print every violation (default: per-rule counts only)")
 	stats := flag.Bool("stats", false, "print scheduling statistics and phase breakdown")
 	dedup := flag.Bool("dedup", true, "merge identical violation markers")
+	maxFlatten := flag.Int64("max-flatten", 0, "fail a rule that would flatten more than this many polygons (0 = unlimited)")
+	maxEdges := flag.Int64("max-edges", 0, "fail a rule that would pack more than this many device edges (0 = unlimited)")
+	maxDeviceBytes := flag.Int64("max-device-bytes", 0, "simulated device memory pool limit in bytes (0 = unlimited)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: odrc [flags] file.gds\n")
 		flag.PrintDefaults()
@@ -43,12 +64,28 @@ func run() error {
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
-		os.Exit(2)
+		return exitUsage
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	fail := func(err error) int {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "odrc: timeout:", err)
+			return exitTimeout
+		}
+		fmt.Fprintln(os.Stderr, "odrc:", err)
+		return exitError
 	}
 
 	db, err := opendrc.ReadGDS(flag.Arg(0))
 	if err != nil {
-		return err
+		return fail(err)
 	}
 	for _, w := range db.Warnings {
 		fmt.Fprintln(os.Stderr, "warning:", w)
@@ -60,21 +97,28 @@ func run() error {
 	case "par":
 		opts = append(opts, opendrc.WithMode(opendrc.Parallel))
 	default:
-		return fmt.Errorf("unknown mode %q (want seq or par)", *mode)
+		fmt.Fprintf(os.Stderr, "odrc: unknown mode %q (want seq or par)\n", *mode)
+		return exitUsage
 	}
-	opts = append(opts, opendrc.WithWorkers(*workers))
+	opts = append(opts,
+		opendrc.WithWorkers(*workers),
+		opendrc.WithBudgets(opendrc.Budgets{
+			MaxFlattenPolys: *maxFlatten,
+			MaxPackedEdges:  *maxEdges,
+			MaxDeviceBytes:  *maxDeviceBytes,
+		}))
 	eng := opendrc.NewEngine(opts...)
 
 	deck := synth.Deck()
 	if *deckFile != "" {
 		f, err := os.Open(*deckFile)
 		if err != nil {
-			return err
+			return fail(err)
 		}
 		deck, err = opendrc.ParseDeck(f)
 		f.Close()
 		if err != nil {
-			return err
+			return fail(err)
 		}
 	}
 	if *ruleIDs != "" {
@@ -82,31 +126,44 @@ func run() error {
 		for _, id := range strings.Split(*ruleIDs, ",") {
 			r, err := synth.RuleByID(strings.TrimSpace(id))
 			if err != nil {
-				return err
+				return fail(err)
 			}
 			picked = append(picked, r)
 		}
 		deck = picked
 	}
 	if err := eng.AddRules(deck...); err != nil {
-		return err
+		return fail(err)
 	}
 
-	rep, err := eng.Check(db)
+	rep, err := eng.CheckContext(ctx, db)
 	if err != nil {
-		return err
+		return fail(err)
 	}
 	vs := rep.Violations
 	if *dedup {
 		vs = opendrc.Dedup(vs)
 	}
+	code := exitOK
+	if rep.Degraded {
+		code = exitDegraded
+	}
 	if *jsonOut {
 		rep.Violations = vs
-		return rep.WriteJSON(os.Stdout)
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			return fail(err)
+		}
+		return code
 	}
 
 	fmt.Printf("%s: %d cells, top %q; %d violations in %v (%s mode)\n",
 		flag.Arg(0), len(db.Cells), db.Top.Name, len(vs), rep.HostWall.Round(1e3), rep.Mode)
+	if rep.Degraded {
+		fmt.Printf("DEGRADED: %d rule(s) failed; their results are excluded\n", len(rep.Failures))
+		for _, f := range rep.Failures {
+			fmt.Printf("  FAILED %-12s %s\n", f.Rule, f.Err)
+		}
+	}
 	counts := map[string]int{}
 	for _, v := range vs {
 		counts[v.Rule]++
@@ -132,5 +189,5 @@ func run() error {
 				rep.Modeled.Round(1e3), rep.Device.DeviceBusy().Round(1e3))
 		}
 	}
-	return nil
+	return code
 }

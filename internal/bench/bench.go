@@ -14,6 +14,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -68,8 +69,15 @@ type Cell struct {
 	Supported  bool
 }
 
-// RunCell executes one rule with one checker.
+// RunCell executes one rule with one checker with no deadline.
 func RunCell(lo *layout.Layout, r rules.Rule, c Checker) (Cell, error) {
+	return RunCellContext(context.Background(), lo, r, c)
+}
+
+// RunCellContext executes one rule with one checker under ctx. A degraded
+// engine report (a rule failure swallowed by fault isolation) is an error
+// here: benchmark numbers must come from complete runs.
+func RunCellContext(ctx context.Context, lo *layout.Layout, r rules.Rule, c Checker) (Cell, error) {
 	switch c {
 	case KLayoutFlat, KLayoutDeep, KLayoutTile:
 		mode := klayout.Flat
@@ -79,7 +87,7 @@ func RunCell(lo *layout.Layout, r rules.Rule, c Checker) (Cell, error) {
 		case KLayoutTile:
 			mode = klayout.Tiling
 		}
-		res, err := klayout.Check(lo, r, klayout.Options{Mode: mode})
+		res, err := klayout.CheckContext(ctx, lo, r, klayout.Options{Mode: mode})
 		if err != nil {
 			return Cell{}, err
 		}
@@ -89,7 +97,7 @@ func RunCell(lo *layout.Layout, r rules.Rule, c Checker) (Cell, error) {
 		}
 		return Cell{Time: calibrate(t), Violations: dedupCount(res.Violations), Supported: true}, nil
 	case XCheck:
-		res, err := xcheck.Check(lo, r, xcheck.Options{})
+		res, err := xcheck.CheckContext(ctx, lo, r, xcheck.Options{})
 		if errors.Is(err, xcheck.ErrUnsupported) {
 			return Cell{Supported: false}, nil
 		}
@@ -106,9 +114,12 @@ func RunCell(lo *layout.Layout, r rules.Rule, c Checker) (Cell, error) {
 		if err := eng.AddRules(r); err != nil {
 			return Cell{}, err
 		}
-		rep, err := eng.Check(lo)
+		rep, err := eng.CheckContext(ctx, lo)
 		if err != nil {
 			return Cell{}, err
+		}
+		if rep.Degraded {
+			return Cell{}, fmt.Errorf("bench: degraded report for %s (%d rule failures)", r.ID, len(rep.Failures))
 		}
 		t := rep.Modeled
 		if mode == core.Sequential {
@@ -173,8 +184,14 @@ func Layouts(scale float64) (map[string]*layout.Layout, error) {
 	return out, nil
 }
 
-// Run executes one table over the designs.
+// Run executes one table over the designs with no deadline.
 func Run(title string, layouts map[string]*layout.Layout, ruleIDs []string) (*Table, error) {
+	return RunContext(context.Background(), title, layouts, ruleIDs)
+}
+
+// RunContext executes one table over the designs under ctx; a timeout or
+// cancellation aborts between cells with an error wrapping ctx.Err().
+func RunContext(ctx context.Context, title string, layouts map[string]*layout.Layout, ruleIDs []string) (*Table, error) {
 	tbl := &Table{Title: title}
 	for _, design := range DesignNames() {
 		lo := layouts[design]
@@ -188,7 +205,7 @@ func Run(title string, layouts map[string]*layout.Layout, ruleIDs []string) (*Ta
 			}
 			row := Row{Design: design, RuleID: id}
 			for c := Checker(0); c < numCheckers; c++ {
-				cell, err := RunCell(lo, r, c)
+				cell, err := RunCellContext(ctx, lo, r, c)
 				if err != nil {
 					return nil, fmt.Errorf("%s %s %s: %w", design, id, c, err)
 				}

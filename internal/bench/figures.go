@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -82,6 +83,11 @@ type Fig4Row struct {
 // paper's runtime breakdown (partition ≈ 15%, sweepline + interval tree ≈
 // 35%, edge-to-edge checks 40–50%).
 func Fig4(layouts map[string]*layout.Layout) ([]Fig4Row, error) {
+	return Fig4Context(context.Background(), layouts)
+}
+
+// Fig4Context is Fig4 under a context; cancellation aborts between designs.
+func Fig4Context(ctx context.Context, layouts map[string]*layout.Layout) ([]Fig4Row, error) {
 	r, err := synth.RuleByID("M1.S.1")
 	if err != nil {
 		return nil, err
@@ -96,7 +102,7 @@ func Fig4(layouts map[string]*layout.Layout) ([]Fig4Row, error) {
 		if err := eng.AddRules(r); err != nil {
 			return nil, err
 		}
-		rep, err := eng.Check(lo)
+		rep, err := eng.CheckContext(ctx, lo)
 		if err != nil {
 			return nil, err
 		}
@@ -128,6 +134,11 @@ func WriteFig4(w io.Writer, rows []Fig4Row) {
 // BreakdownProfile exposes the raw profiler of a sequential spacing run for
 // one design (used by cmd/odrc-bench -fig 4 -design X).
 func BreakdownProfile(lo *layout.Layout, ruleID string) (*infra.Profiler, error) {
+	return BreakdownProfileContext(context.Background(), lo, ruleID)
+}
+
+// BreakdownProfileContext is BreakdownProfile under a context.
+func BreakdownProfileContext(ctx context.Context, lo *layout.Layout, ruleID string) (*infra.Profiler, error) {
 	r, err := synth.RuleByID(ruleID)
 	if err != nil {
 		return nil, err
@@ -136,7 +147,7 @@ func BreakdownProfile(lo *layout.Layout, ruleID string) (*infra.Profiler, error)
 	if err := eng.AddRules(r); err != nil {
 		return nil, err
 	}
-	rep, err := eng.Check(lo)
+	rep, err := eng.CheckContext(ctx, lo)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -44,7 +45,7 @@ type SpeedupReport struct {
 // speedupRun checks the full standard deck on lo with the given worker
 // count and returns the report; wall time is the minimum over runs to damp
 // scheduler noise.
-func speedupRun(lo *layout.Layout, workers, runs int) (*core.Report, time.Duration, error) {
+func speedupRun(ctx context.Context, lo *layout.Layout, workers, runs int) (*core.Report, time.Duration, error) {
 	var best *core.Report
 	var wall time.Duration
 	for i := 0; i < runs; i++ {
@@ -52,7 +53,7 @@ func speedupRun(lo *layout.Layout, workers, runs int) (*core.Report, time.Durati
 		if err := eng.AddRules(synth.Deck()...); err != nil {
 			return nil, 0, err
 		}
-		rep, err := eng.Check(lo)
+		rep, err := eng.CheckContext(ctx, lo)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -68,6 +69,12 @@ func speedupRun(lo *layout.Layout, workers, runs int) (*core.Report, time.Durati
 // workers <= 0 selects GOMAXPROCS; runs is the repetitions per cell (min is
 // reported), at least 1.
 func Speedup(layouts map[string]*layout.Layout, workers, runs int, scale float64) (*SpeedupReport, error) {
+	return SpeedupContext(context.Background(), layouts, workers, runs, scale)
+}
+
+// SpeedupContext is Speedup under a context; cancellation aborts between
+// runs.
+func SpeedupContext(ctx context.Context, layouts map[string]*layout.Layout, workers, runs int, scale float64) (*SpeedupReport, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -86,11 +93,11 @@ func Speedup(layouts map[string]*layout.Layout, workers, runs int, scale float64
 		if lo == nil {
 			continue
 		}
-		rep1, wall1, err := speedupRun(lo, 1, runs)
+		rep1, wall1, err := speedupRun(ctx, lo, 1, runs)
 		if err != nil {
 			return nil, fmt.Errorf("%s workers=1: %w", design, err)
 		}
-		repN, wallN, err := speedupRun(lo, workers, runs)
+		repN, wallN, err := speedupRun(ctx, lo, workers, runs)
 		if err != nil {
 			return nil, fmt.Errorf("%s workers=%d: %w", design, workers, err)
 		}

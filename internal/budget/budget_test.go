@@ -1,0 +1,42 @@
+package budget
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCheckUnlimited(t *testing.T) {
+	if err := Check("flatten-polys", 1<<40, 0); err != nil {
+		t.Fatalf("limit 0 tripped: %v", err)
+	}
+	if err := Check("flatten-polys", 1<<40, -1); err != nil {
+		t.Fatalf("negative limit tripped: %v", err)
+	}
+}
+
+func TestCheckWithinLimit(t *testing.T) {
+	if err := Check("packed-edges", 100, 100); err != nil {
+		t.Fatalf("used == limit tripped: %v", err)
+	}
+	if err := Check("packed-edges", 99, 100); err != nil {
+		t.Fatalf("used < limit tripped: %v", err)
+	}
+}
+
+func TestCheckExceeded(t *testing.T) {
+	err := Check("device-pool-bytes", 101, 100)
+	if !errors.Is(err, ErrExceeded) {
+		t.Fatalf("err = %v, want wrapped ErrExceeded", err)
+	}
+	var be *Error
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %T, want *Error", err)
+	}
+	if be.Resource != "device-pool-bytes" || be.Limit != 100 || be.Used != 101 {
+		t.Fatalf("error fields = %+v", be)
+	}
+	if !strings.Contains(err.Error(), "device-pool-bytes") {
+		t.Fatalf("error text %q does not name the resource", err.Error())
+	}
+}

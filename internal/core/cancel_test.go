@@ -1,0 +1,121 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"opendrc/internal/faults"
+	"opendrc/internal/synth"
+)
+
+// Cancellation semantics (see DESIGN.md "Failure semantics"): a cancelled
+// check returns a nil report and an error wrapping ctx.Err(); no partial
+// report ever escapes, in either mode, on any design.
+
+// TestCancelBeforeCheck covers the trivial fast path: an already-cancelled
+// context never starts the run.
+func TestCancelBeforeCheck(t *testing.T) {
+	lo, _, err := synth.Load("uart", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, mode := range []Mode{Sequential, Parallel} {
+		e := New(Options{Mode: mode})
+		if err := e.AddRules(synth.Deck()...); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.CheckContext(ctx, lo)
+		if rep != nil {
+			t.Fatalf("%v: pre-cancelled check returned a report", mode)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: err = %v, want wrapped context.Canceled", mode, err)
+		}
+	}
+}
+
+// TestCancelMidCheckAllDesigns cancels every run in the middle of its
+// second rule — a stall injection parks the check at a deterministic point,
+// then the context is cancelled from outside — across all six synth designs
+// and both modes. Every combination must return promptly with a nil report
+// and an error wrapping context.Canceled.
+func TestCancelMidCheckAllDesigns(t *testing.T) {
+	deck := synth.Deck()
+	if len(deck) < 2 {
+		t.Fatal("deck too small to cancel mid-check")
+	}
+	midRule := deck[1].ID
+	for _, design := range []string{"aes", "ethmac", "ibex", "jpeg", "sha3", "uart"} {
+		lo, _, err := synth.Load(design, 0.2)
+		if err != nil {
+			t.Fatalf("%s: %v", design, err)
+		}
+		for _, mode := range []Mode{Sequential, Parallel} {
+			inj := faults.New(1, faults.Injection{
+				Site: faults.SiteRule, Key: midRule, Mode: faults.Stall, Stall: time.Hour,
+			})
+			e := New(Options{Mode: mode, Workers: 4, Faults: inj})
+			if err := e.AddRules(deck...); err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				// The stall parks the run inside rule #2; cancelling here is
+				// mid-check by construction, not by timing luck.
+				time.Sleep(5 * time.Millisecond)
+				cancel()
+			}()
+			done := make(chan struct{})
+			var rep *Report
+			var cerr error
+			go func() {
+				rep, cerr = e.CheckContext(ctx, lo)
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatalf("%s %v: cancelled check did not return", design, mode)
+			}
+			cancel()
+			if rep != nil {
+				t.Errorf("%s %v: cancelled check returned a report (%d violations)",
+					design, mode, len(rep.Violations))
+			}
+			if !errors.Is(cerr, context.Canceled) {
+				t.Errorf("%s %v: err = %v, want wrapped context.Canceled", design, mode, cerr)
+			}
+		}
+	}
+}
+
+// TestCancelDoesNotPoisonEngine re-checks with a fresh context after a
+// cancelled run: the engine carries no state between runs, so the second
+// check succeeds and matches a never-cancelled run.
+func TestCancelDoesNotPoisonEngine(t *testing.T) {
+	lo, _, err := synth.Load("uart", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{Mode: Sequential, Workers: 4})
+	if err := e.AddRules(synth.Deck()...); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if rep, err := e.CheckContext(ctx, lo); rep != nil || err == nil {
+		t.Fatal("cancelled run did not fail")
+	}
+	rep, err := e.CheckContext(context.Background(), lo)
+	if err != nil {
+		t.Fatalf("check after cancelled run: %v", err)
+	}
+	clean := runEngine(t, lo, Options{Mode: Sequential, Workers: 4}, synth.Deck())
+	if string(canonicalReport(t, rep)) != string(canonicalReport(t, clean)) {
+		t.Fatal("report after a cancelled run differs from a clean run")
+	}
+}

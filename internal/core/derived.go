@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"opendrc/internal/boolop"
 	"opendrc/internal/checks"
 	"opendrc/internal/geom"
@@ -47,7 +49,7 @@ func derivedEmit(shape geom.Polygon, cands []geom.Polygon, r rules.Rule, emit fu
 
 // runDerivedSeq executes a Coverage or MinOverlap rule with the local-pass /
 // global-residue scheme.
-func (e *Engine) runDerivedSeq(lo *layout.Layout, r rules.Rule, placements [][]geom.Transform, rep *Report) {
+func (e *Engine) runDerivedSeq(ctx context.Context, lo *layout.Layout, r rules.Rule, placements [][]geom.Transform, rep *Report) error {
 	type residue struct {
 		cell    *layout.Cell
 		polyIdx int
@@ -56,6 +58,10 @@ func (e *Engine) runDerivedSeq(lo *layout.Layout, r rules.Rule, placements [][]g
 
 	stop := rep.Profile.Phase("derived:cell-checks")
 	for _, c := range lo.LayerCells(r.Layer) {
+		if err := ctx.Err(); err != nil {
+			stop()
+			return err
+		}
 		if len(placements[c.ID]) == 0 {
 			continue
 		}
@@ -87,6 +93,9 @@ func (e *Engine) runDerivedSeq(lo *layout.Layout, r rules.Rule, placements [][]g
 
 	defer rep.Profile.Phase("derived:global-residue")()
 	for _, d := range deferred {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		shape := d.cell.Polys[d.polyIdx].Shape
 		for _, t := range placements[d.cell.ID] {
 			gshape := shape.Transform(t)
@@ -107,4 +116,5 @@ func (e *Engine) runDerivedSeq(lo *layout.Layout, r rules.Rule, placements [][]g
 			})
 		}
 	}
+	return nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"opendrc/internal/checks"
 	"opendrc/internal/geom"
 	"opendrc/internal/layout"
@@ -18,7 +20,7 @@ import (
 // parent may supply the missing coverage).
 
 // runEnclosureSeq executes one enclosure rule sequentially.
-func (e *Engine) runEnclosureSeq(lo *layout.Layout, r rules.Rule, placements [][]geom.Transform, rep *Report) {
+func (e *Engine) runEnclosureSeq(ctx context.Context, lo *layout.Layout, r rules.Rule, placements [][]geom.Transform, rep *Report) error {
 	type residue struct {
 		cell    *layout.Cell
 		polyIdx int
@@ -28,6 +30,10 @@ func (e *Engine) runEnclosureSeq(lo *layout.Layout, r rules.Rule, placements [][
 	if !e.opts.DisablePruning {
 		stop := rep.Profile.Phase("enclosure:cell-checks")
 		for _, c := range lo.LayerCells(r.Layer) {
+			if err := ctx.Err(); err != nil {
+				stop()
+				return err
+			}
 			if len(placements[c.ID]) == 0 {
 				continue
 			}
@@ -36,7 +42,11 @@ func (e *Engine) runEnclosureSeq(lo *layout.Layout, r rules.Rule, placements [][
 				continue
 			}
 			rep.Stats.DefsChecked++
-			unresolved := e.enclosureLocalPass(lo, c, local, r, rep)
+			unresolved, err := e.enclosureLocalPass(lo, c, local, r, rep)
+			if err != nil {
+				stop()
+				return err
+			}
 			resolved := len(local) - len(unresolved)
 			rep.Stats.InstancesEmitted += resolved * len(placements[c.ID])
 			rep.Stats.ChecksReused += resolved * (len(placements[c.ID]) - 1)
@@ -59,6 +69,9 @@ func (e *Engine) runEnclosureSeq(lo *layout.Layout, r rules.Rule, placements [][
 	// Globally resolve the leftovers, instance by instance.
 	defer rep.Profile.Phase("enclosure:global-residue")()
 	for _, d := range deferred {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		via := d.cell.Polys[d.polyIdx].Shape
 		for _, t := range placements[d.cell.ID] {
 			gvia := via.Transform(t)
@@ -77,6 +90,7 @@ func (e *Engine) runEnclosureSeq(lo *layout.Layout, r rules.Rule, placements [][
 			})
 		}
 	}
+	return nil
 }
 
 // enclosureLocalPass resolves a cell definition's own vias against the metal
@@ -85,7 +99,7 @@ func (e *Engine) runEnclosureSeq(lo *layout.Layout, r rules.Rule, placements [][
 // via is evaluated. It returns the local polygon indices of vias that did
 // NOT resolve locally; those stay deferred rather than reported, since
 // parent-level metal may still cover them.
-func (e *Engine) enclosureLocalPass(lo *layout.Layout, c *layout.Cell, local []int, r rules.Rule, rep *Report) []int {
+func (e *Engine) enclosureLocalPass(lo *layout.Layout, c *layout.Cell, local []int, r rules.Rule, rep *Report) ([]int, error) {
 	window := geom.EmptyRect()
 	viaBoxes := make([]geom.Rect, len(local))
 	for i, pi := range local {
@@ -99,9 +113,11 @@ func (e *Engine) enclosureLocalPass(lo *layout.Layout, c *layout.Cell, local []i
 		metalBoxes[i] = found[i].Shape.MBR()
 	}
 	cands := make([][]geom.Polygon, len(local))
-	sweep.OverlapsBetween(viaBoxes, metalBoxes, func(v, m int) {
+	if _, err := sweep.OverlapsBetween(viaBoxes, metalBoxes, func(v, m int) {
 		cands[v] = append(cands[v], found[m].Shape)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	var unresolved []int
 	for i, pi := range local {
 		rep.Stats.PairsChecked += len(cands[i])
@@ -110,5 +126,5 @@ func (e *Engine) enclosureLocalPass(lo *layout.Layout, c *layout.Cell, local []i
 			unresolved = append(unresolved, pi)
 		}
 	}
-	return unresolved
+	return unresolved, nil
 }

@@ -9,14 +9,20 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"time"
 
+	"opendrc/internal/budget"
+	"opendrc/internal/faults"
 	"opendrc/internal/gpu"
 	"opendrc/internal/infra"
 	"opendrc/internal/layout"
 	"opendrc/internal/partition"
+	"opendrc/internal/pool"
 	"opendrc/internal/rules"
 )
 
@@ -62,6 +68,16 @@ type Options struct {
 	// bit-identical for every worker count: workers write into per-index
 	// result slots that merge in a fixed order.
 	Workers int
+
+	// Budgets are the run's resource limits (flatten size, packed edges,
+	// device pool bytes). A rule that trips a budget becomes a RuleFailure
+	// in the report instead of aborting the run. The zero value imposes no
+	// limits.
+	Budgets budget.Limits
+
+	// Faults is the deterministic fault injector driving the chaos test
+	// suite; nil (the production value) is inert.
+	Faults *faults.Injector
 
 	Logger *infra.Logger
 }
@@ -137,11 +153,32 @@ func (s *Stats) add(s2 Stats) {
 	s.BytesCopied += s2.BytesCopied
 }
 
+// RuleFailure records one rule whose check failed — a panic, an injected
+// fault, or a tripped resource budget — without killing the run. The
+// failed rule contributes no violations (its partial results are discarded
+// so degraded reports stay bit-identical across worker counts); every
+// other rule's results are intact.
+type RuleFailure struct {
+	Rule string // rule ID
+	Err  string // failure description
+	// Panicked marks failures recovered from a panic; Stack preserves the
+	// panicking goroutine's stack (the worker's stack when the panic was
+	// recovered through the pool).
+	Panicked bool
+	Stack    string
+	// BudgetExceeded marks failures caused by a resource budget.
+	BudgetExceeded bool
+}
+
 // Report is the result of a check run.
 type Report struct {
 	Mode       Mode
 	Violations []rules.Violation
 	Stats      Stats
+	// Degraded is true when at least one rule failed; Failures lists them.
+	// Violations then cover only the rules that completed.
+	Degraded bool
+	Failures []RuleFailure
 	// Profile breaks the host runtime into phases (Fig. 4).
 	Profile *infra.Profiler
 	// HostWall is the measured wall-clock time of the whole run.
@@ -165,19 +202,32 @@ func (r *Report) CountByRule() map[string]int {
 	return out
 }
 
-// Check runs the configured deck against the layout.
+// Check runs the configured deck against the layout with no deadline.
 func (e *Engine) Check(lo *layout.Layout) (*Report, error) {
+	return e.CheckContext(context.Background(), lo)
+}
+
+// CheckContext runs the configured deck against the layout under ctx.
+// Cancellation is honored cooperatively at rule boundaries and inside the
+// fan-out loops; a cancelled check returns a nil report and an error
+// wrapping ctx.Err() — no partial report escapes. A rule whose check
+// panics, trips a budget, or hits an injected fault is recorded as a
+// RuleFailure (Report.Degraded) and the remaining rules still run.
+func (e *Engine) CheckContext(ctx context.Context, lo *layout.Layout) (*Report, error) {
 	if err := e.deck.Validate(); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: check cancelled: %w", err)
 	}
 	rep := &Report{Mode: e.opts.Mode, Profile: infra.NewProfiler()}
 	start := time.Now() //odrc:allow clock — whole-run wall measurement; feeds Report.HostWall, not a modeled phase
 	var err error
 	switch e.opts.Mode {
 	case Parallel:
-		err = e.checkParallel(lo, rep)
+		err = e.checkParallel(ctx, lo, rep)
 	default:
-		err = e.checkSequential(lo, rep)
+		err = e.checkSequential(ctx, lo, rep)
 	}
 	if err != nil {
 		return nil, err
@@ -190,6 +240,57 @@ func (e *Engine) Check(lo *layout.Layout) (*Report, error) {
 	}
 	sortViolations(rep.Violations)
 	return rep, nil
+}
+
+// cancelled reports whether err stems from context cancellation or a
+// deadline — failures that must abort the whole run rather than degrade it.
+func cancelled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// guardRule runs one rule's check with fault isolation: a panic (direct or
+// re-raised from a pool worker) or an error from fn is converted into a
+// RuleFailure on the report, the rule's partial violations are discarded
+// (so degraded reports stay bit-identical across worker counts), and the
+// run continues. Cancellation is the exception: it aborts the whole check.
+func (e *Engine) guardRule(ctx context.Context, rep *Report, r rules.Rule, fn func() error) error {
+	mark := len(rep.Violations)
+	err := func() (err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if pe, ok := rec.(*pool.PanicError); ok {
+					err = pe
+				} else {
+					err = &pool.PanicError{Value: rec, Stack: debug.Stack()}
+				}
+			}
+		}()
+		if err := e.opts.Faults.Hit(ctx, faults.SiteRule, r.ID); err != nil {
+			return err
+		}
+		return fn()
+	}()
+	if err == nil {
+		return nil
+	}
+	if cancelled(err) {
+		return fmt.Errorf("core: rule %s: check cancelled: %w", r.ID, err)
+	}
+	rep.Violations = rep.Violations[:mark]
+	f := RuleFailure{Rule: r.ID, Err: err.Error()}
+	var pe *pool.PanicError
+	if errors.As(err, &pe) {
+		f.Panicked = true
+		f.Err = fmt.Sprintf("panic: %v", pe.Value)
+		f.Stack = string(pe.Stack)
+	}
+	if errors.Is(err, budget.ErrExceeded) {
+		f.BudgetExceeded = true
+	}
+	rep.Failures = append(rep.Failures, f)
+	rep.Degraded = true
+	e.opts.Logger.Warnf("core: rule %s failed, continuing degraded: %s", r.ID, f.Err)
+	return nil
 }
 
 // sortViolations orders the report deterministically.

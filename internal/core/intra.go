@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"opendrc/internal/checks"
+	"opendrc/internal/faults"
 	"opendrc/internal/geom"
 	"opendrc/internal/layout"
 	"opendrc/internal/pool"
@@ -98,7 +100,7 @@ func rescaleMarker(m checks.Marker, t geom.Transform, r rules.Rule) checks.Marke
 // pool; each definition writes into its own result slot and the slots merge
 // in definition order, keeping the report bit-identical for every worker
 // count.
-func (e *Engine) runIntraSeq(lo *layout.Layout, r rules.Rule, placements [][]geom.Transform, rep *Report) {
+func (e *Engine) runIntraSeq(ctx context.Context, lo *layout.Layout, r rules.Rule, placements [][]geom.Transform, rep *Report) error {
 	defer rep.Profile.Phase("intra:" + r.Kind.String())()
 	cells := lo.LayerCells(r.Layer)
 	type shard struct {
@@ -106,14 +108,17 @@ func (e *Engine) runIntraSeq(lo *layout.Layout, r rules.Rule, placements [][]geo
 		stats Stats
 	}
 	shards := make([]shard, len(cells))
-	pool.ForEach(e.opts.Workers, len(cells), func(i int) {
+	err := pool.ForEachCtx(ctx, e.opts.Workers, len(cells), func(i int) error {
 		c := cells[i]
+		if err := e.opts.Faults.Hit(ctx, faults.SiteCell, c.Name); err != nil {
+			return err
+		}
 		if len(c.LocalPolys(r.Layer)) == 0 {
-			return // cell participates only through its children
+			return nil // cell participates only through its children
 		}
 		insts := placements[c.ID]
 		if len(insts) == 0 {
-			return
+			return nil
 		}
 		sh := &shards[i]
 		if e.opts.DisablePruning {
@@ -127,7 +132,7 @@ func (e *Engine) runIntraSeq(lo *layout.Layout, r rules.Rule, placements [][]geo
 				sh.stats.InstancesEmitted++
 				sh.vs = appendMarkers(sh.vs, r, c.Name, markers, t)
 			}
-			return
+			return nil
 		}
 		// Group instances by magnification: one computation per group,
 		// groups visited in ascending mag order for a deterministic report.
@@ -152,7 +157,13 @@ func (e *Engine) runIntraSeq(lo *layout.Layout, r rules.Rule, placements [][]geo
 				sh.vs = appendMarkers(sh.vs, r, c.Name, markers, t)
 			}
 		}
+		return nil
 	})
+	if err != nil {
+		// Shards are discarded wholesale: a failed rule contributes nothing,
+		// keeping degraded reports independent of which worker got how far.
+		return err
+	}
 	for i := range shards {
 		rep.Violations = append(rep.Violations, shards[i].vs...)
 		rep.Stats.add(shards[i].stats)
@@ -160,6 +171,7 @@ func (e *Engine) runIntraSeq(lo *layout.Layout, r rules.Rule, placements [][]geo
 	if extra := rep.Stats.InstancesEmitted - rep.Stats.DefsChecked; extra > 0 {
 		rep.Stats.ChecksReused = extra
 	}
+	return nil
 }
 
 // appendMarkers appends instance-frame violations for the cell's local

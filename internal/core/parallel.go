@@ -1,10 +1,15 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
+	"opendrc/internal/budget"
 	"opendrc/internal/checks"
+	"opendrc/internal/faults"
 	"opendrc/internal/geom"
 	"opendrc/internal/gpu"
 	"opendrc/internal/kernels"
@@ -35,68 +40,103 @@ type parCtx struct {
 
 // hostPhase measures fn as host work: it is charged to the profiler and
 // advances the modeled host clock, during which the device may still be
-// executing previously enqueued work.
-func (p *parCtx) hostPhase(rep *Report, name string, fn func()) {
+// executing previously enqueued work. fn's error passes through after the
+// clock is charged (the failed work still spent host time).
+func (p *parCtx) hostPhase(rep *Report, name string, fn func() error) error {
 	start := time.Now() //odrc:allow clock — hostPhase IS the clock discipline: it charges the profiler and advances the modeled device clock
-	fn()
+	err := fn()
 	d := time.Since(start) //odrc:allow clock — paired with the hostPhase start above; d feeds both Profiler and HostAdvance
 	rep.Profile.Add(name, d)
 	p.dev.HostAdvance(d)
+	return err
 }
 
-// checkParallel runs the deck through the GPU branch.
-func (e *Engine) checkParallel(lo *layout.Layout, rep *Report) error {
+// checkParallel runs the deck through the GPU branch. Rules execute under
+// the same per-rule fault isolation as the sequential branch; device OOM
+// (the device-pool-bytes budget) surfaces through AllocAsync as an error
+// the guard converts into a RuleFailure.
+func (e *Engine) checkParallel(ctx context.Context, lo *layout.Layout, rep *Report) error {
 	if err := checkMagRestriction(lo, e.deck); err != nil {
 		return err
 	}
-	ctx := &parCtx{dev: gpu.NewDevice(e.opts.Device)}
-	ctx.io = ctx.dev.NewStream("h2d")
-	ctx.cs = ctx.dev.NewStream("checks")
-	rep.Device = ctx.dev
+	pc := &parCtx{dev: gpu.NewDevice(e.opts.Device)}
+	pc.io = pc.dev.NewStream("h2d")
+	pc.cs = pc.dev.NewStream("checks")
+	rep.Device = pc.dev
+	if n := e.opts.Budgets.MaxDeviceBytes; n > 0 {
+		pc.dev.SetMemLimit(n)
+	}
+	if e.opts.Faults != nil {
+		inj := e.opts.Faults
+		pc.dev.SetAllocHook(func(n int64) error {
+			return inj.Hit(ctx, faults.SiteAlloc, strconv.FormatInt(n, 10))
+		})
+	}
 
 	var placements [][]geom.Transform
-	ctx.hostPhase(rep, "par:instance-enumeration", func() {
+	if err := pc.hostPhase(rep, "par:instance-enumeration", func() error {
 		placements = lo.Placements()
-	})
+		return nil
+	}); err != nil {
+		return err
+	}
 
 	for _, r := range e.deck {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: check cancelled: %w", err)
+		}
 		e.opts.Logger.Debugf("par: rule %s", r)
-		switch r.Kind {
-		case rules.Spacing:
-			e.runSpacingPar(lo, r, ctx, rep)
-		case rules.Enclosure:
-			e.runEnclosurePar(lo, r, placements, ctx, rep)
-		case rules.Custom:
-			// User callables cannot run on the device; the paper's
-			// ensures() predicates execute host-side in both modes, with
-			// the same per-definition pruning as the sequential branch.
-			// Like the derived-layer rules, the work is host time and must
-			// advance the modeled device clock.
-			ctx.hostPhase(rep, "par:custom", func() {
-				e.runIntraSeq(lo, r, placements, rep)
-			})
-		case rules.Coverage, rules.MinOverlap:
-			// Derived-layer boolean rules are host-side in both modes
-			// (roadmap features beyond the paper's kernels).
-			ctx.hostPhase(rep, "par:derived", func() {
-				e.runDerivedSeq(lo, r, placements, rep)
-			})
-		default:
-			e.runIntraPar(lo, r, placements, ctx, rep)
+		r := r
+		err := e.guardRule(ctx, rep, r, func() error {
+			switch r.Kind {
+			case rules.Spacing:
+				return e.runSpacingPar(ctx, lo, r, pc, rep)
+			case rules.Enclosure:
+				return e.runEnclosurePar(ctx, lo, r, placements, pc, rep)
+			case rules.Custom:
+				// User callables cannot run on the device; the paper's
+				// ensures() predicates execute host-side in both modes, with
+				// the same per-definition pruning as the sequential branch.
+				// Like the derived-layer rules, the work is host time and must
+				// advance the modeled device clock.
+				return pc.hostPhase(rep, "par:custom", func() error {
+					return e.runIntraSeq(ctx, lo, r, placements, rep)
+				})
+			case rules.Coverage, rules.MinOverlap:
+				// Derived-layer boolean rules are host-side in both modes
+				// (roadmap features beyond the paper's kernels).
+				return pc.hostPhase(rep, "par:derived", func() error {
+					return e.runDerivedSeq(ctx, lo, r, placements, rep)
+				})
+			default:
+				return e.runIntraPar(ctx, lo, r, placements, pc, rep)
+			}
+		})
+		if err != nil {
+			return err
 		}
 	}
-	ctx.cs.Synchronize()
-	ctx.io.Synchronize()
+	pc.cs.Synchronize()
+	pc.io.Synchronize()
 	return nil
 }
 
 // transfer models the one-time buffer upload: stream-ordered allocation and
 // an async copy on the I/O stream; the compute stream waits on its event.
-func (e *Engine) transfer(ctx *parCtx, rep *Report, edges *kernels.Edges) {
-	ctx.io.AllocAsync(edges.Bytes())
-	ctx.io.MemcpyAsync("edges", edges.Bytes())
+// It enforces the packed-edges budget (cumulative across the run) and
+// surfaces allocator failures (device OOM, injected faults).
+func (e *Engine) transfer(pc *parCtx, rep *Report, edges *kernels.Edges) error {
+	if err := budget.Check("packed-edges",
+		int64(rep.Stats.EdgesPacked+edges.Len()), e.opts.Budgets.MaxPackedEdges); err != nil {
+		return err
+	}
+	if err := pc.io.AllocAsync(edges.Bytes()); err != nil {
+		return err
+	}
+	pc.io.MemcpyAsync("edges", edges.Bytes())
 	rep.Stats.EdgesPacked += edges.Len()
 	rep.Stats.BytesCopied += edges.Bytes()
+	return nil
 }
 
 // collect adapts kernel hits into report violations.
@@ -113,13 +153,12 @@ func collect(rep *Report, r rules.Rule) kernels.Collector {
 // distinct magnification), and definition markers replay per instance on
 // the host — which is why sequential and parallel modes run equally fast on
 // intra checks (the paper's Table I observation).
-func (e *Engine) runIntraPar(lo *layout.Layout, r rules.Rule, placements [][]geom.Transform, ctx *parCtx, rep *Report) {
+func (e *Engine) runIntraPar(ctx context.Context, lo *layout.Layout, r rules.Rule, placements [][]geom.Transform, pc *parCtx, rep *Report) error {
 	// Group definitions by magnification (one kernel per distinct mag).
 	groups := make(map[int64][]*layout.Cell)
 	if e.opts.DisablePruning {
 		// Ablation: flatten every instance and run one big kernel.
-		e.runIntraParFlat(lo, r, ctx, rep)
-		return
+		return e.runIntraParFlat(ctx, lo, r, pc, rep)
 	}
 	for _, c := range lo.LayerCells(r.Layer) {
 		if len(c.LocalPolys(r.Layer)) == 0 || len(placements[c.ID]) == 0 {
@@ -149,20 +188,28 @@ func (e *Engine) runIntraPar(lo *layout.Layout, r rules.Rule, placements [][]geo
 	sort.Slice(mags, func(i, j int) bool { return mags[i] < mags[j] })
 
 	for _, mag := range mags {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		cells := groups[mag]
 		var shapes []geom.Polygon
 		var owner []*layout.Cell
-		ctx.hostPhase(rep, "par:edge-packing", func() {
+		if err := pc.hostPhase(rep, "par:edge-packing", func() error {
 			for _, c := range cells {
 				for _, pi := range c.LocalPolys(r.Layer) {
 					shapes = append(shapes, c.Polys[pi].Shape)
 					owner = append(owner, c)
 				}
 			}
-		})
+			return nil
+		}); err != nil {
+			return err
+		}
 		edges := kernels.Pack(shapes)
-		e.transfer(ctx, rep, edges)
-		ctx.cs.WaitEvent(ctx.io.RecordEvent())
+		if err := e.transfer(pc, rep, edges); err != nil {
+			return err
+		}
+		pc.cs.WaitEvent(pc.io.RecordEvent())
 
 		defMarkers := make(map[*layout.Cell][]checks.Marker)
 		hit := func(h kernels.Hit) {
@@ -173,24 +220,24 @@ func (e *Engine) runIntraPar(lo *layout.Layout, r rules.Rule, placements [][]geo
 		switch r.Kind {
 		case rules.Width:
 			if maxPolyEdges(edges) > 32 {
-				kernels.SpacingSweep(ctx.cs, edges, checks.Lim(min), kernels.FilterWidth, hit)
+				kernels.SpacingSweep(pc.cs, edges, checks.Lim(min), kernels.FilterWidth, hit)
 				rep.Stats.KernelLaunches += 5
 			} else {
-				kernels.WidthBrute(ctx.cs, edges, min, hit)
+				kernels.WidthBrute(pc.cs, edges, min, hit)
 				rep.Stats.KernelLaunches++
 			}
 		case rules.Area:
-			kernels.AreaKernel(ctx.cs, edges, min, hit)
+			kernels.AreaKernel(pc.cs, edges, min, hit)
 			rep.Stats.KernelLaunches++
 		case rules.Rectilinear:
-			kernels.RectilinearKernel(ctx.cs, edges, hit)
+			kernels.RectilinearKernel(pc.cs, edges, hit)
 			rep.Stats.KernelLaunches++
 		}
-		ctx.cs.Synchronize()
-		ctx.io.FreeAsync(edges.Bytes())
+		pc.cs.Synchronize()
+		pc.io.FreeAsync(edges.Bytes())
 
 		// Replay definition results per instance (host).
-		ctx.hostPhase(rep, "par:marker-replay", func() {
+		if err := pc.hostPhase(rep, "par:marker-replay", func() error {
 			for _, c := range cells {
 				rep.Stats.DefsChecked++
 				markers := defMarkers[c]
@@ -206,26 +253,47 @@ func (e *Engine) runIntraPar(lo *layout.Layout, r rules.Rule, placements [][]geo
 					e.emitMarkers(rep, r, c.Name, markers, t)
 				}
 			}
-		})
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // runIntraParFlat is the pruning-off ablation: one kernel over every
-// flattened polygon instance.
-func (e *Engine) runIntraParFlat(lo *layout.Layout, r rules.Rule, ctx *parCtx, rep *Report) {
+// flattened polygon instance, subject to the flatten-polys budget.
+func (e *Engine) runIntraParFlat(ctx context.Context, lo *layout.Layout, r rules.Rule, pc *parCtx, rep *Report) error {
 	var shapes []geom.Polygon
-	ctx.hostPhase(rep, "par:flatten", func() {
-		for _, pp := range lo.FlattenLayer(r.Layer) {
+	if err := pc.hostPhase(rep, "par:flatten", func() error {
+		flat := lo.FlattenLayer(r.Layer)
+		if err := budget.Check("flatten-polys", int64(len(flat)), e.opts.Budgets.MaxFlattenPolys); err != nil {
+			return err
+		}
+		for _, pp := range flat {
 			shapes = append(shapes, pp.Shape)
 		}
-	})
+		return nil
+	}); err != nil {
+		return err
+	}
 	if len(shapes) == 0 {
-		return
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	var edges *kernels.Edges
-	ctx.hostPhase(rep, "par:edge-packing", func() { edges = kernels.Pack(shapes) })
-	e.transfer(ctx, rep, edges)
-	ctx.cs.WaitEvent(ctx.io.RecordEvent())
+	if err := pc.hostPhase(rep, "par:edge-packing", func() error {
+		edges = kernels.Pack(shapes)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := e.transfer(pc, rep, edges); err != nil {
+		return err
+	}
+	pc.cs.WaitEvent(pc.io.RecordEvent())
 	c := collect(rep, r)
 	switch r.Kind {
 	case rules.Width:
@@ -233,21 +301,22 @@ func (e *Engine) runIntraParFlat(lo *layout.Layout, r rules.Rule, ctx *parCtx, r
 		// ablation isolates pruning instead of conflating it with a
 		// different executor choice.
 		if maxPolyEdges(edges) > 32 {
-			kernels.SpacingSweep(ctx.cs, edges, checks.Lim(r.Min), kernels.FilterWidth, c)
+			kernels.SpacingSweep(pc.cs, edges, checks.Lim(r.Min), kernels.FilterWidth, c)
 			rep.Stats.KernelLaunches += 4
 		} else {
-			kernels.WidthBrute(ctx.cs, edges, r.Min, c)
+			kernels.WidthBrute(pc.cs, edges, r.Min, c)
 		}
 	case rules.Area:
-		kernels.AreaKernel(ctx.cs, edges, 2*r.Min, c)
+		kernels.AreaKernel(pc.cs, edges, 2*r.Min, c)
 	case rules.Rectilinear:
-		kernels.RectilinearKernel(ctx.cs, edges, c)
+		kernels.RectilinearKernel(pc.cs, edges, c)
 	}
 	rep.Stats.KernelLaunches++
 	rep.Stats.DefsChecked += len(shapes)
 	rep.Stats.InstancesEmitted += len(shapes)
-	ctx.cs.Synchronize()
-	ctx.io.FreeAsync(edges.Bytes())
+	pc.cs.Synchronize()
+	pc.io.FreeAsync(edges.Bytes())
+	return nil
 }
 
 func maxPolyEdges(e *kernels.Edges) int {
@@ -262,24 +331,35 @@ func maxPolyEdges(e *kernels.Edges) int {
 }
 
 // runSpacingPar checks one spacing rule row by row on the device.
-func (e *Engine) runSpacingPar(lo *layout.Layout, r rules.Rule, ctx *parCtx, rep *Report) {
+func (e *Engine) runSpacingPar(ctx context.Context, lo *layout.Layout, r rules.Rule, pc *parCtx, rep *Report) error {
 	// Host: flatten the layer once (hierarchy range query), pack edges and
 	// start the one-time async transfer, then partition — the copy is
-	// hidden behind the partitioning, per Section V-C.
+	// hidden behind the partitioning, per Section V-C. The flatten is where
+	// the memory blow-up happens, so the flatten-polys budget applies here.
 	var shapes []geom.Polygon
-	ctx.hostPhase(rep, "par:flatten", func() {
-		for _, pp := range lo.FlattenLayer(r.Layer) {
+	if err := pc.hostPhase(rep, "par:flatten", func() error {
+		flat := lo.FlattenLayer(r.Layer)
+		if err := budget.Check("flatten-polys", int64(len(flat)), e.opts.Budgets.MaxFlattenPolys); err != nil {
+			return err
+		}
+		for _, pp := range flat {
 			shapes = append(shapes, pp.Shape)
 		}
-	})
+		return nil
+	}); err != nil {
+		return err
+	}
 	if len(shapes) == 0 {
-		return
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	lim := r.SpacingLimit()
 	var rows []partition.Row
 	var edges *kernels.Edges
 	var order []int // packing order: polygons grouped by row
-	ctx.hostPhase(rep, "par:partition", func() {
+	if err := pc.hostPhase(rep, "par:partition", func() error {
 		boxes := make([]geom.Rect, len(shapes))
 		for i := range shapes {
 			boxes[i] = shapes[i].MBR()
@@ -289,23 +369,31 @@ func (e *Engine) runSpacingPar(lo *layout.Layout, r rules.Rule, ctx *parCtx, rep
 		for _, row := range rows {
 			order = append(order, row.Members...)
 		}
-	})
-	ctx.hostPhase(rep, "par:edge-packing", func() {
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := pc.hostPhase(rep, "par:edge-packing", func() error {
 		reordered := make([]geom.Polygon, len(order))
 		for i, oi := range order {
 			reordered[i] = shapes[oi]
 		}
 		shapes = reordered
 		edges = kernels.Pack(shapes)
-	})
-	e.transfer(ctx, rep, edges)
-	ctx.cs.WaitEvent(ctx.io.RecordEvent())
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := e.transfer(pc, rep, edges); err != nil {
+		return err
+	}
+	pc.cs.WaitEvent(pc.io.RecordEvent())
 	rep.Stats.Rows += len(rows)
 	c := collect(rep, r)
 
 	// Notches are intra-polygon but belong to the spacing rule: one batched
 	// launch over every polygon.
-	kernels.NotchBrute(ctx.cs, edges, lim, c)
+	kernels.NotchBrute(pc.cs, edges, lim, c)
 	rep.Stats.KernelLaunches++
 
 	// Executor selection per row; the brute rows batch into one launch set
@@ -314,12 +402,15 @@ func (e *Engine) runSpacingPar(lo *layout.Layout, r rules.Rule, ctx *parCtx, rep
 	var bruteRanges [][2]int32
 	base := 0
 	for _, row := range rows {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		n := len(row.Members)
 		lo, hi := edges.PolyStart[base], edges.PolyStart[base+n]
 		if int(hi-lo) <= e.opts.BruteEdgeThreshold {
 			bruteRanges = append(bruteRanges, [2]int32{int32(base), int32(base + n)})
 		} else {
-			kernels.SpacingSweep(ctx.cs, edges.Slice(base, base+n), lim, kernels.FilterSpacing, c)
+			kernels.SpacingSweep(pc.cs, edges.Slice(base, base+n), lim, kernels.FilterSpacing, c)
 			rep.Stats.KernelLaunches += 7
 		}
 		base += n
@@ -328,17 +419,18 @@ func (e *Engine) runSpacingPar(lo *layout.Layout, r rules.Rule, ctx *parCtx, rep
 		// The device discovers candidate pairs by expanded-MBR overlap
 		// (Section IV-C's check pruning as kernels), then one thread per
 		// surviving pair enumerates its edge cross product.
-		pairs := kernels.PairDiscoveryRows(ctx.cs, edges, bruteRanges, lim.Reach())
+		pairs := kernels.PairDiscoveryRows(pc.cs, edges, bruteRanges, lim.Reach())
 		rep.Stats.KernelLaunches += 3
 		rep.Stats.PairsConsidered += len(pairs)
 		rep.Stats.PairsChecked += len(pairs)
 		if len(pairs) > 0 {
-			kernels.SpacingBrute(ctx.cs, edges, pairs, lim, c)
+			kernels.SpacingBrute(pc.cs, edges, pairs, lim, c)
 			rep.Stats.KernelLaunches++
 		}
 	}
-	ctx.cs.Synchronize()
-	ctx.io.FreeAsync(edges.Bytes())
+	pc.cs.Synchronize()
+	pc.io.FreeAsync(edges.Bytes())
+	return nil
 }
 
 // runEnclosurePar resolves enclosure with the Section IV-C pruning first:
@@ -346,14 +438,17 @@ func (e *Engine) runSpacingPar(lo *layout.Layout, r rules.Rule, ctx *parCtx, rep
 // instance and never reach the device; only the residue (vias needing
 // parent-level metal) is instance-expanded and checked with the
 // enclosure-evaluation kernel.
-func (e *Engine) runEnclosurePar(lo *layout.Layout, r rules.Rule, placements [][]geom.Transform, ctx *parCtx, rep *Report) {
+func (e *Engine) runEnclosurePar(ctx context.Context, lo *layout.Layout, r rules.Rule, placements [][]geom.Transform, pc *parCtx, rep *Report) error {
 	type residue struct {
 		cell    *layout.Cell
 		polyIdx int
 	}
 	var deferred []residue
-	ctx.hostPhase(rep, "par:local-pruning", func() {
+	if err := pc.hostPhase(rep, "par:local-pruning", func() error {
 		for _, c := range lo.LayerCells(r.Layer) {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if len(placements[c.ID]) == 0 {
 				continue
 			}
@@ -368,7 +463,10 @@ func (e *Engine) runEnclosurePar(lo *layout.Layout, r rules.Rule, placements [][
 				}
 				continue
 			}
-			unresolved := e.enclosureLocalPass(lo, c, local, r, rep)
+			unresolved, err := e.enclosureLocalPass(lo, c, local, r, rep)
+			if err != nil {
+				return err
+			}
 			resolved := len(local) - len(unresolved)
 			rep.Stats.InstancesEmitted += resolved * len(placements[c.ID])
 			rep.Stats.ChecksReused += resolved * (len(placements[c.ID]) - 1)
@@ -376,9 +474,12 @@ func (e *Engine) runEnclosurePar(lo *layout.Layout, r rules.Rule, placements [][
 				deferred = append(deferred, residue{cell: c, polyIdx: pi})
 			}
 		}
-	})
+		return nil
+	}); err != nil {
+		return err
+	}
 	if len(deferred) == 0 {
-		return
+		return nil
 	}
 
 	// Instance-expand the residue; candidate metal comes from hierarchy
@@ -387,8 +488,11 @@ func (e *Engine) runEnclosurePar(lo *layout.Layout, r rules.Rule, placements [][
 	var vias []geom.Polygon
 	var metals []geom.Polygon
 	var cands [][]int32
-	ctx.hostPhase(rep, "par:flatten", func() {
+	if err := pc.hostPhase(rep, "par:flatten", func() error {
 		for _, d := range deferred {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			via := d.cell.Polys[d.polyIdx].Shape
 			for _, t := range placements[d.cell.ID] {
 				gvia := via.Transform(t)
@@ -403,19 +507,27 @@ func (e *Engine) runEnclosurePar(lo *layout.Layout, r rules.Rule, placements [][
 				cands = append(cands, list)
 			}
 		}
-	})
+		return nil
+	}); err != nil {
+		return err
+	}
 	ie := kernels.Pack(vias)
 	oe := kernels.Pack(metals)
-	e.transfer(ctx, rep, ie)
-	e.transfer(ctx, rep, oe)
+	if err := e.transfer(pc, rep, ie); err != nil {
+		return err
+	}
+	if err := e.transfer(pc, rep, oe); err != nil {
+		return err
+	}
 	for _, cl := range cands {
 		rep.Stats.PairsChecked += len(cl)
 	}
-	ctx.cs.WaitEvent(ctx.io.RecordEvent())
-	kernels.EnclosureEval(ctx.cs, ie, oe, cands, r.Min, collect(rep, r))
+	pc.cs.WaitEvent(pc.io.RecordEvent())
+	kernels.EnclosureEval(pc.cs, ie, oe, cands, r.Min, collect(rep, r))
 	rep.Stats.KernelLaunches++
 	rep.Stats.InstancesEmitted += len(vias)
-	ctx.cs.Synchronize()
-	ctx.io.FreeAsync(ie.Bytes())
-	ctx.io.FreeAsync(oe.Bytes())
+	pc.cs.Synchronize()
+	pc.io.FreeAsync(ie.Bytes())
+	pc.io.FreeAsync(oe.Bytes())
+	return nil
 }

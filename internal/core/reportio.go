@@ -29,9 +29,22 @@ type jsonViolation struct {
 	Cell   string `json:"cell,omitempty"`
 }
 
+// jsonFailure is the serialized form of one isolated rule failure. The
+// panic stack is deliberately omitted from JSON (it is host-specific and
+// would break report comparisons); consumers that need it read the Report
+// struct directly.
+type jsonFailure struct {
+	Rule           string `json:"rule"`
+	Err            string `json:"err"`
+	Panicked       bool   `json:"panicked,omitempty"`
+	BudgetExceeded bool   `json:"budget_exceeded,omitempty"`
+}
+
 // jsonReport is the serialized form of a check run.
 type jsonReport struct {
 	Mode        string          `json:"mode"`
+	Degraded    bool            `json:"degraded,omitempty"`
+	Failures    []jsonFailure   `json:"failures,omitempty"`
 	Violations  []jsonViolation `json:"violations"`
 	CountByRule map[string]int  `json:"count_by_rule"`
 	HostWallUS  int64           `json:"host_wall_us"`
@@ -43,11 +56,18 @@ type jsonReport struct {
 func (r *Report) WriteJSON(w io.Writer) error {
 	out := jsonReport{
 		Mode:        r.Mode.String(),
+		Degraded:    r.Degraded,
 		Violations:  make([]jsonViolation, 0, len(r.Violations)),
 		CountByRule: r.CountByRule(),
 		HostWallUS:  r.HostWall.Microseconds(),
 		ModeledUS:   r.Modeled.Microseconds(),
 		Stats:       r.Stats,
+	}
+	for _, f := range r.Failures {
+		out.Failures = append(out.Failures, jsonFailure{
+			Rule: f.Rule, Err: f.Err,
+			Panicked: f.Panicked, BudgetExceeded: f.BudgetExceeded,
+		})
 	}
 	for _, v := range r.Violations {
 		out.Violations = append(out.Violations, jsonViolation{
@@ -68,6 +88,17 @@ func (r *Report) WriteText(w io.Writer, deck rules.Deck) error {
 	if _, err := fmt.Fprintf(w, "%d violations in %v (%s mode)\n",
 		len(r.Violations), r.HostWall.Round(time.Microsecond), r.Mode); err != nil {
 		return err
+	}
+	if r.Degraded {
+		if _, err := fmt.Fprintf(w, "DEGRADED: %d rule(s) failed; their results are excluded\n",
+			len(r.Failures)); err != nil {
+			return err
+		}
+		for _, f := range r.Failures {
+			if _, err := fmt.Fprintf(w, "  FAILED %-14s %s\n", f.Rule, f.Err); err != nil {
+				return err
+			}
+		}
 	}
 	counts := r.CountByRule()
 	for _, rule := range deck {

@@ -1,12 +1,18 @@
 package core
 
 import (
+	"context"
+	"fmt"
+
 	"opendrc/internal/layout"
 	"opendrc/internal/rules"
 )
 
-// checkSequential runs the deck through the hierarchical CPU branch.
-func (e *Engine) checkSequential(lo *layout.Layout, rep *Report) error {
+// checkSequential runs the deck through the hierarchical CPU branch. Each
+// rule executes under the engine's fault-isolation guard: a failing rule
+// degrades the report instead of aborting the run, while cancellation
+// aborts between (and inside) rules.
+func (e *Engine) checkSequential(ctx context.Context, lo *layout.Layout, rep *Report) error {
 	if err := checkMagRestriction(lo, e.deck); err != nil {
 		return err
 	}
@@ -14,16 +20,25 @@ func (e *Engine) checkSequential(lo *layout.Layout, rep *Report) error {
 	placements := lo.Placements()
 	stop()
 	for _, r := range e.deck {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: check cancelled: %w", err)
+		}
 		e.opts.Logger.Debugf("seq: rule %s", r)
-		switch r.Kind {
-		case rules.Spacing:
-			e.runSpacingSeq(lo, r, placements, rep)
-		case rules.Enclosure:
-			e.runEnclosureSeq(lo, r, placements, rep)
-		case rules.Coverage, rules.MinOverlap:
-			e.runDerivedSeq(lo, r, placements, rep)
-		default:
-			e.runIntraSeq(lo, r, placements, rep)
+		r := r
+		err := e.guardRule(ctx, rep, r, func() error {
+			switch r.Kind {
+			case rules.Spacing:
+				return e.runSpacingSeq(ctx, lo, r, placements, rep)
+			case rules.Enclosure:
+				return e.runEnclosureSeq(ctx, lo, r, placements, rep)
+			case rules.Coverage, rules.MinOverlap:
+				return e.runDerivedSeq(ctx, lo, r, placements, rep)
+			default:
+				return e.runIntraSeq(ctx, lo, r, placements, rep)
+			}
+		})
+		if err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,7 +1,12 @@
 package core
 
 import (
+	"context"
+	"fmt"
+
+	"opendrc/internal/budget"
 	"opendrc/internal/checks"
+	"opendrc/internal/faults"
 	"opendrc/internal/geom"
 	"opendrc/internal/layout"
 	"opendrc/internal/partition"
@@ -32,24 +37,30 @@ type spaceItem struct {
 }
 
 // runSpacingSeq executes one spacing rule sequentially.
-func (e *Engine) runSpacingSeq(lo *layout.Layout, r rules.Rule, placements [][]geom.Transform, rep *Report) {
+func (e *Engine) runSpacingSeq(ctx context.Context, lo *layout.Layout, r rules.Rule, placements [][]geom.Transform, rep *Report) error {
 	if e.opts.DisablePruning {
-		e.runSpacingFlat(lo, r, rep)
-		return
+		return e.runSpacingFlat(ctx, lo, r, rep)
 	}
 	// Each definition appears once in the layer tree, so computing inside
 	// this loop *is* the memoization: the result replays per instance.
 	for _, c := range lo.LayerCells(r.Layer) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if len(placements[c.ID]) == 0 {
 			continue
 		}
-		markers := e.cellSpacingMarkers(lo, c, r, rep)
+		markers, err := e.cellSpacingMarkers(ctx, lo, c, r, rep)
+		if err != nil {
+			return err
+		}
 		rep.Stats.DefsChecked++
 		for _, t := range placements[c.ID] {
 			rep.Stats.InstancesEmitted++
 			e.emitMarkers(rep, r, c.Name, markers, t)
 		}
 	}
+	return nil
 }
 
 // cellSpacingMarkers computes the spacing violations whose LCA is the cell
@@ -59,7 +70,7 @@ func (e *Engine) runSpacingSeq(lo *layout.Layout, r rules.Rule, placements [][]g
 // (Fig. 1 / Fig. 4), the cell's participants are first split into
 // independent rows by the adaptive partition, then each row runs the MBR
 // sweepline, and surviving pairs get edge-to-edge checks.
-func (e *Engine) cellSpacingMarkers(lo *layout.Layout, c *layout.Cell, r rules.Rule, rep *Report) []checks.Marker {
+func (e *Engine) cellSpacingMarkers(ctx context.Context, lo *layout.Layout, c *layout.Cell, r rules.Rule, rep *Report) ([]checks.Marker, error) {
 	lim := r.SpacingLimit()
 	min := lim.Reach()
 	var out []checks.Marker
@@ -96,7 +107,7 @@ func (e *Engine) cellSpacingMarkers(lo *layout.Layout, c *layout.Cell, r rules.R
 		})
 	}
 	if len(items) < 2 {
-		return out
+		return out, nil
 	}
 
 	// Adaptive row partition: rows separated by more than the rule reach
@@ -114,10 +125,14 @@ func (e *Engine) cellSpacingMarkers(lo *layout.Layout, c *layout.Cell, r rules.R
 		stats   Stats
 	}
 	results := make([]rowResult, len(rows))
-	pool.ForEach(e.opts.Workers, len(rows), func(ri int) {
+	err := pool.ForEachCtx(ctx, e.opts.Workers, len(rows), func(ri int) error {
 		row := rows[ri]
+		if err := e.opts.Faults.Hit(ctx, faults.SiteRow,
+			fmt.Sprintf("%s/%s/row#%d", r.ID, c.Name, ri)); err != nil {
+			return err
+		}
 		if len(row.Members) < 2 {
-			return
+			return nil
 		}
 		res := &results[ri]
 		remit := func(m checks.Marker) { res.markers = append(res.markers, m) }
@@ -127,13 +142,17 @@ func (e *Engine) cellSpacingMarkers(lo *layout.Layout, c *layout.Cell, r rules.R
 		}
 		stopSweep := rep.Profile.Phase("spacing:sweepline")
 		var pairs [][2]int
-		sweep.Overlaps(rowBoxes, func(a, b int) {
+		_, err := sweep.Overlaps(rowBoxes, func(a, b int) {
 			pairs = append(pairs, [2]int{row.Members[a], row.Members[b]})
 		})
 		stopSweep()
+		if err != nil {
+			return err
+		}
 		res.stats.PairsConsidered += len(pairs)
 
 		stopRowChecks := rep.Profile.Phase("spacing:edge-checks")
+		defer stopRowChecks()
 		for _, pr := range pairs {
 			a, b := items[pr[0]], items[pr[1]]
 			switch {
@@ -148,13 +167,16 @@ func (e *Engine) cellSpacingMarkers(lo *layout.Layout, c *layout.Cell, r rules.R
 				e.spacingSubtreeVsSubtree(lo, a, b, r.Layer, lim, &res.stats, remit)
 			}
 		}
-		stopRowChecks()
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	for i := range results {
 		out = append(out, results[i].markers...)
 		rep.Stats.add(results[i].stats)
 	}
-	return out
+	return out, nil
 }
 
 // collectSubtree returns the layer polygons of item's child subtree, in the
@@ -206,11 +228,19 @@ func (e *Engine) spacingSubtreeVsSubtree(lo *layout.Layout, a, b spaceItem, l la
 }
 
 // runSpacingFlat is the pruning-off ablation: instance-expand the whole
-// layer and sweep globally.
-func (e *Engine) runSpacingFlat(lo *layout.Layout, r rules.Rule, rep *Report) {
+// layer and sweep globally. The flatten is subject to the flatten-polys
+// budget — the ablation materializes every instance, which is exactly the
+// blow-up the budget exists to catch.
+func (e *Engine) runSpacingFlat(ctx context.Context, lo *layout.Layout, r rules.Rule, rep *Report) error {
 	defer rep.Profile.Phase("spacing:flat")()
 	lim := r.SpacingLimit()
 	polys := lo.FlattenLayer(r.Layer)
+	if err := budget.Check("flatten-polys", int64(len(polys)), e.opts.Budgets.MaxFlattenPolys); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	boxes := make([]geom.Rect, len(polys))
 	for i := range polys {
 		boxes[i] = polys[i].Shape.MBR().Expand(lim.Reach())
@@ -224,11 +254,15 @@ func (e *Engine) runSpacingFlat(lo *layout.Layout, r rules.Rule, rep *Report) {
 		rep.Stats.PairsChecked++
 		checks.CheckNotchLim(polys[i].Shape, lim, emit)
 	}
-	sweep.Overlaps(boxes, func(a, b int) {
+	_, err := sweep.Overlaps(boxes, func(a, b int) {
 		rep.Stats.PairsConsidered++
 		rep.Stats.PairsChecked++
 		checks.CheckSpacingLim(polys[a].Shape, polys[b].Shape, lim, emit)
 	})
+	if err != nil {
+		return err
+	}
 	rep.Stats.DefsChecked += len(polys)
 	rep.Stats.InstancesEmitted += len(polys)
+	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"reflect"
+	"strings"
 	"testing"
 
 	"opendrc/internal/rules"
@@ -106,8 +107,10 @@ func TestDedupViolationsLeavesInputUnchanged(t *testing.T) {
 	}
 }
 
-// TestWorkerPanicPropagates ensures a panicking custom rule surfaces on the
-// calling goroutine even when it runs on pool workers.
+// TestWorkerPanicPropagates ensures a panicking custom rule — running on
+// pool workers — is isolated into a structured RuleFailure carrying the
+// worker's stack, instead of crashing the run (the pre-hardening behavior)
+// or being silently swallowed.
 func TestWorkerPanicPropagates(t *testing.T) {
 	lo, _, err := synth.Load("uart", 0.2)
 	if err != nil {
@@ -120,10 +123,27 @@ func TestWorkerPanicPropagates(t *testing.T) {
 	if err := e.AddRules(boom); err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("panic in worker did not propagate")
-		}
-	}()
-	_, _ = e.Check(lo)
+	rep, err := e.Check(lo)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if !rep.Degraded {
+		t.Fatal("report not degraded after worker panic")
+	}
+	if len(rep.Failures) != 1 {
+		t.Fatalf("failures = %+v, want exactly one", rep.Failures)
+	}
+	f := rep.Failures[0]
+	if !strings.Contains(f.Rule, "boom") {
+		t.Errorf("failed rule = %q, want the boom rule", f.Rule)
+	}
+	if !f.Panicked {
+		t.Error("failure not marked as panic")
+	}
+	if !strings.Contains(f.Err, "rule panic") {
+		t.Errorf("failure text %q does not carry the panic value", f.Err)
+	}
+	if f.Stack == "" {
+		t.Error("worker stack lost")
+	}
 }

@@ -1,0 +1,151 @@
+package faults
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorInert(t *testing.T) {
+	var in *Injector
+	if err := in.Hit(context.Background(), SiteRule, "M1.S.1"); err != nil {
+		t.Fatalf("nil injector Hit = %v, want nil", err)
+	}
+	if err := (&Injector{}).Hit(context.Background(), SiteRule, "M1.S.1"); err != nil {
+		t.Fatalf("zero injector Hit = %v, want nil", err)
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	c := New(43)
+	for _, key := range []string{"", "M1.S.1", "cell/row#3", "x"} {
+		if a.hash(SiteRule, key) != b.hash(SiteRule, key) {
+			t.Fatalf("same seed, key %q: hashes differ", key)
+		}
+	}
+	// Different seeds must select different key sets (overwhelmingly).
+	diff := 0
+	for _, key := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		if a.hash(SiteRule, key) != c.hash(SiteRule, key) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seeds 42 and 43 hash identically on every key")
+	}
+	// Site participates: same key under different sites differs.
+	if a.hash(SiteRule, "k") == a.hash(SiteCell, "k") {
+		t.Fatal("site does not participate in the hash")
+	}
+}
+
+func TestExactKeyMatch(t *testing.T) {
+	in := New(1, Injection{Site: SiteRule, Key: "M1.S.1", Mode: Error})
+	err := in.Hit(context.Background(), SiteRule, "M1.S.1")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("matched hit = %v, want ErrInjected", err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Site != SiteRule || ie.Key != "M1.S.1" {
+		t.Fatalf("injected error = %#v", err)
+	}
+	if err := in.Hit(context.Background(), SiteRule, "M2.S.1"); err != nil {
+		t.Fatalf("unmatched key = %v, want nil", err)
+	}
+	if err := in.Hit(context.Background(), SiteCell, "M1.S.1"); err != nil {
+		t.Fatalf("unmatched site = %v, want nil", err)
+	}
+}
+
+func TestRateSelection(t *testing.T) {
+	// Rate 1 fires on every key; rate 0 with no Key never fires.
+	always := New(7, Injection{Site: SiteCell, Rate: 1, Mode: Error})
+	never := New(7, Injection{Site: SiteCell, Mode: Error})
+	keys := []string{"aes", "ethmac", "ibex", "jpeg", "sha3", "uart"}
+	for _, k := range keys {
+		if err := always.Hit(context.Background(), SiteCell, k); err == nil {
+			t.Fatalf("rate 1 did not fire on %q", k)
+		}
+		if err := never.Hit(context.Background(), SiteCell, k); err != nil {
+			t.Fatalf("rate 0 fired on %q: %v", k, err)
+		}
+	}
+	// A moderate rate fires on a deterministic subset, identical across
+	// independently built injectors.
+	in1 := New(99, Injection{Site: SiteCell, Rate: 3, Mode: Error})
+	in2 := New(99, Injection{Site: SiteCell, Rate: 3, Mode: Error})
+	for _, k := range keys {
+		e1 := in1.Hit(context.Background(), SiteCell, k)
+		e2 := in2.Hit(context.Background(), SiteCell, k)
+		if (e1 == nil) != (e2 == nil) {
+			t.Fatalf("selection for %q differs between identical injectors", k)
+		}
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	in := New(1, Injection{Site: SiteCell, Key: "boom", Mode: Panic})
+	defer func() {
+		v, ok := recover().(PanicValue)
+		if !ok || v.Site != SiteCell || v.Key != "boom" {
+			t.Fatalf("recovered %#v, want PanicValue{core.cell, boom}", v)
+		}
+		if !strings.Contains(v.String(), "injected panic") {
+			t.Fatalf("panic value string = %q", v.String())
+		}
+	}()
+	in.Hit(context.Background(), SiteCell, "boom")
+	t.Fatal("Hit returned instead of panicking")
+}
+
+func TestStallHonorsContext(t *testing.T) {
+	in := New(1, Injection{Site: SiteRule, Key: "slow", Mode: Stall, Stall: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now() //odrc:allow clock — test-only stall timing assertion
+	err := in.Hit(ctx, SiteRule, "slow")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stalled hit = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second { //odrc:allow clock — test-only stall timing assertion
+		t.Fatalf("stall ignored the deadline (%v)", elapsed)
+	}
+}
+
+func TestStallElapses(t *testing.T) {
+	in := New(1, Injection{Site: SiteRule, Key: "slow", Mode: Stall, Stall: time.Millisecond})
+	if err := in.Hit(context.Background(), SiteRule, "slow"); err != nil {
+		t.Fatalf("elapsed stall = %v, want nil", err)
+	}
+}
+
+func TestTruncateReader(t *testing.T) {
+	src := []byte("hello, world")
+	r := TruncateReader(bytes.NewReader(src), 5)
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("read %q, want %q", got, "hello")
+	}
+	// Further reads report plain EOF.
+	n, err := r.Read(make([]byte, 4))
+	if n != 0 || err != io.EOF {
+		t.Fatalf("post-truncation Read = (%d, %v), want (0, EOF)", n, err)
+	}
+}
+
+func TestTruncateReaderZero(t *testing.T) {
+	r := TruncateReader(strings.NewReader("x"), 0)
+	n, err := r.Read(make([]byte, 1))
+	if n != 0 || err != io.EOF {
+		t.Fatalf("Read = (%d, %v), want (0, EOF)", n, err)
+	}
+}

@@ -282,6 +282,17 @@ type elementBody struct {
 	hasXY                     bool
 }
 
+// need guards the fixed-size record accessors: int16At/int32At/real8At
+// index raw payload bytes, so a short record must be rejected before the
+// access, not crash it (a fuzz-found failure mode on truncated files).
+func need(rec record, n int) error {
+	if len(rec.data) < n {
+		return fmt.Errorf("gdsii: offset %d: %v record has %d payload bytes, need %d",
+			rec.pos, rec.typ, len(rec.data), n)
+	}
+	return nil
+}
+
 func (p *parser) parseElementBody(kind string) (elementBody, error) {
 	var b elementBody
 	b.trans.Mag = 0
@@ -297,14 +308,29 @@ func (p *parser) parseElementBody(kind string) (elementBody, error) {
 			}
 			return b, nil
 		case RecLayer:
+			if err := need(rec, 2); err != nil {
+				return b, err
+			}
 			b.layer = rec.int16At(0)
 		case RecDataType:
+			if err := need(rec, 2); err != nil {
+				return b, err
+			}
 			b.dataType = rec.int16At(0)
 		case RecTextType:
+			if err := need(rec, 2); err != nil {
+				return b, err
+			}
 			b.textType = rec.int16At(0)
 		case RecPathType:
+			if err := need(rec, 2); err != nil {
+				return b, err
+			}
 			b.pathType = rec.int16At(0)
 		case RecWidth:
+			if err := need(rec, 4); err != nil {
+				return b, err
+			}
 			b.width = rec.int32At(0)
 		case RecXY:
 			b.xy = rec.points()
@@ -314,6 +340,9 @@ func (p *parser) parseElementBody(kind string) (elementBody, error) {
 		case RecString:
 			b.text = rec.str()
 		case RecColRow:
+			if err := need(rec, 4); err != nil {
+				return b, err
+			}
 			b.cols = rec.int16At(0)
 			b.rows = rec.int16At(1)
 		case RecSTrans:
@@ -325,8 +354,14 @@ func (p *parser) parseElementBody(kind string) (elementBody, error) {
 				}
 			}
 		case RecMag:
+			if err := need(rec, 8); err != nil {
+				return b, err
+			}
 			b.trans.Mag = rec.real8At(0)
 		case RecAngle:
+			if err := need(rec, 8); err != nil {
+				return b, err
+			}
 			b.trans.AngleDeg = rec.real8At(0)
 		case RecElFlags, RecPlex, RecPresentation, RecPropAttr, RecPropValue:
 			// Legal but irrelevant to DRC; ignore silently.

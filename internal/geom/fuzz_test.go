@@ -1,0 +1,64 @@
+package geom
+
+import (
+	"testing"
+)
+
+// fuzzPoints decodes the raw fuzz input into a vertex list: three int16
+// pairs per vertex keep coordinates small enough that no transform in the
+// test can overflow int64.
+func fuzzPoints(data []byte) []Point {
+	var pts []Point
+	for i := 0; i+4 <= len(data); i += 4 {
+		x := int64(int16(uint16(data[i])<<8 | uint16(data[i+1])))
+		y := int64(int16(uint16(data[i+2])<<8 | uint16(data[i+3])))
+		pts = append(pts, Pt(x, y))
+	}
+	return pts
+}
+
+// FuzzPolygonTransform drives NewPolygon and the transform algebra with
+// arbitrary vertex lists. Properties: construction never panics; an
+// accepted polygon has >= 3 vertices, a containing MBR, and a positive
+// doubled area; transforming by each of the eight orientations and back by
+// the inverse reproduces the polygon; the MBR commutes with the transform.
+func FuzzPolygonTransform(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 10, 0, 0, 0, 10, 0, 10, 0, 0, 0, 10}) // unit-ish square
+	f.Add([]byte{0, 0, 0, 0, 0, 4, 0, 0, 0, 4, 0, 4})                 // triangle
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1})                 // degenerate: all equal
+	f.Add([]byte{0, 0, 0, 0, 0, 8, 0, 0, 0, 16, 0, 0})                // collinear run
+	f.Add([]byte{255, 255, 255, 255, 0, 0, 255, 255, 255, 255, 0, 0}) // negative coords
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts := fuzzPoints(data)
+		p, err := NewPolygon(pts)
+		if err != nil {
+			return // rejected input; the absence of a panic is the property
+		}
+		if p.NumVertices() < 3 {
+			t.Fatalf("accepted polygon with %d vertices", p.NumVertices())
+		}
+		if p.Area2() < 0 {
+			t.Fatalf("negative doubled area %d", p.Area2())
+		}
+		mbr := p.MBR()
+		for i := 0; i < p.NumVertices(); i++ {
+			if v := p.Vertex(i); !mbr.Contains(v) {
+				t.Fatalf("MBR %v does not contain vertex %v", mbr, v)
+			}
+		}
+		for o := Orient(0); o < 8; o++ {
+			tr := Transform{Orient: o, Mag: 1, Offset: Pt(37, -91)}
+			q := p.Transform(tr)
+			if got, want := q.MBR(), tr.ApplyRect(mbr); got != want {
+				t.Fatalf("orient %v: transformed MBR %v, want %v", o, got, want)
+			}
+			back := q.Transform(tr.Inverse())
+			if !back.Equal(p) {
+				t.Fatalf("orient %v: inverse round trip changed the polygon:\n in  %v\n out %v", o, p, back)
+			}
+			if q.Area2() != p.Area2() {
+				t.Fatalf("orient %v: area changed %d -> %d", o, p.Area2(), q.Area2())
+			}
+		}
+	})
+}

@@ -37,6 +37,12 @@ func NewPolygon(pts []Point) (Polygon, error) {
 }
 
 // MustPolygon is NewPolygon that panics on error; for tests and literals.
+// The panic is deliberate and stays: callers pass compile-time-constant
+// vertex lists (test fixtures, RectPolygon's four corners), so an error
+// here is a programming bug, not an input condition. Code paths that build
+// polygons from untrusted data (GDSII parsing, synthesis) go through
+// NewPolygon and propagate the error; the engine additionally recovers
+// any stray panic per rule into a degraded report rather than crashing.
 func MustPolygon(pts []Point) Polygon {
 	p, err := NewPolygon(pts)
 	if err != nil {

@@ -25,6 +25,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"opendrc/internal/budget"
 )
 
 // Props describes the simulated device and the host it is paired with.
@@ -114,6 +116,8 @@ type Device struct {
 	hostClock time.Duration
 	records   []Record
 	pool      poolStats
+	memLimit  int64               // pool byte budget; 0 = unlimited
+	allocHook func(n int64) error // fault-injection seam; nil = none
 }
 
 type poolStats struct {
@@ -201,6 +205,23 @@ func (d *Device) PoolStats() (inUse, peak, totalAllocated int64, allocs int) {
 	return d.pool.inUse, d.pool.peak, d.pool.total, d.pool.allocs
 }
 
+// SetMemLimit caps the stream-ordered pool at n bytes; AllocAsync fails
+// with a budget error once usage would exceed it. Zero removes the limit.
+func (d *Device) SetMemLimit(n int64) {
+	d.mu.Lock()
+	d.memLimit = n
+	d.mu.Unlock()
+}
+
+// SetAllocHook installs a fault-injection hook consulted before every
+// allocation; a non-nil return fails the allocation with that error. A nil
+// hook removes the seam.
+func (d *Device) SetAllocHook(hook func(n int64) error) {
+	d.mu.Lock()
+	d.allocHook = hook
+	d.mu.Unlock()
+}
+
 // Stream is a CUDA-style in-order operation queue. Operations on one stream
 // serialize; operations on different streams overlap on the timeline.
 type Stream struct {
@@ -249,10 +270,25 @@ func (s *Stream) MemcpyAsync(name string, n int64) {
 
 // AllocAsync models a stream-ordered pool allocation. Pool allocations are
 // nearly free on the timeline (the allocator's point); the device tracks
-// usage statistics.
-func (s *Stream) AllocAsync(n int64) {
+// usage statistics. An allocation that would push pool usage past the
+// configured memory limit (SetMemLimit) fails with a typed budget error —
+// device OOM is an error the caller degrades on, never a panic. The
+// fault-injection hook (SetAllocHook) fails the allocation the same way.
+func (s *Stream) AllocAsync(n int64) error {
 	d := s.dev
 	d.mu.Lock()
+	if hook := d.allocHook; hook != nil {
+		d.mu.Unlock()
+		if err := hook(n); err != nil {
+			return fmt.Errorf("gpu: alloc %d bytes: %w", n, err)
+		}
+		d.mu.Lock()
+	}
+	if d.memLimit > 0 && d.pool.inUse+n > d.memLimit {
+		used := d.pool.inUse
+		d.mu.Unlock()
+		return &budget.Error{Resource: "device-pool-bytes", Limit: d.memLimit, Used: used + n}
+	}
 	d.pool.inUse += n
 	d.pool.total += n
 	d.pool.allocs++
@@ -261,6 +297,7 @@ func (s *Stream) AllocAsync(n int64) {
 	}
 	d.mu.Unlock()
 	s.enqueue(OpAlloc, "alloc", 0, 0, 0, n)
+	return nil
 }
 
 // FreeAsync models a stream-ordered pool free.

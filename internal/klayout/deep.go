@@ -1,6 +1,7 @@
 package klayout
 
 import (
+	"context"
 	"sort"
 
 	"opendrc/internal/checks"
@@ -77,24 +78,26 @@ func (it *deepItem) materialize(l layout.Layer) []geom.Polygon {
 }
 
 // checkDeep runs one rule in deep mode.
-func checkDeep(lo *layout.Layout, r rules.Rule, res *Result) error {
+func checkDeep(ctx context.Context, lo *layout.Layout, r rules.Rule, res *Result) error {
 	emit := emitFn(res, r)
 	switch r.Kind {
 	case rules.Spacing:
-		deepSpacing(lo, r, emit)
+		return deepSpacing(ctx, lo, r, emit)
 	case rules.Enclosure:
-		deepEnclosure(lo, r, emit)
+		return deepEnclosure(ctx, lo, r, emit)
 	default:
-		deepIntra(lo, r, emit)
+		return deepIntra(ctx, lo, r, emit)
 	}
-	return nil
 }
 
 // deepIntra computes per definition, then builds each instance's variant
 // (transforming its geometry) and maps the markers through it.
-func deepIntra(lo *layout.Layout, r rules.Rule, emit func(checks.Marker)) {
+func deepIntra(ctx context.Context, lo *layout.Layout, r rules.Rule, emit func(checks.Marker)) error {
 	placements := lo.Placements()
 	for _, c := range lo.LayerCells(r.Layer) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		idx := c.LocalPolys(r.Layer)
 		if len(idx) == 0 {
 			continue
@@ -119,6 +122,7 @@ func deepIntra(lo *layout.Layout, r rules.Rule, emit func(checks.Marker)) {
 			}
 		}
 	}
+	return nil
 }
 
 func deepLabel(c *layout.Cell, polyIdx int) string {
@@ -136,11 +140,14 @@ func deepLabel(c *layout.Cell, polyIdx int) string {
 // deepSpacing: definition-internal results replay per instance; boundary
 // interactions cluster via per-shape region scans and run pairwise within
 // each cluster.
-func deepSpacing(lo *layout.Layout, r rules.Rule, emit func(checks.Marker)) {
+func deepSpacing(ctx context.Context, lo *layout.Layout, r rules.Rule, emit func(checks.Marker)) error {
 	placements := lo.Placements()
 	// Definition-internal spacing (notches + pairs among the cell's own
 	// polygons), replayed per instance through variants.
 	for _, c := range lo.LayerCells(r.Layer) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		idx := c.LocalPolys(r.Layer)
 		if len(idx) == 0 {
 			continue
@@ -208,6 +215,9 @@ func deepSpacing(lo *layout.Layout, r rules.Rule, emit func(checks.Marker)) {
 	}
 	sort.Ints(roots)
 	for _, root := range roots {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		members := clusters[root]
 		if len(members) < 2 {
 			continue
@@ -236,14 +246,18 @@ func deepSpacing(lo *layout.Layout, r rules.Rule, emit func(checks.Marker)) {
 			}
 		}
 	}
+	return nil
 }
 
 // deepEnclosure re-evaluates every via instance against a region scan of the
 // metal items (variants rebuilt per instance, no monotone local shortcut).
-func deepEnclosure(lo *layout.Layout, r rules.Rule, emit func(checks.Marker)) {
+func deepEnclosure(ctx context.Context, lo *layout.Layout, r rules.Rule, emit func(checks.Marker)) error {
 	vias := deepItems(lo, r.Layer, r.Min)
 	metals := deepItems(lo, r.Outer, 0)
 	for _, v := range vias {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for _, via := range v.materialize(r.Layer) {
 			window := via.MBR().Expand(r.Min)
 			var cands []geom.Polygon
@@ -260,4 +274,5 @@ func deepEnclosure(lo *layout.Layout, r rules.Rule, emit func(checks.Marker)) {
 			checks.EvaluateEnclosure(via, cands, r.Min, emit)
 		}
 	}
+	return nil
 }

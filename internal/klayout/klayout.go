@@ -26,11 +26,14 @@
 package klayout
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
+	"opendrc/internal/budget"
 	"opendrc/internal/checks"
+	"opendrc/internal/faults"
 	"opendrc/internal/geom"
 	"opendrc/internal/layout"
 	"opendrc/internal/rules"
@@ -73,6 +76,16 @@ type Options struct {
 	// Result.Modeled stays the Threads-worker LPT makespan, so measured
 	// and modeled multi-core times are reported side by side.
 	Workers int
+
+	// Budgets are the run's resource limits. Flat mode estimates its
+	// flatten size up front and, when the flatten-polys budget would trip,
+	// falls back to tiling mode (Result.FellBack) instead of materializing
+	// the blow-up. The zero value imposes no limits.
+	Budgets budget.Limits
+
+	// Faults is the deterministic fault injector driving the chaos suite;
+	// nil (the production value) is inert.
+	Faults *faults.Injector
 }
 
 // Result is the outcome of checking one rule.
@@ -88,10 +101,20 @@ type Result struct {
 	Modeled time.Duration
 	// Tiles is the number of non-empty tiles processed (tiling mode).
 	Tiles int
+	// FellBack is set when flat mode detected that fully instantiating the
+	// layout would trip the flatten-polys budget and ran tiling instead.
+	FellBack bool
 }
 
-// Check runs one rule in the configured mode.
+// Check runs one rule in the configured mode with no deadline.
 func Check(lo *layout.Layout, r rules.Rule, opts Options) (*Result, error) {
+	return CheckContext(context.Background(), lo, r, opts)
+}
+
+// CheckContext runs one rule in the configured mode under ctx. Cancellation
+// is cooperative (checked per instance cluster, tile, or flatten batch); a
+// cancelled run returns a nil result and an error wrapping ctx.Err().
+func CheckContext(ctx context.Context, lo *layout.Layout, r rules.Rule, opts Options) (*Result, error) {
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}
@@ -101,16 +124,19 @@ func Check(lo *layout.Layout, r rules.Rule, opts Options) (*Result, error) {
 	if opts.Threads <= 0 {
 		opts.Threads = 8
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("klayout: check cancelled: %w", err)
+	}
 	res := &Result{}
 	start := time.Now() //odrc:allow clock — baseline wall measurement; feeds Result.Wall, the KLayout side of measured-vs-modeled
 	var err error
 	switch opts.Mode {
 	case Flat:
-		err = checkFlat(lo, r, res)
+		err = checkFlat(ctx, lo, r, opts, res)
 	case Deep:
-		err = checkDeep(lo, r, res)
+		err = checkDeep(ctx, lo, r, res)
 	case Tiling:
-		err = checkTiling(lo, r, opts, res)
+		err = checkTiling(ctx, lo, r, opts, res)
 	default:
 		err = fmt.Errorf("klayout: unknown mode %d", int(opts.Mode))
 	}
@@ -123,6 +149,19 @@ func Check(lo *layout.Layout, r rules.Rule, opts Options) (*Result, error) {
 	}
 	sortViolations(res.Violations)
 	return res, nil
+}
+
+// flattenEstimate counts the polygons a full instantiation of the layer
+// would materialize — Σ (cell's local layer polygons × placements) — without
+// materializing anything, so flat mode can decide to fall back before
+// paying for the blow-up.
+func flattenEstimate(lo *layout.Layout, l layout.Layer) int64 {
+	placements := lo.Placements()
+	var n int64
+	for _, c := range lo.LayerCells(l) {
+		n += int64(len(c.LocalPolys(l))) * int64(len(placements[c.ID]))
+	}
+	return n
 }
 
 func sortViolations(vs []rules.Violation) {
@@ -192,9 +231,25 @@ func flatName(pp layout.PlacedPoly) string {
 }
 
 // checkFlat is the flat mode: full instantiation, one global sweepline.
-func checkFlat(lo *layout.Layout, r rules.Rule, res *Result) error {
+// When the estimated flatten size trips the flatten-polys budget, the run
+// degrades gracefully to tiling mode (which never materializes more than a
+// tile window at a time) instead of exhausting memory.
+func checkFlat(ctx context.Context, lo *layout.Layout, r rules.Rule, opts Options, res *Result) error {
+	if limit := opts.Budgets.MaxFlattenPolys; limit > 0 {
+		est := flattenEstimate(lo, r.Layer)
+		if r.Kind == rules.Enclosure {
+			est += flattenEstimate(lo, r.Outer)
+		}
+		if err := budget.Check("flatten-polys", est, limit); err != nil {
+			res.FellBack = true
+			return checkTiling(ctx, lo, r, opts, res)
+		}
+	}
 	emit := emitFn(res, r)
 	polys := lo.FlattenLayer(r.Layer)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	switch r.Kind {
 	case rules.Spacing:
 		lim := r.SpacingLimit()
@@ -203,9 +258,11 @@ func checkFlat(lo *layout.Layout, r rules.Rule, res *Result) error {
 			boxes[i] = polys[i].Shape.MBR().Expand(lim.Reach())
 			checks.CheckNotchLim(polys[i].Shape, lim, emit)
 		}
-		sweep.Overlaps(boxes, func(a, b int) {
+		if _, err := sweep.Overlaps(boxes, func(a, b int) {
 			checks.CheckSpacingLim(polys[a].Shape, polys[b].Shape, lim, emit)
-		})
+		}); err != nil {
+			return err
+		}
 	case rules.Enclosure:
 		metals := lo.FlattenLayer(r.Outer)
 		viaBoxes := make([]geom.Rect, len(polys))
@@ -217,14 +274,21 @@ func checkFlat(lo *layout.Layout, r rules.Rule, res *Result) error {
 			metalBoxes[i] = metals[i].Shape.MBR()
 		}
 		cands := make([][]geom.Polygon, len(polys))
-		sweep.OverlapsBetween(viaBoxes, metalBoxes, func(v, m int) {
+		if _, err := sweep.OverlapsBetween(viaBoxes, metalBoxes, func(v, m int) {
 			cands[v] = append(cands[v], metals[m].Shape)
-		})
+		}); err != nil {
+			return err
+		}
 		for i := range polys {
 			checks.EvaluateEnclosure(polys[i].Shape, cands[i], r.Min, emit)
 		}
 	default:
-		for _, pp := range polys {
+		for i, pp := range polys {
+			if i%1024 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			checkPolyIntra(pp.Shape, flatName(pp), r, emit)
 		}
 	}

@@ -1,10 +1,13 @@
 package klayout
 
 import (
+	"context"
+	"fmt"
 	"sort"
 	"time"
 
 	"opendrc/internal/checks"
+	"opendrc/internal/faults"
 	"opendrc/internal/geom"
 	"opendrc/internal/layout"
 	"opendrc/internal/pool"
@@ -22,7 +25,7 @@ import (
 // pooled wall time.
 
 // checkTiling runs one rule in tiling mode.
-func checkTiling(lo *layout.Layout, r rules.Rule, opts Options, res *Result) error {
+func checkTiling(ctx context.Context, lo *layout.Layout, r rules.Rule, opts Options, res *Result) error {
 	bounds := lo.Top.LayerMBR(r.Layer)
 	if r.Kind == rules.Enclosure {
 		bounds = bounds.Union(lo.Top.LayerMBR(r.Outer))
@@ -60,11 +63,14 @@ func checkTiling(lo *layout.Layout, r rules.Rule, opts Options, res *Result) err
 		processed bool
 	}
 	results := make([]tileResult, len(tiles))
-	pool.ForEach(opts.Workers, len(tiles), func(i int) {
+	err := pool.ForEachCtx(ctx, opts.Workers, len(tiles), func(i int) error {
+		if err := opts.Faults.Hit(ctx, faults.SiteTile, fmt.Sprintf("tile#%d", i)); err != nil {
+			return err
+		}
 		tile := tiles[i]
 		tr := &results[i]
 		start := time.Now() //odrc:allow clock — per-tile wall time; input to the Threads-worker LPT makespan model
-		tr.processed = tileCheck(lo, r, tile, halo, func(m checks.Marker) {
+		processed, err := tileCheck(lo, r, tile, halo, func(m checks.Marker) {
 			// Ownership: the tile containing the marker center reports
 			// it; halo copies elsewhere are dropped.
 			if tile.Contains(m.Box.Center()) {
@@ -73,10 +79,18 @@ func checkTiling(lo *layout.Layout, r rules.Rule, opts Options, res *Result) err
 				})
 			}
 		})
+		if err != nil {
+			return err
+		}
+		tr.processed = processed
 		if tr.processed {
 			tr.dur = time.Since(start) //odrc:allow clock — closes the per-tile measurement opened above
 		}
+		return nil
 	})
+	if err != nil {
+		return err
+	}
 
 	var tileTimes []time.Duration
 	for i := range results {
@@ -92,11 +106,11 @@ func checkTiling(lo *layout.Layout, r rules.Rule, opts Options, res *Result) err
 
 // tileCheck runs the flat algorithms restricted to one tile+halo window;
 // returns false when the window holds no geometry.
-func tileCheck(lo *layout.Layout, r rules.Rule, tile geom.Rect, halo int64, emit func(checks.Marker)) bool {
+func tileCheck(lo *layout.Layout, r rules.Rule, tile geom.Rect, halo int64, emit func(checks.Marker)) (bool, error) {
 	window := tile.Expand(halo)
 	polys, _ := lo.QueryLayer(r.Layer, window)
 	if len(polys) == 0 {
-		return false
+		return false, nil
 	}
 	switch r.Kind {
 	case rules.Spacing:
@@ -106,9 +120,11 @@ func tileCheck(lo *layout.Layout, r rules.Rule, tile geom.Rect, halo int64, emit
 			boxes[i] = polys[i].Shape.MBR().Expand(lim.Reach())
 			checks.CheckNotchLim(polys[i].Shape, lim, emit)
 		}
-		sweep.Overlaps(boxes, func(a, b int) {
+		if _, err := sweep.Overlaps(boxes, func(a, b int) {
 			checks.CheckSpacingLim(polys[a].Shape, polys[b].Shape, lim, emit)
-		})
+		}); err != nil {
+			return false, err
+		}
 	case rules.Enclosure:
 		metals, _ := lo.QueryLayer(r.Outer, window)
 		viaBoxes := make([]geom.Rect, len(polys))
@@ -120,9 +136,11 @@ func tileCheck(lo *layout.Layout, r rules.Rule, tile geom.Rect, halo int64, emit
 			metalBoxes[i] = metals[i].Shape.MBR()
 		}
 		cands := make([][]geom.Polygon, len(polys))
-		sweep.OverlapsBetween(viaBoxes, metalBoxes, func(v, m int) {
+		if _, err := sweep.OverlapsBetween(viaBoxes, metalBoxes, func(v, m int) {
 			cands[v] = append(cands[v], metals[m].Shape)
-		})
+		}); err != nil {
+			return false, err
+		}
 		for i := range polys {
 			checks.EvaluateEnclosure(polys[i].Shape, cands[i], r.Min, emit)
 		}
@@ -131,7 +149,7 @@ func tileCheck(lo *layout.Layout, r rules.Rule, tile geom.Rect, halo int64, emit
 			checkPolyIntra(pp.Shape, flatName(pp), r, emit)
 		}
 	}
-	return true
+	return true, nil
 }
 
 // makespan models LPT scheduling of tile durations onto the worker pool.

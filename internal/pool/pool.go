@@ -5,15 +5,27 @@
 // from a bounded queue, panic propagation to the waiter, and an indexed
 // ForEach whose callers write results into per-index slots so merged output
 // is bit-identical regardless of the worker count.
+//
+// Failure semantics: misuse (Submit after Close, double Close) returns
+// ErrClosed instead of panicking or deadlocking; SubmitCtx/WaitCtx/
+// ForEachCtx honor context cancellation by refusing new work and draining
+// the tasks already in flight — a cancelled fan-out never abandons a
+// running worker.
 package pool
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrClosed is returned by Submit and Close when the pool is already
+// closed.
+var ErrClosed = errors.New("pool: closed")
 
 // Workers resolves a configured worker count: values <= 0 select
 // runtime.GOMAXPROCS(0), the number of usable host cores.
@@ -46,8 +58,9 @@ type Pool struct {
 	pending sync.WaitGroup // open tasks
 	workers sync.WaitGroup // live worker goroutines
 
-	mu  sync.Mutex
-	err *PanicError // first worker panic, cleared by Wait
+	mu     sync.Mutex
+	closed bool
+	err    *PanicError // first worker panic, cleared by Wait
 }
 
 // New starts a pool with the given number of workers (<= 0 selects
@@ -84,10 +97,40 @@ func (p *Pool) run(fn func()) {
 	fn()
 }
 
-// Submit enqueues one task; it blocks while the queue is full.
-func (p *Pool) Submit(fn func()) {
+// Submit enqueues one task; it blocks while the queue is full. After Close
+// it returns ErrClosed (it must not be called concurrently with Close).
+func (p *Pool) Submit(fn func()) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
 	p.pending.Add(1)
+	p.mu.Unlock()
 	p.tasks <- fn
+	return nil
+}
+
+// SubmitCtx is Submit that gives up when ctx is cancelled while the queue
+// is full, returning ctx.Err(); tasks already queued keep draining.
+func (p *Pool) SubmitCtx(ctx context.Context, fn func()) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.pending.Add(1)
+	p.mu.Unlock()
+	select {
+	case p.tasks <- fn:
+		return nil
+	case <-ctx.Done():
+		p.pending.Done()
+		return ctx.Err()
+	}
 }
 
 // Wait blocks until all submitted tasks completed. If any task panicked,
@@ -104,11 +147,44 @@ func (p *Pool) Wait() {
 	}
 }
 
-// Close stops the workers after the queued tasks drain. Submit must not be
-// called after Close.
-func (p *Pool) Close() {
+// WaitCtx blocks until all submitted tasks completed or ctx is cancelled.
+// On cancellation it returns ctx.Err() immediately while the submitted
+// tasks keep draining on the workers (call Wait or Close to rejoin them).
+// A worker panic is returned as a *PanicError instead of re-panicking.
+func (p *Pool) WaitCtx(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		p.pending.Wait()
+		close(done)
+	}()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-done:
+	}
+	p.mu.Lock()
+	err := p.err
+	p.err = nil
+	p.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// Close stops the workers after the queued tasks drain. A second Close
+// returns ErrClosed without touching the pool.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.closed = true
+	p.mu.Unlock()
 	close(p.tasks)
 	p.workers.Wait()
+	return nil
 }
 
 // ForEach runs fn(0..n-1) on up to `workers` goroutines (<= 0 selects
@@ -119,8 +195,35 @@ func (p *Pool) Close() {
 // finishes the remaining indices on the surviving workers and then
 // re-panics the first *PanicError on the caller.
 func ForEach(workers, n int, fn func(i int)) {
+	err := ForEachCtx(context.Background(), workers, n, func(i int) error {
+		fn(i)
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+}
+
+// indexedErr pairs a task error with the index it occurred at, so the
+// reported error is the lowest-index one — independent of worker count and
+// schedule.
+type indexedErr struct {
+	idx int
+	err error
+}
+
+// ForEachCtx runs fn(0..n-1) on up to `workers` goroutines with cooperative
+// cancellation and error propagation. Scheduling matches ForEach (dynamic
+// index handout, inline fast path for one worker). When fn returns an
+// error or panics, no new indices are handed out, in-flight indices drain,
+// and the error of the lowest failed index is returned (a panic is wrapped
+// in a *PanicError carrying the worker's stack). When ctx is cancelled the
+// handout stops the same way and ctx.Err() is returned. The choice of the
+// lowest-index error keeps degraded results deterministic across worker
+// counts.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	workers = Workers(workers)
 	if workers > n {
@@ -128,40 +231,59 @@ func ForEach(workers, n int, fn func(i int)) {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	var (
 		next int64
+		stop atomic.Bool
 		wg   sync.WaitGroup
 		mu   sync.Mutex
-		perr *PanicError
+		fail *indexedErr
 	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if fail == nil || i < fail.idx {
+			fail = &indexedErr{idx: i, err: err}
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	body := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				record(i, &PanicError{Value: r, Stack: debug.Stack()})
+			}
+		}()
+		if err := fn(i); err != nil {
+			record(i, err)
+		}
+	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					mu.Lock()
-					if perr == nil {
-						perr = &PanicError{Value: r, Stack: debug.Stack()}
-					}
-					mu.Unlock()
-				}
-			}()
 			for {
+				if stop.Load() || ctx.Err() != nil {
+					return
+				}
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				body(i)
 			}
 		}()
 	}
 	wg.Wait()
-	if perr != nil {
-		panic(perr)
+	if fail != nil {
+		return fail.err
 	}
+	return ctx.Err()
 }

@@ -1,9 +1,13 @@
 package pool
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkersDefault(t *testing.T) {
@@ -107,4 +111,140 @@ func TestForEachPanic(t *testing.T) {
 
 func TestForEachZeroItems(t *testing.T) {
 	ForEach(4, 0, func(int) { t.Fatal("fn called for n=0") })
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	p := New(2)
+	if err := p.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := p.Submit(func() { t.Error("task ran after Close") }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if err := p.SubmitCtx(context.Background(), func() {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SubmitCtx after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestDoubleClose(t *testing.T) {
+	p := New(2)
+	if err := p.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := p.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestSubmitCtxCancelled(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.SubmitCtx(ctx, func() { t.Error("task ran under cancelled ctx") }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SubmitCtx(cancelled) = %v, want context.Canceled", err)
+	}
+	// The refused submission must not leak a pending count: Wait returns.
+	p.Wait()
+}
+
+func TestSubmitCtxFullQueue(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	// Block the single worker and fill the queue so the next SubmitCtx
+	// has to wait on the channel, then cancel it.
+	release := make(chan struct{})
+	p.Submit(func() { <-release })
+	for i := 0; i < cap(p.tasks); i++ {
+		p.Submit(func() {})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := p.SubmitCtx(ctx, func() { t.Error("task ran after cancelled enqueue") })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SubmitCtx on full queue = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	p.Wait()
+}
+
+func TestWaitCtxCancelDrains(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	var done atomic.Int32
+	release := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		p.Submit(func() { <-release; done.Add(1) })
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.WaitCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("WaitCtx(cancelled) = %v, want context.Canceled", err)
+	}
+	// Cancellation abandoned the wait but not the tasks: they drain.
+	close(release)
+	p.Wait()
+	if got := done.Load(); got != 4 {
+		t.Fatalf("drained %d tasks after cancelled WaitCtx, want 4", got)
+	}
+}
+
+func TestWaitCtxReturnsPanicError(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	p.Submit(func() { panic("boom") })
+	err := p.WaitCtx(context.Background())
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom" {
+		t.Fatalf("WaitCtx = %v, want *PanicError{boom}", err)
+	}
+}
+
+func TestForEachCtxLowestIndexError(t *testing.T) {
+	// Multiple indices fail; the reported error must be the lowest index,
+	// independent of worker count.
+	for _, workers := range []int{1, 2, 4, 8} {
+		err := ForEachCtx(context.Background(), workers, 100, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return fmt.Errorf("fail@%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail@3" {
+			t.Fatalf("workers=%d: err = %v, want fail@3", workers, err)
+		}
+	}
+}
+
+func TestForEachCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := ForEachCtx(ctx, 4, 1000, func(i int) error {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForEachCtx after cancel = %v, want context.Canceled", err)
+	}
+	if ran.Load() == 1000 {
+		t.Fatal("cancellation did not stop the index handout")
+	}
+}
+
+func TestForEachCtxPanicAsError(t *testing.T) {
+	err := ForEachCtx(context.Background(), 4, 50, func(i int) error {
+		if i == 7 {
+			panic("kaput")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "kaput" {
+		t.Fatalf("ForEachCtx = %v, want *PanicError{kaput}", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic stack not captured")
+	}
 }

@@ -7,6 +7,7 @@
 package sweep
 
 import (
+	"fmt"
 	"sort"
 
 	"opendrc/internal/geom"
@@ -34,7 +35,10 @@ type event struct {
 
 // Overlaps reports every pair of rectangles that overlap or touch, invoking
 // fn once per pair with indices (a < b). Empty rectangles never interact.
-func Overlaps(boxes []geom.Rect, fn func(a, b int)) Stats {
+// The returned error reports a corrupted sweep state (an interval endpoint
+// missing from the skeleton — unreachable by construction but propagated
+// rather than panicking, per the failure-semantics policy in DESIGN.md).
+func Overlaps(boxes []geom.Rect, fn func(a, b int)) (Stats, error) {
 	var st Stats
 	events := make([]event, 0, 2*len(boxes))
 	coords := make([]int64, 0, 2*len(boxes))
@@ -72,10 +76,12 @@ func Overlaps(boxes []geom.Rect, fn func(a, b int)) Stats {
 				fn(a, c)
 			})
 			// Insert after querying so the rectangle does not report
-			// itself; endpoints are in the skeleton by construction.
+			// itself; endpoints are in the skeleton by construction, so a
+			// failed insert means the sweep state is corrupt — surface it
+			// to the caller instead of panicking library code.
 			if err := tree.Insert(b.XLo, b.XHi, ev.id); err != nil {
-				// Unreachable: skeleton contains every endpoint.
-				panic("sweep: " + err.Error())
+				return st, fmt.Errorf("sweep: inserting interval [%d,%d] of box %d: %w",
+					b.XLo, b.XHi, ev.id, err)
 			}
 			if l := tree.Len(); l > st.MaxLive {
 				st.MaxLive = l
@@ -84,14 +90,15 @@ func Overlaps(boxes []geom.Rect, fn func(a, b int)) Stats {
 			tree.Delete(b.XLo, b.XHi, ev.id)
 		}
 	}
-	return st
+	return st, nil
 }
 
 // OverlapsBetween reports overlapping pairs between two distinct rectangle
 // sets (for inter-layer checks such as enclosure): fn(a, b) receives an
 // index into as and an index into bs. Implemented as one sweep over the
-// union with set tags, so the cost stays O((n+m) log(n+m) + k).
-func OverlapsBetween(as, bs []geom.Rect, fn func(a, b int)) Stats {
+// union with set tags, so the cost stays O((n+m) log(n+m) + k). The error
+// contract matches Overlaps.
+func OverlapsBetween(as, bs []geom.Rect, fn func(a, b int)) (Stats, error) {
 	boxes := make([]geom.Rect, 0, len(as)+len(bs))
 	boxes = append(boxes, as...)
 	boxes = append(boxes, bs...)

@@ -11,7 +11,10 @@ import (
 
 func pairsOf(boxes []geom.Rect) ([]Pair, Stats) {
 	var out []Pair
-	st := Overlaps(boxes, func(a, b int) { out = append(out, Pair{a, b}) })
+	st, err := Overlaps(boxes, func(a, b int) { out = append(out, Pair{a, b}) })
+	if err != nil {
+		panic(err) // unreachable: endpoints are always in the skeleton
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].A != out[j].A {
 			return out[i].A < out[j].A

@@ -12,7 +12,9 @@
 package xcheck
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sort"
 	"time"
 
@@ -46,14 +48,24 @@ type Result struct {
 	Device *gpu.Device
 }
 
-// Check runs one rule.
+// Check runs one rule with no deadline.
 func Check(lo *layout.Layout, r rules.Rule, opts Options) (*Result, error) {
+	return CheckContext(context.Background(), lo, r, opts)
+}
+
+// CheckContext runs one rule under ctx. Cancellation is cooperative: it is
+// checked between the flatten, transfer and kernel phases; a cancelled run
+// returns a nil result and an error wrapping ctx.Err().
+func CheckContext(ctx context.Context, lo *layout.Layout, r rules.Rule, opts Options) (*Result, error) {
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}
 	switch r.Kind {
 	case rules.Area, rules.Custom, rules.Rectilinear, rules.Coverage, rules.MinOverlap:
 		return nil, ErrUnsupported
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("xcheck: check cancelled: %w", err)
 	}
 	if opts.Device.SMs == 0 {
 		opts.Device = gpu.GTX1660Ti()
@@ -76,13 +88,22 @@ func Check(lo *layout.Layout, r rules.Rule, opts Options) (*Result, error) {
 		shapes = append(shapes, pp.Shape)
 	}
 	dev.HostAdvance(time.Since(hostStart)) //odrc:allow clock — measured host time enters the modeled timeline via HostAdvance
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("xcheck: check cancelled: %w", err)
+	}
 
 	switch r.Kind {
 	case rules.Width:
-		edges := transfer(stream, shapes)
+		edges, err := transfer(stream, shapes)
+		if err != nil {
+			return nil, err
+		}
 		kernels.SpacingSweep(stream, edges, checks.Lim(r.Min), kernels.FilterWidth, collect)
 	case rules.Spacing:
-		edges := transfer(stream, shapes)
+		edges, err := transfer(stream, shapes)
+		if err != nil {
+			return nil, err
+		}
 		lim := r.SpacingLimit()
 		kernels.NotchBrute(stream, edges, lim, collect)
 		kernels.SpacingSweep(stream, edges, lim, kernels.FilterSpacing, collect)
@@ -102,12 +123,24 @@ func Check(lo *layout.Layout, r rules.Rule, opts Options) (*Result, error) {
 		for i := range metals {
 			metalBoxes[i] = metals[i].MBR()
 		}
-		sweep.OverlapsBetween(viaBoxes, metalBoxes, func(v, m int) {
+		_, serr := sweep.OverlapsBetween(viaBoxes, metalBoxes, func(v, m int) {
 			cands[v] = append(cands[v], int32(m))
 		})
 		dev.HostAdvance(time.Since(hostStart)) //odrc:allow clock — measured host time enters the modeled timeline via HostAdvance
-		ie := transfer(stream, shapes)
-		oe := transfer(stream, metals)
+		if serr != nil {
+			return nil, serr
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("xcheck: check cancelled: %w", err)
+		}
+		ie, err := transfer(stream, shapes)
+		if err != nil {
+			return nil, err
+		}
+		oe, err := transfer(stream, metals)
+		if err != nil {
+			return nil, err
+		}
 		kernels.EnclosureEval(stream, ie, oe, cands, r.Min, collect)
 	}
 	stream.Synchronize()
@@ -117,12 +150,15 @@ func Check(lo *layout.Layout, r rules.Rule, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// transfer packs shapes and models the host-to-device copy.
-func transfer(s *gpu.Stream, shapes []geom.Polygon) *kernels.Edges {
+// transfer packs shapes and models the host-to-device copy; an allocator
+// failure (device OOM under a memory limit) surfaces as an error.
+func transfer(s *gpu.Stream, shapes []geom.Polygon) (*kernels.Edges, error) {
 	edges := kernels.Pack(shapes)
-	s.AllocAsync(edges.Bytes())
+	if err := s.AllocAsync(edges.Bytes()); err != nil {
+		return nil, err
+	}
 	s.MemcpyAsync("edges", edges.Bytes())
-	return edges
+	return edges, nil
 }
 
 func sortViolations(vs []rules.Violation) {

@@ -1,6 +1,7 @@
 package xcheck
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -103,5 +104,25 @@ func TestInvalidRule(t *testing.T) {
 	}
 	if _, err := Check(lo, rules.Rule{Kind: rules.Spacing}, Options{}); err == nil {
 		t.Error("invalid rule accepted")
+	}
+}
+
+func TestCheckContextCancelled(t *testing.T) {
+	lo, _, err := synth.Load("uart", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := synth.RuleByID("M1.S.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := CheckContext(ctx, lo, r, Options{})
+	if res != nil {
+		t.Fatal("cancelled run returned a result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
 	}
 }

@@ -21,8 +21,10 @@
 package opendrc
 
 import (
+	"context"
 	"io"
 
+	"opendrc/internal/budget"
 	"opendrc/internal/core"
 	"opendrc/internal/gdsii"
 	"opendrc/internal/gpu"
@@ -51,6 +53,18 @@ type Violation = rules.Violation
 
 // Report is the result of Engine.Check.
 type Report = core.Report
+
+// RuleFailure is one isolated rule failure in a degraded report.
+type RuleFailure = core.RuleFailure
+
+// Budgets caps the resources a check may consume; a tripped budget fails
+// only the offending rule (the report comes back Degraded). Zero fields
+// mean unlimited.
+type Budgets = budget.Limits
+
+// ErrBudgetExceeded is the sentinel wrapped by every budget violation;
+// test with errors.Is.
+var ErrBudgetExceeded = budget.ErrExceeded
 
 // Mode selects the execution branch.
 type Mode = core.Mode
@@ -130,6 +144,14 @@ func WithSortPartition() Option {
 	return func(o *core.Options) { o.PartitionAlg = partition.SortBased }
 }
 
+// WithBudgets caps the resources a check may consume (flattened polygon
+// count, packed device edges, device pool bytes). A tripped budget fails
+// the offending rule with ErrBudgetExceeded and the report comes back
+// Degraded; the other rules still run.
+func WithBudgets(b Budgets) Option {
+	return func(o *core.Options) { o.Budgets = b }
+}
+
 // Engine schedules and runs design rule checks.
 type Engine struct {
 	inner *core.Engine
@@ -153,6 +175,14 @@ func (e *Engine) Deck() Deck { return e.inner.Deck() }
 // Check runs the deck against the layout and returns the report with
 // violations sorted deterministically.
 func (e *Engine) Check(db *Layout) (*Report, error) { return e.inner.Check(db) }
+
+// CheckContext is Check under a context. Cancellation is cooperative
+// (checked at rule, cell, and row boundaries); a cancelled run returns a
+// nil report and an error wrapping ctx.Err(). Reports remain bit-identical
+// across worker counts even when rules fail and the report is Degraded.
+func (e *Engine) CheckContext(ctx context.Context, db *Layout) (*Report, error) {
+	return e.inner.CheckContext(ctx, db)
+}
 
 // Dedup collapses exactly-identical violations (same rule, box, distance),
 // the way layout viewers merge markers.
