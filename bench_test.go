@@ -13,6 +13,7 @@ import (
 	"opendrc/internal/bench"
 	"opendrc/internal/core"
 	"opendrc/internal/geom"
+	"opendrc/internal/kernels"
 	"opendrc/internal/layout"
 	"opendrc/internal/partition"
 	"opendrc/internal/synth"
@@ -223,4 +224,43 @@ func BenchmarkBVHAblation(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkFlattenLayer measures one full hierarchy flatten per design —
+// the unit of work the geometry cache performs once per layer instead of
+// once per rule.
+func BenchmarkFlattenLayer(b *testing.B) {
+	layouts := benchLayouts(b)
+	for _, design := range bench.DesignNames() {
+		lo := layouts[design]
+		b.Run(design, func(b *testing.B) {
+			n := 0
+			for i := 0; i < b.N; i++ {
+				n = len(lo.FlattenLayer(layout.LayerM1))
+			}
+			b.ReportMetric(float64(n), "polys")
+		})
+	}
+}
+
+// BenchmarkPack measures packing a flattened layer into the SoA edge buffer
+// — the second half of the per-layer work the cache memoizes and the device
+// keeps resident.
+func BenchmarkPack(b *testing.B) {
+	layouts := benchLayouts(b)
+	for _, design := range bench.DesignNames() {
+		lo := layouts[design]
+		flat := lo.FlattenLayer(layout.LayerM1)
+		shapes := make([]geom.Polygon, len(flat))
+		for i := range flat {
+			shapes[i] = flat[i].Shape
+		}
+		b.Run(design, func(b *testing.B) {
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				bytes = kernels.Pack(shapes).Bytes()
+			}
+			b.ReportMetric(float64(bytes), "bytes")
+		})
+	}
 }

@@ -23,4 +23,8 @@ go test -race ./...
 go test -run=NONE -fuzz=FuzzReadLibrary -fuzztime=10s ./internal/gdsii
 go test -run=NONE -fuzz=FuzzPolygonTransform -fuzztime=10s ./internal/geom
 
+# Bench smoke: one iteration of the geometry-cache unit benchmarks, so a
+# change that breaks flatten/pack off the engine path still fails the gate.
+go test -run=NONE -bench 'BenchmarkFlattenLayer|BenchmarkPack' -benchtime=1x .
+
 echo "check.sh: all green"

@@ -47,10 +47,11 @@ func run() error {
 	table := flag.Int("table", 0, "reproduce table 1 (intra-polygon) or 2 (inter-polygon)")
 	fig := flag.Int("fig", 0, "reproduce figure 3 (sweepline trace) or 4 (runtime breakdown)")
 	ablation := flag.Bool("ablation", false, "run the design-choice ablations")
-	speedup := flag.Bool("speedup", false, "run the multi-core speedup experiment (sequential engine)")
+	speedup := flag.Bool("speedup", false, "run the multi-core speedup experiment (both engine modes)")
+	reuse := flag.Bool("reuse", false, "run the cross-rule geometry reuse experiment (cache on vs off)")
 	workers := flag.Int("workers", 0, "worker-pool size for -speedup (0 = GOMAXPROCS)")
-	runs := flag.Int("runs", 3, "repetitions per -speedup cell (minimum wall time is reported)")
-	out := flag.String("out", "", "also write the -speedup report as JSON to this file")
+	runs := flag.Int("runs", 3, "repetitions per -speedup/-reuse cell (minimum wall time is reported)")
+	out := flag.String("out", "", "also write the -speedup/-reuse report as JSON to this file")
 	scale := flag.Float64("scale", 1, "design scale factor (1 = full synthetic size)")
 	timeout := flag.Duration("timeout", 0, "abort the experiment after this duration (0 = no deadline); exits 3 on expiry")
 	flag.Parse()
@@ -84,6 +85,8 @@ func run() error {
 		return runAblations(*scale)
 	case *speedup:
 		return runSpeedup(ctx, *scale, *workers, *runs, *out)
+	case *reuse:
+		return runReuse(ctx, *scale, *runs, *out)
 	}
 	flag.Usage()
 	return nil
@@ -96,6 +99,34 @@ func runSpeedup(ctx context.Context, scale float64, workers, runs int, outPath s
 		return err
 	}
 	rep, err := bench.SpeedupContext(ctx, lts, workers, runs, scale)
+	if err != nil {
+		return err
+	}
+	if _, err := rep.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	return nil
+}
+
+// runReuse compares cache-on and cache-off runs of the multi-rule spacing
+// deck on the six designs, in both engine modes.
+func runReuse(ctx context.Context, scale float64, runs int, outPath string) error {
+	lts, err := bench.Layouts(scale)
+	if err != nil {
+		return err
+	}
+	rep, err := bench.ReuseContext(ctx, lts, runs, scale)
 	if err != nil {
 		return err
 	}

@@ -76,7 +76,7 @@ type Checker struct {
 }
 
 // Checkers is the full suite, in reporting order.
-var Checkers = []*Checker{MapRange, Clock, RawGo, ArgMut}
+var Checkers = []*Checker{MapRange, Clock, RawGo, ArgMut, SharedBuf}
 
 // WaiverCheck is the pseudo-check name used for findings about the waiver
 // comments themselves (malformed, unknown check, stale).

@@ -103,6 +103,25 @@ func TestCheckers(t *testing.T) {
 			want:    []string{"argmut:14", "argmut:19", "argmut:9"},
 		},
 		{
+			name:    "sharedbuf in a consumer package",
+			file:    "sharedbuf_src.go",
+			pkgPath: "example.com/internal/core",
+			want: []string{"sharedbuf:23", "sharedbuf:28", "sharedbuf:33",
+				"sharedbuf:38", "sharedbuf:43", "sharedbuf:48"},
+		},
+		{
+			name:    "sharedbuf exempt in kernels; its waiver goes stale",
+			file:    "sharedbuf_src.go",
+			pkgPath: "example.com/internal/kernels",
+			want:    []string{"waiver:80"},
+		},
+		{
+			name:    "sharedbuf exempt in geocache; its waiver goes stale",
+			file:    "sharedbuf_src.go",
+			pkgPath: "example.com/internal/geocache",
+			want:    []string{"waiver:80"},
+		},
+		{
 			name:    "waivers suppress, stale waivers report",
 			file:    "waiver_src.go",
 			pkgPath: "example.com/internal/core",

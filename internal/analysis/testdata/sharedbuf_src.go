@@ -1,0 +1,81 @@
+// Fixture for the sharedbuf checker. Line numbers are asserted in
+// checkers_test.go — append new cases at the end. The types mirror the
+// cached geometry buffers by name; the checker matches names, not import
+// paths, so the fixture stays self-contained.
+package fixture
+
+import "sort"
+
+type PlacedPoly struct{ ID int }
+
+type Edges struct {
+	X0 []int64
+	N  int
+}
+
+type MBRTable struct {
+	XLo    []int64
+	XOrder []int32
+}
+
+// Overwriting an element of a cached flatten slice: finding on line 23.
+func overwritePoly(ps []PlacedPoly) {
+	ps[0] = PlacedPoly{}
+}
+
+// Writing a field through an element: finding on line 28.
+func pokePolyField(ps []PlacedPoly) {
+	ps[0].ID = 1
+}
+
+// Writing a packed buffer's coordinate array: finding on line 33.
+func pokeEdges(e *Edges) {
+	e.X0[0] = 9
+}
+
+// Mutating a scalar field of the shared buffer: finding on line 38.
+func bumpEdgeCount(e *Edges) {
+	e.N++
+}
+
+// Re-sorting the cached global x-order: finding on line 43.
+func reorderTable(t *MBRTable) {
+	sort.Slice(t.XOrder, func(i, j int) bool { return t.XOrder[i] < t.XOrder[j] })
+}
+
+// Sorting a cached poly slice in place: finding on line 48.
+func reorderPolys(ps []PlacedPoly) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].ID < ps[j].ID })
+}
+
+// Reading cached buffers is always fine: clean.
+func readAll(ps []PlacedPoly, e *Edges, t *MBRTable) int64 {
+	total := int64(ps[0].ID) + int64(e.N)
+	for _, i := range t.XOrder {
+		total += e.X0[0] + t.XLo[i]
+	}
+	return total
+}
+
+// Sorting a fresh copy is the blessed pattern: clean.
+func sortedCopy(t *MBRTable) []int32 {
+	order := append([]int32(nil), t.XOrder...)
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	return order
+}
+
+// Building and filling a local slice of another type: clean.
+func localScratch(ps []PlacedPoly) []int {
+	ids := make([]int, len(ps))
+	for i := range ps {
+		ids[i] = ps[i].ID
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// A mutation the producer owns can be waived at a consumer call site when a
+// transition demands it: waived, no finding.
+func waivedPoke(e *Edges) {
+	e.N = 0 //odrc:allow sharedbuf — fixture exercises the waiver path
+}

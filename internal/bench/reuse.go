@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"time"
+
+	"opendrc/internal/core"
+	"opendrc/internal/layout"
+	"opendrc/internal/rules"
+	"opendrc/internal/synth"
+)
+
+// Cross-rule geometry reuse experiment: a deck of many spacing rules over a
+// few layers (the shape of real sign-off decks, where one metal layer
+// carries a base spacing rule plus several projection-conditioned
+// variants), checked with the geometry cache on versus off. The cached run
+// flattens and packs each layer once, keeps the packed buffer
+// device-resident, and pipelines the next rule's host prep behind the
+// current rule's kernels; the uncached run re-derives everything per rule.
+// Every row cross-checks that both configurations produced identical sorted
+// violations — the cache changes cost, never results.
+
+// ReuseDeck is the multi-rule spacing deck: for each routing layer, the
+// standard minimum spacing plus two parallel-run-length variants (distinct
+// PRL lengths, so the deck validates). Nine rules over three layers — a 3×
+// reuse opportunity per layer.
+func ReuseDeck() rules.Deck {
+	var d rules.Deck
+	for _, t := range []struct {
+		layer layout.Layer
+		base  int64
+		name  string
+	}{
+		{layout.LayerM1, synth.MinSpaceM1, "M1.S"},
+		{layout.LayerM2, synth.MinSpaceM2, "M2.S"},
+		{layout.LayerM3, synth.MinSpaceM3, "M3.S"},
+	} {
+		d = append(d,
+			rules.Layer(t.layer).Spacing().AtLeast(t.base).Named(t.name+".1"),
+			rules.Layer(t.layer).Spacing().AtLeast(t.base).
+				WhenProjectionAtLeast(2*t.base, t.base+t.base/2).Named(t.name+".PRL.1"),
+			rules.Layer(t.layer).Spacing().AtLeast(t.base).
+				WhenProjectionAtLeast(4*t.base, 2*t.base).Named(t.name+".PRL.2"),
+		)
+	}
+	return d
+}
+
+// ReuseRow compares cache-on and cache-off on one design in one mode.
+type ReuseRow struct {
+	Design string `json:"design"`
+	Mode   string `json:"mode"`
+	Rules  int    `json:"rules"`
+
+	WallOffUS    int64 `json:"wall_nocache_us"`
+	WallOnUS     int64 `json:"wall_cache_us"`
+	ModeledOffUS int64 `json:"modeled_nocache_us"`
+	ModeledOnUS  int64 `json:"modeled_cache_us"`
+
+	// WallImprovement and ModeledImprovement are off/on ratios (>1 means the
+	// cache helped); Improvement is the better of the two, the experiment's
+	// headline number.
+	WallImprovement    float64 `json:"wall_improvement"`
+	ModeledImprovement float64 `json:"modeled_improvement"`
+	Improvement        float64 `json:"improvement"`
+
+	FlattenHits   int64 `json:"flatten_cache_hits"`
+	FlattenMisses int64 `json:"flatten_cache_misses"`
+	PackHits      int64 `json:"pack_cache_hits"`
+	PackMisses    int64 `json:"pack_cache_misses"`
+	DeviceUploads int64 `json:"device_uploads"`
+	DeviceReuses  int64 `json:"device_reuses"`
+
+	Violations int `json:"violations"`
+	// Identical is true when cache-on and cache-off produced byte-identical
+	// sorted violation lists.
+	Identical bool `json:"reports_identical"`
+}
+
+// ReuseReport is the whole experiment, serialized to BENCH_reuse.json.
+type ReuseReport struct {
+	Scale float64    `json:"scale"`
+	Runs  int        `json:"runs_per_cell"`
+	Rows  []ReuseRow `json:"rows"`
+}
+
+// reuseRun checks the reuse deck on lo and returns the report; wall time is
+// the minimum over runs to damp scheduler noise. The sequential rows run
+// with pruning disabled: the pruned hierarchical path never flattens (that
+// is its whole point), so the flat ablation is where sequential reuse shows.
+func reuseRun(ctx context.Context, lo *layout.Layout, mode core.Mode, noCache bool, runs int) (*core.Report, time.Duration, error) {
+	var best *core.Report
+	var wall time.Duration
+	for i := 0; i < runs; i++ {
+		eng := core.New(core.Options{
+			Mode:            mode,
+			DisableGeoCache: noCache,
+			DisablePruning:  mode == core.Sequential,
+		})
+		if err := eng.AddRules(ReuseDeck()...); err != nil {
+			return nil, 0, err
+		}
+		rep, err := eng.CheckContext(ctx, lo)
+		if err != nil {
+			return nil, 0, err
+		}
+		if best == nil || rep.HostWall < wall {
+			best = rep
+			wall = rep.HostWall
+		}
+	}
+	return best, wall, nil
+}
+
+// Reuse runs the experiment over the given layouts (use Layouts(scale)) in
+// both engine modes; runs is the repetitions per cell (min is reported).
+func Reuse(layouts map[string]*layout.Layout, runs int, scale float64) (*ReuseReport, error) {
+	return ReuseContext(context.Background(), layouts, runs, scale)
+}
+
+// ReuseContext is Reuse under a context; cancellation aborts between runs.
+func ReuseContext(ctx context.Context, layouts map[string]*layout.Layout, runs int, scale float64) (*ReuseReport, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	out := &ReuseReport{Scale: scale, Runs: runs}
+	deckLen := len(ReuseDeck())
+	for _, mode := range []core.Mode{core.Parallel, core.Sequential} {
+		for _, design := range DesignNames() {
+			lo := layouts[design]
+			if lo == nil {
+				continue
+			}
+			repOff, wallOff, err := reuseRun(ctx, lo, mode, true, runs)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s nocache: %w", design, mode, err)
+			}
+			repOn, wallOn, err := reuseRun(ctx, lo, mode, false, runs)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s cache: %w", design, mode, err)
+			}
+			row := ReuseRow{
+				Design:       design,
+				Mode:         mode.String(),
+				Rules:        deckLen,
+				WallOffUS:    wallOff.Microseconds(),
+				WallOnUS:     wallOn.Microseconds(),
+				ModeledOffUS: repOff.Modeled.Microseconds(),
+				ModeledOnUS:  repOn.Modeled.Microseconds(),
+
+				FlattenHits:   repOn.Stats.FlattenCacheHits,
+				FlattenMisses: repOn.Stats.FlattenCacheMisses,
+				PackHits:      repOn.Stats.PackCacheHits,
+				PackMisses:    repOn.Stats.PackCacheMisses,
+				DeviceUploads: repOn.Stats.DeviceUploads,
+				DeviceReuses:  repOn.Stats.DeviceReuses,
+
+				Violations: len(repOn.Violations),
+				Identical:  reflect.DeepEqual(repOn.Violations, repOff.Violations),
+			}
+			if wallOn > 0 {
+				row.WallImprovement = float64(wallOff) / float64(wallOn)
+			}
+			if repOn.Modeled > 0 {
+				row.ModeledImprovement = float64(repOff.Modeled) / float64(repOn.Modeled)
+			}
+			row.Improvement = row.WallImprovement
+			if row.ModeledImprovement > row.Improvement {
+				row.Improvement = row.ModeledImprovement
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// WriteJSON serializes the report.
+func (r *ReuseReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTo renders an aligned text table.
+func (r *ReuseReport) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	p := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	if err := p("Geometry reuse: cache off vs on, %d-rule spacing deck (scale %g, min of %d runs)\n",
+		len(ReuseDeck()), r.Scale, r.Runs); err != nil {
+		return total, err
+	}
+	if err := p("%-8s %-10s %12s %12s %8s %12s %12s %8s %6s %10s\n",
+		"design", "mode", "wall off", "wall on", "wall x",
+		"modeled off", "modeled on", "model x", "viols", "identical"); err != nil {
+		return total, err
+	}
+	for _, row := range r.Rows {
+		if err := p("%-8s %-10s %12s %12s %7.2fx %12s %12s %7.2fx %6d %10v\n",
+			row.Design, row.Mode,
+			fmtDur(time.Duration(row.WallOffUS)*time.Microsecond),
+			fmtDur(time.Duration(row.WallOnUS)*time.Microsecond),
+			row.WallImprovement,
+			fmtDur(time.Duration(row.ModeledOffUS)*time.Microsecond),
+			fmtDur(time.Duration(row.ModeledOnUS)*time.Microsecond),
+			row.ModeledImprovement,
+			row.Violations, row.Identical); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -14,15 +14,18 @@ import (
 	"opendrc/internal/synth"
 )
 
-// Multi-core speedup experiment: the sequential engine's full standard deck
-// on every synth design, Workers=1 versus Workers=N, reporting measured
-// wall-clock time. Beyond the speedup itself, every row cross-checks that
-// the two runs produced the identical report (violations and scheduling
-// counters), which the engine guarantees by construction.
+// Multi-core speedup experiment: the full standard deck on every synth
+// design in both engine modes, Workers=1 versus Workers=N, reporting
+// measured wall-clock time. Beyond the speedup itself, every row
+// cross-checks that the two runs produced the identical report (violations
+// and scheduling counters), which the engine guarantees by construction —
+// including the parallel mode's geometry-cache and device-residency
+// counters, which are schedule-independent.
 
-// SpeedupRow compares Workers=1 and Workers=N on one design.
+// SpeedupRow compares Workers=1 and Workers=N on one design in one mode.
 type SpeedupRow struct {
 	Design     string  `json:"design"`
+	Mode       string  `json:"mode"`
 	Wall1US    int64   `json:"wall_workers1_us"`
 	WallNUS    int64   `json:"wall_workersN_us"`
 	Speedup    float64 `json:"speedup"`
@@ -34,7 +37,6 @@ type SpeedupRow struct {
 
 // SpeedupReport is the whole experiment, serialized to BENCH_workers.json.
 type SpeedupReport struct {
-	Mode       string       `json:"mode"`
 	GOMAXPROCS int          `json:"gomaxprocs"`
 	Workers    int          `json:"workers"`
 	Scale      float64      `json:"scale"`
@@ -42,14 +44,14 @@ type SpeedupReport struct {
 	Rows       []SpeedupRow `json:"rows"`
 }
 
-// speedupRun checks the full standard deck on lo with the given worker
-// count and returns the report; wall time is the minimum over runs to damp
-// scheduler noise.
-func speedupRun(ctx context.Context, lo *layout.Layout, workers, runs int) (*core.Report, time.Duration, error) {
+// speedupRun checks the full standard deck on lo with the given mode and
+// worker count and returns the report; wall time is the minimum over runs
+// to damp scheduler noise.
+func speedupRun(ctx context.Context, lo *layout.Layout, mode core.Mode, workers, runs int) (*core.Report, time.Duration, error) {
 	var best *core.Report
 	var wall time.Duration
 	for i := 0; i < runs; i++ {
-		eng := core.New(core.Options{Mode: core.Sequential, Workers: workers})
+		eng := core.New(core.Options{Mode: mode, Workers: workers})
 		if err := eng.AddRules(synth.Deck()...); err != nil {
 			return nil, 0, err
 		}
@@ -82,37 +84,39 @@ func SpeedupContext(ctx context.Context, layouts map[string]*layout.Layout, work
 		runs = 1
 	}
 	out := &SpeedupReport{
-		Mode:       core.Sequential.String(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workers:    workers,
 		Scale:      scale,
 		Runs:       runs,
 	}
-	for _, design := range DesignNames() {
-		lo := layouts[design]
-		if lo == nil {
-			continue
+	for _, mode := range []core.Mode{core.Sequential, core.Parallel} {
+		for _, design := range DesignNames() {
+			lo := layouts[design]
+			if lo == nil {
+				continue
+			}
+			rep1, wall1, err := speedupRun(ctx, lo, mode, 1, runs)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s workers=1: %w", design, mode, err)
+			}
+			repN, wallN, err := speedupRun(ctx, lo, mode, workers, runs)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s workers=%d: %w", design, mode, workers, err)
+			}
+			row := SpeedupRow{
+				Design:     design,
+				Mode:       mode.String(),
+				Wall1US:    wall1.Microseconds(),
+				WallNUS:    wallN.Microseconds(),
+				Violations: len(rep1.Violations),
+				Identical: reflect.DeepEqual(rep1.Violations, repN.Violations) &&
+					rep1.Stats == repN.Stats,
+			}
+			if wallN > 0 {
+				row.Speedup = float64(wall1) / float64(wallN)
+			}
+			out.Rows = append(out.Rows, row)
 		}
-		rep1, wall1, err := speedupRun(ctx, lo, 1, runs)
-		if err != nil {
-			return nil, fmt.Errorf("%s workers=1: %w", design, err)
-		}
-		repN, wallN, err := speedupRun(ctx, lo, workers, runs)
-		if err != nil {
-			return nil, fmt.Errorf("%s workers=%d: %w", design, workers, err)
-		}
-		row := SpeedupRow{
-			Design:     design,
-			Wall1US:    wall1.Microseconds(),
-			WallNUS:    wallN.Microseconds(),
-			Violations: len(rep1.Violations),
-			Identical: reflect.DeepEqual(rep1.Violations, repN.Violations) &&
-				rep1.Stats == repN.Stats,
-		}
-		if wallN > 0 {
-			row.Speedup = float64(wall1) / float64(wallN)
-		}
-		out.Rows = append(out.Rows, row)
 	}
 	return out, nil
 }
@@ -132,17 +136,17 @@ func (r *SpeedupReport) WriteTo(w io.Writer) (int64, error) {
 		total += int64(n)
 		return err
 	}
-	if err := p("Sequential-engine wall time, Workers=1 vs Workers=%d (GOMAXPROCS %d, scale %g, min of %d runs)\n",
+	if err := p("Engine wall time, Workers=1 vs Workers=%d (GOMAXPROCS %d, scale %g, min of %d runs)\n",
 		r.Workers, r.GOMAXPROCS, r.Scale, r.Runs); err != nil {
 		return total, err
 	}
-	if err := p("%-8s %12s %12s %8s %8s %10s\n",
-		"design", "workers=1", fmt.Sprintf("workers=%d", r.Workers), "speedup", "viols", "identical"); err != nil {
+	if err := p("%-8s %-10s %12s %12s %8s %8s %10s\n",
+		"design", "mode", "workers=1", fmt.Sprintf("workers=%d", r.Workers), "speedup", "viols", "identical"); err != nil {
 		return total, err
 	}
 	for _, row := range r.Rows {
-		if err := p("%-8s %12s %12s %7.2fx %8d %10v\n",
-			row.Design,
+		if err := p("%-8s %-10s %12s %12s %7.2fx %8d %10v\n",
+			row.Design, row.Mode,
 			fmtDur(time.Duration(row.Wall1US)*time.Microsecond),
 			fmtDur(time.Duration(row.WallNUS)*time.Microsecond),
 			row.Speedup, row.Violations, row.Identical); err != nil {

@@ -69,10 +69,18 @@ type Options struct {
 	// result slots that merge in a fixed order.
 	Workers int
 
+	// DisableGeoCache turns off the per-run cross-rule geometry cache (the
+	// -no-geocache escape hatch for A/B runs): every rule re-flattens and
+	// re-packs its layer and the parallel mode re-uploads per rule instead
+	// of keeping edge buffers device-resident. Reports are bit-identical
+	// either way; only cost changes.
+	DisableGeoCache bool
+
 	// Budgets are the run's resource limits (flatten size, packed edges,
 	// device pool bytes). A rule that trips a budget becomes a RuleFailure
 	// in the report instead of aborting the run. The zero value imposes no
-	// limits.
+	// limits. With the geometry cache enabled, the packed-edges budget is
+	// charged per *upload* (once per layer) rather than once per rule.
 	Budgets budget.Limits
 
 	// Faults is the deterministic fault injector driving the chaos test
@@ -137,6 +145,23 @@ type Stats struct {
 	KernelLaunches int
 	EdgesPacked    int
 	BytesCopied    int64
+
+	// Cross-rule geometry reuse (zero when the cache is disabled). Hits and
+	// misses count every flatten/pack request including the rule
+	// prefetcher's; misses equal the number of distinct layers computed, so
+	// both are deterministic for a fixed deck regardless of worker count or
+	// prefetch timing.
+	FlattenCacheHits   int64
+	FlattenCacheMisses int64
+	PackCacheHits      int64
+	PackCacheMisses    int64
+
+	// Device residency (parallel mode with the cache enabled): layer edge
+	// buffers uploaded once, reused by event, and LRU-evicted when the
+	// device pool budget would otherwise trip.
+	DeviceUploads   int64
+	DeviceReuses    int64
+	DeviceEvictions int64
 }
 
 // add merges s2 into s.
@@ -151,6 +176,13 @@ func (s *Stats) add(s2 Stats) {
 	s.KernelLaunches += s2.KernelLaunches
 	s.EdgesPacked += s2.EdgesPacked
 	s.BytesCopied += s2.BytesCopied
+	s.FlattenCacheHits += s2.FlattenCacheHits
+	s.FlattenCacheMisses += s2.FlattenCacheMisses
+	s.PackCacheHits += s2.PackCacheHits
+	s.PackCacheMisses += s2.PackCacheMisses
+	s.DeviceUploads += s2.DeviceUploads
+	s.DeviceReuses += s2.DeviceReuses
+	s.DeviceEvictions += s2.DeviceEvictions
 }
 
 // RuleFailure records one rule whose check failed — a panic, an injected
@@ -221,13 +253,14 @@ func (e *Engine) CheckContext(ctx context.Context, lo *layout.Layout) (*Report, 
 		return nil, fmt.Errorf("core: check cancelled: %w", err)
 	}
 	rep := &Report{Mode: e.opts.Mode, Profile: infra.NewProfiler()}
+	geo := newGeoSource(e.opts)
 	start := time.Now() //odrc:allow clock — whole-run wall measurement; feeds Report.HostWall, not a modeled phase
 	var err error
 	switch e.opts.Mode {
 	case Parallel:
-		err = e.checkParallel(ctx, lo, rep)
+		err = e.checkParallel(ctx, lo, rep, geo)
 	default:
-		err = e.checkSequential(ctx, lo, rep)
+		err = e.checkSequential(ctx, lo, rep, geo)
 	}
 	if err != nil {
 		return nil, err
@@ -237,6 +270,13 @@ func (e *Engine) CheckContext(ctx context.Context, lo *layout.Layout) (*Report, 
 		rep.Modeled = rep.HostWall
 	} else {
 		rep.Modeled = rep.Device.HostClock()
+	}
+	if geo.cache != nil {
+		cs := geo.cache.Stats()
+		rep.Stats.FlattenCacheHits = cs.FlattenHits
+		rep.Stats.FlattenCacheMisses = cs.FlattenMisses
+		rep.Stats.PackCacheHits = cs.PackHits
+		rep.Stats.PackCacheMisses = cs.PackMisses
 	}
 	sortViolations(rep.Violations)
 	return rep, nil
@@ -293,26 +333,11 @@ func (e *Engine) guardRule(ctx context.Context, rep *Report, r rules.Rule, fn fu
 	return nil
 }
 
-// sortViolations orders the report deterministically.
+// sortViolations orders the report deterministically. rules.Less is a total
+// order, so equal violation multisets sort into identical slices regardless
+// of emission order (kernel schedule, cache configuration, worker count).
 func sortViolations(vs []rules.Violation) {
-	sort.Slice(vs, func(i, j int) bool {
-		a, b := &vs[i], &vs[j]
-		if a.Rule != b.Rule {
-			return a.Rule < b.Rule
-		}
-		ab, bb := a.Marker.Box, b.Marker.Box
-		switch {
-		case ab.XLo != bb.XLo:
-			return ab.XLo < bb.XLo
-		case ab.YLo != bb.YLo:
-			return ab.YLo < bb.YLo
-		case ab.XHi != bb.XHi:
-			return ab.XHi < bb.XHi
-		case ab.YHi != bb.YHi:
-			return ab.YHi < bb.YHi
-		}
-		return a.Marker.Dist < b.Marker.Dist
-	})
+	sort.Slice(vs, func(i, j int) bool { return rules.Less(&vs[i], &vs[j]) })
 }
 
 // DedupViolations removes exactly-identical violations (same rule, box,

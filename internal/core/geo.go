@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"opendrc/internal/budget"
+	"opendrc/internal/faults"
+	"opendrc/internal/geocache"
+	"opendrc/internal/geom"
+	"opendrc/internal/kernels"
+	"opendrc/internal/layout"
+	"opendrc/internal/partition"
+)
+
+// geoSource is the engine's per-run view of the geometry reuse layer: the
+// shared cross-rule cache when enabled, or uncached computation with
+// identical budget and fault-injection semantics when disabled
+// (Options.DisableGeoCache). Both paths return geometry in the same
+// canonical flatten order, so reports are bit-identical across cache
+// configurations.
+type geoSource struct {
+	cache  *geocache.Cache // nil when the cache is disabled
+	limits budget.Limits
+	inj    *faults.Injector
+}
+
+// newGeoSource builds the run's geometry source from the engine options,
+// wiring the flatten fault seam into the cache.
+func newGeoSource(opts Options) *geoSource {
+	g := &geoSource{limits: opts.Budgets, inj: opts.Faults}
+	if !opts.DisableGeoCache {
+		g.cache = geocache.New(opts.Budgets)
+		if inj := opts.Faults; inj != nil {
+			g.cache.SetFaultHook(func(ctx context.Context, l layout.Layer) error {
+				return inj.Hit(ctx, faults.SiteFlatten, layerKey(l))
+			})
+		}
+	}
+	return g
+}
+
+// layerKey is the deterministic fault-injection key of a layer's flatten.
+func layerKey(l layout.Layer) string { return fmt.Sprintf("layer#%d", int(l)) }
+
+// flatten returns the layer's instance-expanded polygons in canonical order,
+// through the cache when enabled. The uncached path applies the same fault
+// seam and flatten-polys budget, so a given deck degrades identically in
+// both configurations.
+func (g *geoSource) flatten(ctx context.Context, lo *layout.Layout, l layout.Layer) ([]layout.PlacedPoly, error) {
+	if g.cache != nil {
+		return g.cache.Flatten(ctx, lo, l)
+	}
+	if err := g.inj.Hit(ctx, faults.SiteFlatten, layerKey(l)); err != nil {
+		return nil, err
+	}
+	polys := lo.FlattenLayer(l)
+	if err := budget.Check("flatten-polys", int64(len(polys)), g.limits.MaxFlattenPolys); err != nil {
+		return nil, err
+	}
+	return polys, nil
+}
+
+// packFrom returns the layer's packed edge buffer in canonical order. The
+// caller passes the polys it already obtained from flatten so the uncached
+// path packs them directly (one flatten per rule, as before the cache);
+// with the cache enabled the memoized buffer — built from the same cached
+// flatten — is returned instead.
+func (g *geoSource) packFrom(ctx context.Context, lo *layout.Layout, l layout.Layer, polys []layout.PlacedPoly) (*kernels.Edges, error) {
+	if g.cache != nil {
+		return g.cache.Pack(ctx, lo, l)
+	}
+	shapes := make([]geom.Polygon, len(polys))
+	for i := range polys {
+		shapes[i] = polys[i].Shape
+	}
+	return kernels.Pack(shapes), nil
+}
+
+// rows returns the layer's adaptive row partition for the given interaction
+// reach. The cached path memoizes per (layer, guard, alg) — the prefetcher
+// computes the entry while the previous rule's kernels run — and the
+// uncached path derives the MBR table from the caller's polys per rule, as
+// before the cache existed. Both produce identical rows.
+func (g *geoSource) rows(ctx context.Context, lo *layout.Layout, l layout.Layer, guard int64, alg partition.Algorithm, polys []layout.PlacedPoly) ([]partition.Row, error) {
+	if g.cache != nil {
+		return g.cache.Rows(ctx, lo, l, guard, alg)
+	}
+	boxes := make([]geom.Rect, len(polys))
+	for i := range polys {
+		boxes[i] = polys[i].Shape.MBR()
+	}
+	return partition.Rows(boxes, guard, alg), nil
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+
+	"opendrc/internal/budget"
+	"opendrc/internal/faults"
+	"opendrc/internal/geom"
+	"opendrc/internal/kernels"
+	"opendrc/internal/layout"
+	"opendrc/internal/rules"
+	"opendrc/internal/synth"
+)
+
+// The geometry-cache suite: the cross-rule cache, device residency, and the
+// prefetch pipeline change cost, never results. Reports must be
+// bit-identical across cache configurations and worker counts, and a fault
+// on a cached computation must degrade exactly the rules sharing that
+// layer.
+
+// reuseTestDeck is a multi-rule spacing deck exercising cross-rule reuse:
+// two layers, each with a base rule and a projection-conditioned variant.
+func reuseTestDeck() rules.Deck {
+	return rules.Deck{
+		rules.Layer(layout.LayerM1).Spacing().AtLeast(synth.MinSpaceM1).Named("GC.M1.base"),
+		rules.Layer(layout.LayerM1).Spacing().AtLeast(synth.MinSpaceM1).
+			WhenProjectionAtLeast(2*synth.MinSpaceM1, synth.MinSpaceM1+synth.MinSpaceM1/2).Named("GC.M1.prl"),
+		rules.Layer(layout.LayerM2).Spacing().AtLeast(synth.MinSpaceM2).Named("GC.M2.base"),
+		rules.Layer(layout.LayerM2).Spacing().AtLeast(synth.MinSpaceM2).
+			WhenProjectionAtLeast(2*synth.MinSpaceM2, synth.MinSpaceM2+synth.MinSpaceM2/2).Named("GC.M2.prl"),
+	}
+}
+
+func checkWith(t *testing.T, lo *layout.Layout, deck rules.Deck, opts Options) *Report {
+	t.Helper()
+	e := New(opts)
+	if err := e.AddRules(deck...); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Check(lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestGeoCacheIdentityMatrix checks every synth design in both modes:
+// violations are bit-identical with the cache on and off, and — per cache
+// configuration — the full report (violations and scheduling counters) is
+// identical across worker counts.
+func TestGeoCacheIdentityMatrix(t *testing.T) {
+	for _, profile := range synth.Designs() {
+		design := profile.Name
+		lo, _, err := synth.Load(design, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []Mode{Sequential, Parallel} {
+			var base *Report
+			for _, noCache := range []bool{false, true} {
+				for _, workers := range []int{1, 4} {
+					rep := checkWith(t, lo, reuseTestDeck(), Options{
+						Mode: mode, Workers: workers, DisableGeoCache: noCache,
+					})
+					if base == nil {
+						base = rep
+						if len(rep.Violations) == 0 {
+							t.Errorf("%s %v: deck found no violations; matrix is vacuous", design, mode)
+						}
+						continue
+					}
+					if !reflect.DeepEqual(base.Violations, rep.Violations) {
+						t.Errorf("%s %v cache=%v workers=%d: violations differ from baseline",
+							design, mode, !noCache, workers)
+					}
+				}
+				// Per cache configuration, the counters are also schedule-
+				// independent: rerun with both worker counts and compare whole
+				// stats.
+				r1 := checkWith(t, lo, reuseTestDeck(), Options{Mode: mode, Workers: 1, DisableGeoCache: noCache})
+				rN := checkWith(t, lo, reuseTestDeck(), Options{Mode: mode, Workers: 4, DisableGeoCache: noCache})
+				if r1.Stats != rN.Stats {
+					t.Errorf("%s %v cache=%v: stats differ across worker counts:\n  w1=%+v\n  wN=%+v",
+						design, mode, !noCache, r1.Stats, rN.Stats)
+				}
+			}
+		}
+	}
+}
+
+// TestGeoCacheCounters checks the deterministic counter contract on a known
+// deck: misses equal distinct layers, uploads happen once per layer, and
+// later rules reuse the resident buffer.
+func TestGeoCacheCounters(t *testing.T) {
+	lo, _, err := synth.Load("uart", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := checkWith(t, lo, reuseTestDeck(), Options{Mode: Parallel})
+	s := rep.Stats
+	if s.FlattenCacheMisses != 2 {
+		t.Errorf("FlattenCacheMisses = %d, want 2 (two distinct layers)", s.FlattenCacheMisses)
+	}
+	if s.PackCacheMisses != 2 {
+		t.Errorf("PackCacheMisses = %d, want 2", s.PackCacheMisses)
+	}
+	if s.FlattenCacheHits == 0 || s.PackCacheHits == 0 {
+		t.Errorf("no cache hits on a 4-rule 2-layer deck: %+v", s)
+	}
+	if s.DeviceUploads != 2 {
+		t.Errorf("DeviceUploads = %d, want 2", s.DeviceUploads)
+	}
+	if s.DeviceReuses != 2 {
+		t.Errorf("DeviceReuses = %d, want 2 (second rule per layer)", s.DeviceReuses)
+	}
+	if s.DeviceEvictions != 0 {
+		t.Errorf("DeviceEvictions = %d on an unlimited pool", s.DeviceEvictions)
+	}
+
+	off := checkWith(t, lo, reuseTestDeck(), Options{Mode: Parallel, DisableGeoCache: true})
+	if off.Stats.FlattenCacheMisses != 0 || off.Stats.DeviceUploads != 0 {
+		t.Errorf("cache-off run reported cache counters: %+v", off.Stats)
+	}
+	if !reflect.DeepEqual(off.Violations, rep.Violations) {
+		t.Error("cache on/off violations differ")
+	}
+}
+
+// TestChaosFlattenFaultScopedToLayer injects an error into the cached
+// flatten of M1 and demands that exactly the rules sharing M1 degrade — the
+// cached error must not leak into M2's rules, and the degradation must be
+// identical across worker counts and cache configurations (the uncached
+// path hits the same seam per rule).
+func TestChaosFlattenFaultScopedToLayer(t *testing.T) {
+	lo, _, err := synth.Load("uart", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "layer#" + strconv.Itoa(int(layout.LayerM1))
+	for _, noCache := range []bool{false, true} {
+		var fp string
+		for _, workers := range []int{1, 4} {
+			inj := faults.New(1, faults.Injection{Site: faults.SiteFlatten, Key: key, Mode: faults.Error})
+			rep := checkWith(t, lo, reuseTestDeck(), Options{
+				Mode: Parallel, Workers: workers, Faults: inj, DisableGeoCache: noCache,
+			})
+			if !rep.Degraded {
+				t.Fatalf("cache=%v: injected flatten fault degraded nothing", !noCache)
+			}
+			failed := map[string]bool{}
+			for _, f := range rep.Failures {
+				failed[f.Rule] = true
+			}
+			if !failed["GC.M1.base"] || !failed["GC.M1.prl"] || len(failed) != 2 {
+				t.Errorf("cache=%v workers=%d: failed rules %v, want exactly the two M1 rules",
+					!noCache, workers, failed)
+			}
+			for _, v := range rep.Violations {
+				if v.Layer == layout.LayerM1 {
+					t.Errorf("cache=%v: failed M1 rules still produced violations", !noCache)
+					break
+				}
+			}
+			m2 := 0
+			for _, v := range rep.Violations {
+				if v.Layer == layout.LayerM2 {
+					m2++
+				}
+			}
+			if m2 == 0 {
+				t.Errorf("cache=%v: M2 rules found nothing; fault leaked across layers", !noCache)
+			}
+			if fp == "" {
+				fp = failureFingerprint(rep.Failures)
+			} else if got := failureFingerprint(rep.Failures); got != fp {
+				t.Errorf("cache=%v workers=%d: failure fingerprint differs:\n%s\nvs\n%s", !noCache, workers, got, fp)
+			}
+		}
+	}
+}
+
+// TestLRUEvictionReuploadIdentical sizes the device pool so only one
+// layer's buffer fits at a time: an alternating-layer deck then forces
+// evictions and re-uploads, and the report must still match the unlimited
+// run exactly.
+func TestLRUEvictionReuploadIdentical(t *testing.T) {
+	lo, _, err := synth.Load("uart", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alternate layers so each rule needs the buffer the previous rule's
+	// neighbor may have evicted.
+	deck := rules.Deck{
+		rules.Layer(layout.LayerM1).Spacing().AtLeast(synth.MinSpaceM1).Named("EV.M1.a"),
+		rules.Layer(layout.LayerM2).Spacing().AtLeast(synth.MinSpaceM2).Named("EV.M2.a"),
+		rules.Layer(layout.LayerM1).Spacing().AtLeast(synth.MinSpaceM1).
+			WhenProjectionAtLeast(2*synth.MinSpaceM1, synth.MinSpaceM1+1).Named("EV.M1.b"),
+		rules.Layer(layout.LayerM2).Spacing().AtLeast(synth.MinSpaceM2).
+			WhenProjectionAtLeast(2*synth.MinSpaceM2, synth.MinSpaceM2+1).Named("EV.M2.b"),
+	}
+	b1 := kernels.Pack(shapesOf(lo, layout.LayerM1)).Bytes()
+	b2 := kernels.Pack(shapesOf(lo, layout.LayerM2)).Bytes()
+	limit := b1 + b2 - 1 // either buffer alone fits; both together never do
+
+	free := checkWith(t, lo, deck, Options{Mode: Parallel})
+	if free.Stats.DeviceEvictions != 0 {
+		t.Fatalf("unlimited run evicted %d buffers", free.Stats.DeviceEvictions)
+	}
+	tight := checkWith(t, lo, deck, Options{Mode: Parallel,
+		Budgets: budget.Limits{MaxDeviceBytes: limit}})
+	if tight.Degraded {
+		t.Fatalf("pool pressure degraded rules instead of evicting: %+v", tight.Failures)
+	}
+	if tight.Stats.DeviceEvictions == 0 {
+		t.Fatal("alternating deck under a one-buffer pool evicted nothing")
+	}
+	if tight.Stats.DeviceUploads != tight.Stats.DeviceEvictions+1 {
+		t.Errorf("uploads = %d, evictions = %d; every eviction but the last should force a re-upload",
+			tight.Stats.DeviceUploads, tight.Stats.DeviceEvictions)
+	}
+	if !reflect.DeepEqual(free.Violations, tight.Violations) {
+		t.Error("eviction/re-upload changed the violations")
+	}
+}
+
+func shapesOf(lo *layout.Layout, l layout.Layer) []geom.Polygon {
+	flat := lo.FlattenLayer(l)
+	out := make([]geom.Polygon, len(flat))
+	for i := range flat {
+		out[i] = flat[i].Shape
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -15,6 +16,7 @@ import (
 	"opendrc/internal/kernels"
 	"opendrc/internal/layout"
 	"opendrc/internal/partition"
+	"opendrc/internal/pool"
 	"opendrc/internal/rules"
 )
 
@@ -36,6 +38,53 @@ type parCtx struct {
 	dev *gpu.Device
 	io  *gpu.Stream // async copies host->device
 	cs  *gpu.Stream // check kernels
+
+	geo        *geoSource
+	residentOn bool           // keep layer buffers on the device across rules
+	resident   []*residentBuf // slice, not map: eviction scans must be deterministic
+	useCtr     int64
+}
+
+// residentBuf is one layer's packed edge buffer kept device-resident across
+// rules. ready is the event of its upload copy; lastUse orders LRU eviction.
+// mbr is the buffer's derived MBR table (built lazily by the first spacing
+// rule that needs pair discovery); eviction drops it with the buffer, so a
+// re-uploaded layer rebuilds — and re-charges — its derivations.
+type residentBuf struct {
+	layer   layout.Layer
+	bytes   int64
+	ready   gpu.Event
+	lastUse int64
+	mbr     *kernels.MBRTable
+}
+
+// mbrTable returns the layer's resident derived MBR table, uploading it on
+// first use: the host has already computed the MBR arrays and x-order for
+// the row partition (memoized in the geometry cache, usually warmed by the
+// prefetch sweep), so residency turns per-rule device derivation (poly-mbr +
+// sort-mbrs launches) into one small async copy per layer. Residency off
+// (cache disabled) returns nil and callers fall back to the per-rule
+// discovery kernels.
+func (pc *parCtx) mbrTable(ctx context.Context, lo *layout.Layout, rep *Report, l layout.Layer) (*kernels.MBRTable, error) {
+	if !pc.residentOn {
+		return nil, nil
+	}
+	for _, b := range pc.resident {
+		if b.layer == l {
+			if b.mbr == nil {
+				t, err := pc.geo.cache.Table(ctx, lo, l)
+				if err != nil {
+					return nil, err
+				}
+				pc.io.MemcpyAsync("mbr-table", t.Bytes())
+				pc.cs.WaitEvent(pc.io.RecordEvent())
+				rep.Stats.BytesCopied += t.Bytes()
+				b.mbr = t
+			}
+			return b.mbr, nil
+		}
+	}
+	return nil, nil
 }
 
 // hostPhase measures fn as host work: it is charged to the profiler and
@@ -55,11 +104,19 @@ func (p *parCtx) hostPhase(rep *Report, name string, fn func() error) error {
 // the same per-rule fault isolation as the sequential branch; device OOM
 // (the device-pool-bytes budget) surfaces through AllocAsync as an error
 // the guard converts into a RuleFailure.
-func (e *Engine) checkParallel(ctx context.Context, lo *layout.Layout, rep *Report) error {
+//
+// With the geometry cache enabled the schedule is pipelined: a single-worker
+// prefetch pool sweeps the deck ahead of the executing rule, flattening,
+// packing, and partitioning upcoming layers on the host while the device
+// executes the current rule's kernels — by the time rule k starts, its
+// geometry is usually a cache hit costing ~zero host time. Prefetching only
+// warms the cache — it never touches streams, the report, or rule state — so
+// reports stay bit-identical with and without it.
+func (e *Engine) checkParallel(ctx context.Context, lo *layout.Layout, rep *Report, geo *geoSource) error {
 	if err := checkMagRestriction(lo, e.deck); err != nil {
 		return err
 	}
-	pc := &parCtx{dev: gpu.NewDevice(e.opts.Device)}
+	pc := &parCtx{dev: gpu.NewDevice(e.opts.Device), geo: geo, residentOn: geo.cache != nil}
 	pc.io = pc.dev.NewStream("h2d")
 	pc.cs = pc.dev.NewStream("checks")
 	rep.Device = pc.dev
@@ -71,6 +128,73 @@ func (e *Engine) checkParallel(ctx context.Context, lo *layout.Layout, rep *Repo
 		pc.dev.SetAllocHook(func(n int64) error {
 			return inj.Hit(ctx, faults.SiteAlloc, strconv.FormatInt(n, 10))
 		})
+	}
+
+	// With the cache on, a prefetch pool sweeps the rest of the deck ahead of
+	// the executing rule, warming each upcoming layer's flatten, pack, and
+	// (for spacing rules) row partitions while rule 0's kernels execute on
+	// this goroutine. The sweep groups by layer — one looping closure per
+	// distinct upcoming layer, warming that layer's pack and then its reach
+	// partitions in deck order — so layers warm concurrently instead of
+	// queueing behind each other's partition computations. The sweep only
+	// warms the cache (never streams, the report, or rule state), so reports
+	// are bit-identical with and without it, and the cache's call totals —
+	// hence its hit/miss counters — are fixed by the deck, not by who wins a
+	// race.
+	if geo.cache != nil {
+		gc := geo.cache
+		alg := e.opts.PartitionAlg
+		type warmGroup struct {
+			l       layout.Layer
+			reaches []int64
+		}
+		var groups []*warmGroup
+		for _, r := range e.deck[1:] {
+			nl, ok := prefetchLayer(r, e.opts.DisablePruning)
+			if !ok {
+				continue
+			}
+			var g *warmGroup
+			for _, h := range groups {
+				if h.l == nl {
+					g = h
+					break
+				}
+			}
+			if g == nil {
+				g = &warmGroup{l: nl}
+				groups = append(groups, g)
+			}
+			if r.Kind == rules.Spacing {
+				g.reaches = append(g.reaches, r.SpacingLimit().Reach())
+			}
+		}
+		if len(groups) > 0 {
+			w := len(groups)
+			if w > 8 {
+				w = 8
+			}
+			prefetch := pool.New(w)
+			defer prefetch.Close()
+			for _, g := range groups {
+				g := g
+				_ = prefetch.SubmitCtx(ctx, func() {
+					if ctx.Err() != nil {
+						return
+					}
+					_, _ = gc.Pack(ctx, lo, g.l)
+					for _, reach := range g.reaches {
+						if ctx.Err() != nil {
+							return
+						}
+						_, _ = gc.Rows(ctx, lo, g.l, reach, alg)
+					}
+					if len(g.reaches) > 0 && ctx.Err() == nil {
+						_, _ = gc.Table(ctx, lo, g.l)
+					}
+				})
+			}
+		}
 	}
 
 	var placements [][]geom.Transform
@@ -116,27 +240,121 @@ func (e *Engine) checkParallel(ctx context.Context, lo *layout.Layout, rep *Repo
 			return err
 		}
 	}
+	// Return the resident layer buffers to the pool: the frees are ordered
+	// after every kernel enqueued so far, mirroring how they were uploaded.
+	if len(pc.resident) > 0 {
+		pc.io.WaitEvent(pc.cs.RecordEvent())
+		for _, b := range pc.resident {
+			pc.io.FreeAsync(b.bytes)
+		}
+		pc.resident = nil
+	}
 	pc.cs.Synchronize()
 	pc.io.Synchronize()
 	return nil
 }
 
+// prefetchLayer reports which layer the rule's executor will flatten and
+// pack, if any — spacing always flattens; intra rules only in the
+// pruning-off ablation; enclosure, custom, and derived rules never do.
+func prefetchLayer(r rules.Rule, pruningOff bool) (layout.Layer, bool) {
+	switch r.Kind {
+	case rules.Spacing:
+		return r.Layer, true
+	case rules.Width, rules.Area, rules.Rectilinear:
+		if pruningOff {
+			return r.Layer, true
+		}
+	}
+	return 0, false
+}
+
 // transfer models the one-time buffer upload: stream-ordered allocation and
 // an async copy on the I/O stream; the compute stream waits on its event.
 // It enforces the packed-edges budget (cumulative across the run) and
-// surfaces allocator failures (device OOM, injected faults).
+// surfaces allocator failures (device OOM, injected faults). Pool pressure
+// is relieved by evicting resident layer buffers before giving up.
 func (e *Engine) transfer(pc *parCtx, rep *Report, edges *kernels.Edges) error {
 	if err := budget.Check("packed-edges",
 		int64(rep.Stats.EdgesPacked+edges.Len()), e.opts.Budgets.MaxPackedEdges); err != nil {
 		return err
 	}
-	if err := pc.io.AllocAsync(edges.Bytes()); err != nil {
+	if err := e.allocEvict(pc, rep, edges.Bytes()); err != nil {
 		return err
 	}
 	pc.io.MemcpyAsync("edges", edges.Bytes())
 	rep.Stats.EdgesPacked += edges.Len()
 	rep.Stats.BytesCopied += edges.Bytes()
 	return nil
+}
+
+// allocEvict is AllocAsync with LRU relief: when the stream-ordered
+// allocation trips the device-pool-bytes budget, the least-recently-used
+// resident layer buffer is freed (ordered after every kernel enqueued so
+// far) and the allocation retries — a failed AllocAsync leaves the pool
+// untouched, so retrying after an evict is safe. Injected allocator faults
+// and other errors return as-is; eviction only answers genuine pool
+// pressure, and with no residents left the budget error stands.
+func (e *Engine) allocEvict(pc *parCtx, rep *Report, n int64) error {
+	for {
+		err := pc.io.AllocAsync(n)
+		if err == nil || !errors.Is(err, budget.ErrExceeded) {
+			return err
+		}
+		victim := -1
+		for i, b := range pc.resident {
+			if victim < 0 || b.lastUse < pc.resident[victim].lastUse {
+				victim = i
+			}
+		}
+		if victim < 0 {
+			return err
+		}
+		b := pc.resident[victim]
+		pc.resident = append(pc.resident[:victim], pc.resident[victim+1:]...)
+		pc.io.WaitEvent(pc.cs.RecordEvent())
+		pc.io.FreeAsync(b.bytes)
+		rep.Stats.DeviceEvictions++
+	}
+}
+
+// bindEdges makes a layer's packed buffer addressable by the compute
+// stream. With device residency on (geometry cache enabled), the first rule
+// touching a layer uploads it once and later rules reuse the resident copy
+// by waiting on its upload event; an evicted layer re-uploads on next use.
+// Without residency, the upload is transient and the returned release frees
+// it — callers invoke release after the compute stream synchronizes (it is
+// a no-op for resident buffers, which the run frees at the end).
+//
+// The packed-edges budget is charged per upload: once per layer when
+// resident, once per rule otherwise (see Options.Budgets).
+func (e *Engine) bindEdges(pc *parCtx, rep *Report, l layout.Layer, edges *kernels.Edges) (func(), error) {
+	noop := func() {}
+	pc.useCtr++
+	if pc.residentOn {
+		for _, b := range pc.resident {
+			if b.layer == l {
+				b.lastUse = pc.useCtr
+				pc.cs.WaitEvent(b.ready)
+				rep.Stats.DeviceReuses++
+				return noop, nil
+			}
+		}
+	}
+	if err := e.transfer(pc, rep, edges); err != nil {
+		return noop, err
+	}
+	ev := pc.io.RecordEvent()
+	pc.cs.WaitEvent(ev)
+	if pc.residentOn {
+		rep.Stats.DeviceUploads++
+		pc.resident = append(pc.resident, &residentBuf{
+			layer: l, bytes: edges.Bytes(), ready: ev, lastUse: pc.useCtr,
+		})
+		return noop, nil
+	}
+	n := edges.Bytes()
+	return func() { pc.io.FreeAsync(n) }, nil
 }
 
 // collect adapts kernel hits into report violations.
@@ -262,22 +480,18 @@ func (e *Engine) runIntraPar(ctx context.Context, lo *layout.Layout, r rules.Rul
 }
 
 // runIntraParFlat is the pruning-off ablation: one kernel over every
-// flattened polygon instance, subject to the flatten-polys budget.
+// flattened polygon instance, subject to the flatten-polys budget (applied
+// inside the geometry source).
 func (e *Engine) runIntraParFlat(ctx context.Context, lo *layout.Layout, r rules.Rule, pc *parCtx, rep *Report) error {
-	var shapes []geom.Polygon
+	var flat []layout.PlacedPoly
 	if err := pc.hostPhase(rep, "par:flatten", func() error {
-		flat := lo.FlattenLayer(r.Layer)
-		if err := budget.Check("flatten-polys", int64(len(flat)), e.opts.Budgets.MaxFlattenPolys); err != nil {
-			return err
-		}
-		for _, pp := range flat {
-			shapes = append(shapes, pp.Shape)
-		}
-		return nil
+		var err error
+		flat, err = pc.geo.flatten(ctx, lo, r.Layer)
+		return err
 	}); err != nil {
 		return err
 	}
-	if len(shapes) == 0 {
+	if len(flat) == 0 {
 		return nil
 	}
 	if err := ctx.Err(); err != nil {
@@ -285,15 +499,16 @@ func (e *Engine) runIntraParFlat(ctx context.Context, lo *layout.Layout, r rules
 	}
 	var edges *kernels.Edges
 	if err := pc.hostPhase(rep, "par:edge-packing", func() error {
-		edges = kernels.Pack(shapes)
-		return nil
+		var err error
+		edges, err = pc.geo.packFrom(ctx, lo, r.Layer, flat)
+		return err
 	}); err != nil {
 		return err
 	}
-	if err := e.transfer(pc, rep, edges); err != nil {
+	release, err := e.bindEdges(pc, rep, r.Layer, edges)
+	if err != nil {
 		return err
 	}
-	pc.cs.WaitEvent(pc.io.RecordEvent())
 	c := collect(rep, r)
 	switch r.Kind {
 	case rules.Width:
@@ -312,10 +527,10 @@ func (e *Engine) runIntraParFlat(ctx context.Context, lo *layout.Layout, r rules
 		kernels.RectilinearKernel(pc.cs, edges, c)
 	}
 	rep.Stats.KernelLaunches++
-	rep.Stats.DefsChecked += len(shapes)
-	rep.Stats.InstancesEmitted += len(shapes)
+	rep.Stats.DefsChecked += len(flat)
+	rep.Stats.InstancesEmitted += len(flat)
 	pc.cs.Synchronize()
-	pc.io.FreeAsync(edges.Bytes())
+	release()
 	return nil
 }
 
@@ -332,24 +547,23 @@ func maxPolyEdges(e *kernels.Edges) int {
 
 // runSpacingPar checks one spacing rule row by row on the device.
 func (e *Engine) runSpacingPar(ctx context.Context, lo *layout.Layout, r rules.Rule, pc *parCtx, rep *Report) error {
-	// Host: flatten the layer once (hierarchy range query), pack edges and
-	// start the one-time async transfer, then partition — the copy is
-	// hidden behind the partitioning, per Section V-C. The flatten is where
-	// the memory blow-up happens, so the flatten-polys budget applies here.
-	var shapes []geom.Polygon
+	// Host: flatten the layer once (hierarchy range query, memoized across
+	// rules by the geometry cache), pack edges in the canonical flatten
+	// order and start the one-time async transfer, then partition — the
+	// copy is hidden behind the partitioning, per Section V-C. The flatten
+	// is where the memory blow-up happens, so the flatten-polys budget
+	// applies there (inside the geometry source). Rows address subsets of
+	// the shared buffer by polygon index, so every spacing rule on the
+	// layer — whatever its reach partitions into — reuses one packed copy.
+	var flat []layout.PlacedPoly
 	if err := pc.hostPhase(rep, "par:flatten", func() error {
-		flat := lo.FlattenLayer(r.Layer)
-		if err := budget.Check("flatten-polys", int64(len(flat)), e.opts.Budgets.MaxFlattenPolys); err != nil {
-			return err
-		}
-		for _, pp := range flat {
-			shapes = append(shapes, pp.Shape)
-		}
-		return nil
+		var err error
+		flat, err = pc.geo.flatten(ctx, lo, r.Layer)
+		return err
 	}); err != nil {
 		return err
 	}
-	if len(shapes) == 0 {
+	if len(flat) == 0 {
 		return nil
 	}
 	if err := ctx.Err(); err != nil {
@@ -357,37 +571,25 @@ func (e *Engine) runSpacingPar(ctx context.Context, lo *layout.Layout, r rules.R
 	}
 	lim := r.SpacingLimit()
 	var rows []partition.Row
-	var edges *kernels.Edges
-	var order []int // packing order: polygons grouped by row
 	if err := pc.hostPhase(rep, "par:partition", func() error {
-		boxes := make([]geom.Rect, len(shapes))
-		for i := range shapes {
-			boxes[i] = shapes[i].MBR()
-		}
-		rows = partition.Rows(boxes, lim.Reach(), e.opts.PartitionAlg)
-		order = make([]int, 0, len(shapes))
-		for _, row := range rows {
-			order = append(order, row.Members...)
-		}
-		return nil
+		var err error
+		rows, err = pc.geo.rows(ctx, lo, r.Layer, lim.Reach(), e.opts.PartitionAlg, flat)
+		return err
 	}); err != nil {
 		return err
 	}
+	var edges *kernels.Edges
 	if err := pc.hostPhase(rep, "par:edge-packing", func() error {
-		reordered := make([]geom.Polygon, len(order))
-		for i, oi := range order {
-			reordered[i] = shapes[oi]
-		}
-		shapes = reordered
-		edges = kernels.Pack(shapes)
-		return nil
+		var err error
+		edges, err = pc.geo.packFrom(ctx, lo, r.Layer, flat)
+		return err
 	}); err != nil {
 		return err
 	}
-	if err := e.transfer(pc, rep, edges); err != nil {
+	release, err := e.bindEdges(pc, rep, r.Layer, edges)
+	if err != nil {
 		return err
 	}
-	pc.cs.WaitEvent(pc.io.RecordEvent())
 	rep.Stats.Rows += len(rows)
 	c := collect(rep, r)
 
@@ -398,29 +600,48 @@ func (e *Engine) runSpacingPar(ctx context.Context, lo *layout.Layout, r rules.R
 
 	// Executor selection per row; the brute rows batch into one launch set
 	// (rows become grid blocks), large rows take the sweepline executor on
-	// their slice of the transferred buffer.
-	var bruteRanges [][2]int32
-	base := 0
+	// their members of the shared buffer. Row members are ascending
+	// canonical polygon indices, so the member-indexed kernels test the
+	// same pairs in the same order as the old row-reordered packing did.
+	var bruteRows [][]int32
 	for _, row := range rows {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		n := len(row.Members)
-		lo, hi := edges.PolyStart[base], edges.PolyStart[base+n]
-		if int(hi-lo) <= e.opts.BruteEdgeThreshold {
-			bruteRanges = append(bruteRanges, [2]int32{int32(base), int32(base + n)})
+		members := make([]int32, len(row.Members))
+		total := 0
+		for i, m := range row.Members {
+			members[i] = int32(m)
+			elo, ehi := edges.PolyEdges(m)
+			total += ehi - elo
+		}
+		if total <= e.opts.BruteEdgeThreshold {
+			bruteRows = append(bruteRows, members)
 		} else {
-			kernels.SpacingSweep(pc.cs, edges.Slice(base, base+n), lim, kernels.FilterSpacing, c)
+			kernels.SpacingSweepPolys(pc.cs, edges, members, lim, kernels.FilterSpacing, c)
 			rep.Stats.KernelLaunches += 7
 		}
-		base += n
 	}
-	if len(bruteRanges) > 0 {
+	if len(bruteRows) > 0 {
 		// The device discovers candidate pairs by expanded-MBR overlap
 		// (Section IV-C's check pruning as kernels), then one thread per
-		// surviving pair enumerates its edge cross product.
-		pairs := kernels.PairDiscoveryRows(pc.cs, edges, bruteRanges, lim.Reach())
-		rep.Stats.KernelLaunches += 3
+		// surviving pair enumerates its edge cross product. With the buffer
+		// resident, the MBR table and global x-order are built once per layer
+		// and later rules gather their row orders from it (a stable filter of
+		// the same total order), so discovery emits identical pairs in
+		// identical order at a fraction of the modeled cost.
+		var pairs [][2]int32
+		t, terr := pc.mbrTable(ctx, lo, rep, r.Layer)
+		if terr != nil {
+			return terr
+		}
+		if t != nil {
+			pairs = kernels.PairDiscoveryTable(pc.cs, edges, t, bruteRows, lim.Reach())
+			rep.Stats.KernelLaunches++
+		} else {
+			pairs = kernels.PairDiscoveryMembers(pc.cs, edges, bruteRows, lim.Reach())
+			rep.Stats.KernelLaunches += 3
+		}
 		rep.Stats.PairsConsidered += len(pairs)
 		rep.Stats.PairsChecked += len(pairs)
 		if len(pairs) > 0 {
@@ -429,7 +650,7 @@ func (e *Engine) runSpacingPar(ctx context.Context, lo *layout.Layout, r rules.R
 		}
 	}
 	pc.cs.Synchronize()
-	pc.io.FreeAsync(edges.Bytes())
+	release()
 	return nil
 }
 

@@ -12,7 +12,7 @@ import (
 // rule executes under the engine's fault-isolation guard: a failing rule
 // degrades the report instead of aborting the run, while cancellation
 // aborts between (and inside) rules.
-func (e *Engine) checkSequential(ctx context.Context, lo *layout.Layout, rep *Report) error {
+func (e *Engine) checkSequential(ctx context.Context, lo *layout.Layout, rep *Report, geo *geoSource) error {
 	if err := checkMagRestriction(lo, e.deck); err != nil {
 		return err
 	}
@@ -28,7 +28,7 @@ func (e *Engine) checkSequential(ctx context.Context, lo *layout.Layout, rep *Re
 		err := e.guardRule(ctx, rep, r, func() error {
 			switch r.Kind {
 			case rules.Spacing:
-				return e.runSpacingSeq(ctx, lo, r, placements, rep)
+				return e.runSpacingSeq(ctx, lo, r, placements, rep, geo)
 			case rules.Enclosure:
 				return e.runEnclosureSeq(ctx, lo, r, placements, rep)
 			case rules.Coverage, rules.MinOverlap:

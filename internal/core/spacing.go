@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"opendrc/internal/budget"
 	"opendrc/internal/checks"
 	"opendrc/internal/faults"
 	"opendrc/internal/geom"
@@ -36,10 +35,12 @@ type spaceItem struct {
 	place   geom.Transform // child placement (ref items)
 }
 
-// runSpacingSeq executes one spacing rule sequentially.
-func (e *Engine) runSpacingSeq(ctx context.Context, lo *layout.Layout, r rules.Rule, placements [][]geom.Transform, rep *Report) error {
+// runSpacingSeq executes one spacing rule sequentially. The pruned path
+// never flattens (the hierarchy is the point), so only the pruning-off
+// ablation consults the geometry source.
+func (e *Engine) runSpacingSeq(ctx context.Context, lo *layout.Layout, r rules.Rule, placements [][]geom.Transform, rep *Report, geo *geoSource) error {
 	if e.opts.DisablePruning {
-		return e.runSpacingFlat(ctx, lo, r, rep)
+		return e.runSpacingFlat(ctx, lo, r, rep, geo)
 	}
 	// Each definition appears once in the layer tree, so computing inside
 	// this loop *is* the memoization: the result replays per instance.
@@ -229,13 +230,14 @@ func (e *Engine) spacingSubtreeVsSubtree(lo *layout.Layout, a, b spaceItem, l la
 
 // runSpacingFlat is the pruning-off ablation: instance-expand the whole
 // layer and sweep globally. The flatten is subject to the flatten-polys
-// budget — the ablation materializes every instance, which is exactly the
-// blow-up the budget exists to catch.
-func (e *Engine) runSpacingFlat(ctx context.Context, lo *layout.Layout, r rules.Rule, rep *Report) error {
+// budget (applied inside the geometry source) — the ablation materializes
+// every instance, which is exactly the blow-up the budget exists to catch.
+// With the cache enabled, spacing rules sharing a layer flatten it once.
+func (e *Engine) runSpacingFlat(ctx context.Context, lo *layout.Layout, r rules.Rule, rep *Report, geo *geoSource) error {
 	defer rep.Profile.Phase("spacing:flat")()
 	lim := r.SpacingLimit()
-	polys := lo.FlattenLayer(r.Layer)
-	if err := budget.Check("flatten-polys", int64(len(polys)), e.opts.Budgets.MaxFlattenPolys); err != nil {
+	polys, err := geo.flatten(ctx, lo, r.Layer)
+	if err != nil {
 		return err
 	}
 	if err := ctx.Err(); err != nil {
@@ -254,7 +256,7 @@ func (e *Engine) runSpacingFlat(ctx context.Context, lo *layout.Layout, r rules.
 		rep.Stats.PairsChecked++
 		checks.CheckNotchLim(polys[i].Shape, lim, emit)
 	}
-	_, err := sweep.Overlaps(boxes, func(a, b int) {
+	_, err = sweep.Overlaps(boxes, func(a, b int) {
 		rep.Stats.PairsConsidered++
 		rep.Stats.PairsChecked++
 		checks.CheckSpacingLim(polys[a].Shape, polys[b].Shape, lim, emit)

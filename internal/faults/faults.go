@@ -10,6 +10,9 @@
 //   - SiteRow — the per-partition-row fan-out of the spacing sweep;
 //   - SiteAlloc — the simulated device's stream-ordered allocator;
 //   - SiteTile — the KLayout tiling worker loop;
+//   - SiteFlatten — the geometry cache's per-layer flatten computation; a
+//     single injected failure is cached and degrades every rule sharing the
+//     layer, exercising cross-rule failure propagation;
 //   - truncated GDSII reads via TruncateReader at the io.Reader seam.
 //
 // Determinism is the design constraint: whether a given hit fires depends
@@ -60,11 +63,12 @@ func (m Mode) String() string {
 // Injection seams. Each production seam calls Hit with one of these site
 // names and a deterministic key identifying the work item.
 const (
-	SiteRule  = "core.rule"    // key: rule ID
-	SiteCell  = "core.cell"    // key: cell name (runs inside pool workers)
-	SiteRow   = "core.row"     // key: "ruleID/cell/row#i"
-	SiteAlloc = "gpu.alloc"    // key: allocation label
-	SiteTile  = "klayout.tile" // key: "tile#i"
+	SiteRule    = "core.rule"      // key: rule ID
+	SiteCell    = "core.cell"      // key: cell name (runs inside pool workers)
+	SiteRow     = "core.row"       // key: "ruleID/cell/row#i"
+	SiteAlloc   = "gpu.alloc"      // key: allocation label
+	SiteTile    = "klayout.tile"   // key: "tile#i"
+	SiteFlatten = "geocache.layer" // key: "layer#<n>"; fires once per cached flatten, degrading every rule sharing the layer
 )
 
 // ErrInjected is the sentinel every injected error unwraps to.

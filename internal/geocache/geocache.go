@@ -1,0 +1,424 @@
+// Package geocache is OpenDRC's per-run geometry reuse layer. A check run
+// touches each layer once per *rule*, but the expensive host-side geometry
+// work — instance-expanding the layer (layout.FlattenLayer) and packing the
+// result into the flattened edge buffer (kernels.Pack) — depends only on the
+// layer. The Cache memoizes both per layer, so N rules sharing a layer cost
+// one flatten and one pack; the paper's "flattened once" claim (Section V-C)
+// then holds across the whole deck, not just within one rule. The
+// downstream derivations — the per-polygon MBR table and the adaptive row
+// partition (keyed additionally by the rule's interaction reach) — are
+// memoized the same way, so the engine's prefetcher can compute a rule's
+// entire host prep while the previous rule's kernels execute.
+//
+// Contract:
+//
+//   - One Cache serves one run over one layout. Results are computed at most
+//     once per layer (single-flight: concurrent callers — e.g. the engine's
+//     rule prefetcher — block on the first computation).
+//   - Returned slices and buffers are SHARED and IMMUTABLE. Callers must not
+//     write elements or sort them in place; the odrc-lint sharedbuf checker
+//     enforces this outside the producing packages.
+//   - Errors are cached like results: a flatten that trips the flatten-polys
+//     budget or hits an injected fault fails every rule sharing that layer
+//     with the same error, deterministically, while rules on other layers
+//     are untouched.
+//   - A panic during computation is captured as a *pool.PanicError and
+//     cached as the entry's error, so the engine's per-rule guard still
+//     reports it as a panic with the original stack.
+package geocache
+
+import (
+	"context"
+	"runtime/debug"
+	"sort"
+	"sync"
+
+	"opendrc/internal/budget"
+	"opendrc/internal/geom"
+	"opendrc/internal/kernels"
+	"opendrc/internal/layout"
+	"opendrc/internal/partition"
+	"opendrc/internal/pool"
+)
+
+// Stats counts cache traffic. Totals are deterministic for a fixed deck:
+// misses equal the number of distinct layers computed and hits equal the
+// remaining calls, independent of which caller (rule path or prefetcher)
+// arrived first.
+type Stats struct {
+	FlattenHits, FlattenMisses int64
+	PackHits, PackMisses       int64
+}
+
+// FaultHook is the injection seam consulted before each flatten computation
+// (the engine wires it to faults.SiteFlatten).
+type FaultHook func(ctx context.Context, l layout.Layer) error
+
+// flatEntry is one single-flight flatten computation.
+type flatEntry struct {
+	done  chan struct{}
+	polys []layout.PlacedPoly
+	err   error
+}
+
+// packEntry is one single-flight pack computation.
+type packEntry struct {
+	done  chan struct{}
+	edges *kernels.Edges
+	err   error
+}
+
+// mbrEntry is one single-flight per-layer MBR-table computation.
+type mbrEntry struct {
+	done  chan struct{}
+	boxes []geom.Rect
+	err   error
+}
+
+// rowsKey identifies one adaptive partition of a layer: rules with the same
+// interaction reach and algorithm produce identical rows, and the prefetcher
+// warms each key while the previous rule's kernels run.
+type rowsKey struct {
+	layer layout.Layer
+	guard int64
+	alg   partition.Algorithm
+}
+
+// rowsEntry is one single-flight partition computation.
+type rowsEntry struct {
+	done chan struct{}
+	rows []partition.Row
+	err  error
+}
+
+// tableEntry is one single-flight device-upload table computation.
+type tableEntry struct {
+	done chan struct{}
+	t    *kernels.MBRTable
+	err  error
+}
+
+// Cache is the per-run layer-keyed geometry memo. The zero value is not
+// usable; construct with New.
+type Cache struct {
+	limits budget.Limits
+	hook   FaultHook
+
+	mu     sync.Mutex
+	lo     *layout.Layout // bound on first use; one cache serves one layout
+	flat   map[layout.Layer]*flatEntry
+	packs  map[layout.Layer]*packEntry
+	mbrs   map[layout.Layer]*mbrEntry
+	rows   map[rowsKey]*rowsEntry
+	tables map[layout.Layer]*tableEntry
+	stats  Stats
+}
+
+// New creates a cache enforcing the given budgets (MaxFlattenPolys applies
+// to every cached flatten, exactly as the uncached paths apply it).
+func New(lim budget.Limits) *Cache {
+	return &Cache{
+		limits: lim,
+		flat:   make(map[layout.Layer]*flatEntry),
+		packs:  make(map[layout.Layer]*packEntry),
+		mbrs:   make(map[layout.Layer]*mbrEntry),
+		rows:   make(map[rowsKey]*rowsEntry),
+		tables: make(map[layout.Layer]*tableEntry),
+	}
+}
+
+// SetFaultHook installs the fault-injection seam. Must be called before the
+// first Flatten/Pack.
+func (c *Cache) SetFaultHook(h FaultHook) { c.hook = h }
+
+// Stats returns a snapshot of the hit/miss counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// bind pins the cache to its layout on first use.
+func (c *Cache) bind(lo *layout.Layout) {
+	if c.lo == nil {
+		c.lo = lo
+		return
+	}
+	if c.lo != lo {
+		panic("geocache: one Cache serves one layout")
+	}
+}
+
+// Flatten returns the layer's instance-expanded polygons in the canonical
+// hierarchy-DFS order, computing them (flatten → flatten-polys budget) at
+// most once. The returned slice is shared and must not be mutated.
+func (c *Cache) Flatten(ctx context.Context, lo *layout.Layout, l layout.Layer) ([]layout.PlacedPoly, error) {
+	c.mu.Lock()
+	c.bind(lo)
+	if e, ok := c.flat[l]; ok {
+		c.stats.FlattenHits++
+		c.mu.Unlock()
+		return awaitFlat(ctx, e)
+	}
+	e := &flatEntry{done: make(chan struct{})}
+	c.flat[l] = e
+	c.stats.FlattenMisses++
+	c.mu.Unlock()
+
+	c.computeFlat(ctx, e, lo, l)
+	return e.polys, e.err
+}
+
+// computeFlat fills e. The done channel closes on every path — including a
+// panic, which is cached as a *pool.PanicError so waiters cannot wedge.
+func (c *Cache) computeFlat(ctx context.Context, e *flatEntry, lo *layout.Layout, l layout.Layer) {
+	defer close(e.done)
+	defer func() {
+		if rec := recover(); rec != nil {
+			if pe, ok := rec.(*pool.PanicError); ok {
+				e.err = pe
+			} else {
+				e.err = &pool.PanicError{Value: rec, Stack: debug.Stack()}
+			}
+		}
+	}()
+	if c.hook != nil {
+		if err := c.hook(ctx, l); err != nil {
+			e.err = err
+			return
+		}
+	}
+	polys := lo.FlattenLayer(l)
+	if err := budget.Check("flatten-polys", int64(len(polys)), c.limits.MaxFlattenPolys); err != nil {
+		e.err = err
+		return
+	}
+	e.polys = polys
+}
+
+// awaitFlat waits for a concurrent computation of the entry.
+func awaitFlat(ctx context.Context, e *flatEntry) ([]layout.PlacedPoly, error) {
+	select {
+	case <-e.done:
+		return e.polys, e.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Pack returns the layer's packed edge buffer in the canonical flatten
+// order, computing it (via Flatten) at most once. The returned buffer is
+// shared and must not be mutated.
+func (c *Cache) Pack(ctx context.Context, lo *layout.Layout, l layout.Layer) (*kernels.Edges, error) {
+	c.mu.Lock()
+	c.bind(lo)
+	if e, ok := c.packs[l]; ok {
+		c.stats.PackHits++
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.edges, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	e := &packEntry{done: make(chan struct{})}
+	c.packs[l] = e
+	c.stats.PackMisses++
+	c.mu.Unlock()
+
+	func() {
+		defer close(e.done)
+		defer func() {
+			if rec := recover(); rec != nil {
+				if pe, ok := rec.(*pool.PanicError); ok {
+					e.err = pe
+				} else {
+					e.err = &pool.PanicError{Value: rec, Stack: debug.Stack()}
+				}
+			}
+		}()
+		polys, err := c.Flatten(ctx, lo, l)
+		if err != nil {
+			e.err = err
+			return
+		}
+		shapes := make([]geom.Polygon, len(polys))
+		for i := range polys {
+			shapes[i] = polys[i].Shape
+		}
+		e.edges = kernels.Pack(shapes)
+	}()
+	return e.edges, e.err
+}
+
+// MBRs returns the per-polygon bounding boxes of the layer's flatten, index-
+// aligned with Flatten's result and computed at most once. Polygon MBRs
+// re-scan every vertex, so a deck of N spacing rules on one layer saves N-1
+// full passes. The returned slice is shared and must not be mutated.
+func (c *Cache) MBRs(ctx context.Context, lo *layout.Layout, l layout.Layer) ([]geom.Rect, error) {
+	c.mu.Lock()
+	c.bind(lo)
+	if e, ok := c.mbrs[l]; ok {
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.boxes, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	e := &mbrEntry{done: make(chan struct{})}
+	c.mbrs[l] = e
+	c.mu.Unlock()
+
+	func() {
+		defer close(e.done)
+		defer func() {
+			if rec := recover(); rec != nil {
+				if pe, ok := rec.(*pool.PanicError); ok {
+					e.err = pe
+				} else {
+					e.err = &pool.PanicError{Value: rec, Stack: debug.Stack()}
+				}
+			}
+		}()
+		polys, err := c.Flatten(ctx, lo, l)
+		if err != nil {
+			e.err = err
+			return
+		}
+		boxes := make([]geom.Rect, len(polys))
+		for i := range polys {
+			boxes[i] = polys[i].Shape.MBR()
+		}
+		e.boxes = boxes
+	}()
+	return e.boxes, e.err
+}
+
+// Rows returns the layer's adaptive row partition for the given interaction
+// reach and algorithm, computed (via MBRs → partition.Rows) at most once per
+// (layer, guard, alg). Rules sharing a reach share the partition outright;
+// rules with distinct reaches still benefit because the prefetcher computes
+// the entry off the critical path. The returned rows (including each
+// Members slice) are shared and must not be mutated.
+func (c *Cache) Rows(ctx context.Context, lo *layout.Layout, l layout.Layer, guard int64, alg partition.Algorithm) ([]partition.Row, error) {
+	k := rowsKey{layer: l, guard: guard, alg: alg}
+	c.mu.Lock()
+	c.bind(lo)
+	if e, ok := c.rows[k]; ok {
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.rows, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	e := &rowsEntry{done: make(chan struct{})}
+	c.rows[k] = e
+	c.mu.Unlock()
+
+	func() {
+		defer close(e.done)
+		defer func() {
+			if rec := recover(); rec != nil {
+				if pe, ok := rec.(*pool.PanicError); ok {
+					e.err = pe
+				} else {
+					e.err = &pool.PanicError{Value: rec, Stack: debug.Stack()}
+				}
+			}
+		}()
+		boxes, err := c.MBRs(ctx, lo, l)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.rows = partition.Rows(boxes, guard, alg)
+	}()
+	return e.rows, e.err
+}
+
+// Table returns the layer's device-upload MBR table — the per-polygon MBR
+// coordinate arrays plus the global (XLo, index) x-order — built from the
+// cached MBRs at most once. The engine uploads it alongside the resident
+// edge buffer so pair-discovery kernels read it instead of re-deriving MBRs
+// on the device per rule. The returned table is shared and must not be
+// mutated.
+func (c *Cache) Table(ctx context.Context, lo *layout.Layout, l layout.Layer) (*kernels.MBRTable, error) {
+	c.mu.Lock()
+	c.bind(lo)
+	if e, ok := c.tables[l]; ok {
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.t, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	e := &tableEntry{done: make(chan struct{})}
+	c.tables[l] = e
+	c.mu.Unlock()
+
+	func() {
+		defer close(e.done)
+		defer func() {
+			if rec := recover(); rec != nil {
+				if pe, ok := rec.(*pool.PanicError); ok {
+					e.err = pe
+				} else {
+					e.err = &pool.PanicError{Value: rec, Stack: debug.Stack()}
+				}
+			}
+		}()
+		boxes, err := c.MBRs(ctx, lo, l)
+		if err != nil {
+			e.err = err
+			return
+		}
+		t := &kernels.MBRTable{
+			XLo: make([]int64, len(boxes)), XHi: make([]int64, len(boxes)),
+			YLo: make([]int64, len(boxes)), YHi: make([]int64, len(boxes)),
+			XOrder: make([]int32, len(boxes)),
+		}
+		for i, b := range boxes {
+			t.XLo[i], t.XHi[i] = b.XLo, b.XHi
+			t.YLo[i], t.YHi[i] = b.YLo, b.YHi
+			t.XOrder[i] = int32(i)
+		}
+		sort.Slice(t.XOrder, func(i, j int) bool {
+			a, b := t.XOrder[i], t.XOrder[j]
+			if t.XLo[a] != t.XLo[b] {
+				return t.XLo[a] < t.XLo[b]
+			}
+			return a < b
+		})
+		e.t = t
+	}()
+	return e.t, e.err
+}
+
+// PeekFlatten returns the layer's flattened polygons only when a previous
+// Flatten already completed successfully; it never computes and never
+// blocks. Consumers that must not materialize a flatten themselves (the
+// KLayout tiling baseline) use it as an opportunistic read.
+func (c *Cache) PeekFlatten(l layout.Layer) ([]layout.PlacedPoly, bool) {
+	c.mu.Lock()
+	e, ok := c.flat[l]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-e.done:
+		if e.err != nil {
+			return nil, false
+		}
+		return e.polys, true
+	default:
+		return nil, false
+	}
+}

@@ -1,0 +1,287 @@
+package geocache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"opendrc/internal/budget"
+	"opendrc/internal/layout"
+	"opendrc/internal/partition"
+	"opendrc/internal/pool"
+	"opendrc/internal/synth"
+)
+
+func testLayout(t *testing.T) *layout.Layout {
+	t.Helper()
+	lo, _, err := synth.Load("uart", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lo
+}
+
+func TestFlattenMemoizedAndShared(t *testing.T) {
+	lo := testLayout(t)
+	c := New(budget.Limits{})
+	ctx := context.Background()
+	a, err := c.Flatten(ctx, lo, layout.LayerM1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Flatten(ctx, lo, layout.LayerM1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || &a[0] != &b[0] {
+		t.Fatal("second Flatten did not return the shared slice")
+	}
+	want := lo.FlattenLayer(layout.LayerM1)
+	if len(want) != len(a) {
+		t.Fatalf("cached flatten has %d polys, direct flatten %d", len(a), len(want))
+	}
+	s := c.Stats()
+	if s.FlattenMisses != 1 || s.FlattenHits != 1 {
+		t.Fatalf("stats = %+v, want 1 miss / 1 hit", s)
+	}
+}
+
+func TestPackMemoizedPerLayer(t *testing.T) {
+	lo := testLayout(t)
+	c := New(budget.Limits{})
+	ctx := context.Background()
+	e1, err := c.Pack(ctx, lo, layout.LayerM1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := c.Pack(ctx, lo, layout.LayerM1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Fatal("second Pack did not return the shared buffer")
+	}
+	eOther, err := c.Pack(ctx, lo, layout.LayerM2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eOther == e1 {
+		t.Fatal("distinct layers share a packed buffer")
+	}
+	s := c.Stats()
+	if s.PackMisses != 2 || s.PackHits != 1 {
+		t.Fatalf("stats = %+v, want 2 pack misses / 1 hit", s)
+	}
+}
+
+func TestErrorCachedOneComputation(t *testing.T) {
+	lo := testLayout(t)
+	c := New(budget.Limits{})
+	calls := 0
+	sentinel := errors.New("boom")
+	c.SetFaultHook(func(ctx context.Context, l layout.Layer) error {
+		calls++
+		return sentinel
+	})
+	ctx := context.Background()
+	if _, err := c.Flatten(ctx, lo, layout.LayerM1); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if _, err := c.Flatten(ctx, lo, layout.LayerM1); !errors.Is(err, sentinel) {
+		t.Fatalf("cached err = %v, want sentinel", err)
+	}
+	if _, err := c.Pack(ctx, lo, layout.LayerM1); !errors.Is(err, sentinel) {
+		t.Fatalf("Pack err = %v, want the cached flatten error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("hook ran %d times, want 1 (error must be cached)", calls)
+	}
+}
+
+func TestBudgetTripCached(t *testing.T) {
+	lo := testLayout(t)
+	c := New(budget.Limits{MaxFlattenPolys: 1})
+	ctx := context.Background()
+	_, err := c.Flatten(ctx, lo, layout.LayerM1)
+	if !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("err = %v, want budget.ErrExceeded", err)
+	}
+	_, err2 := c.Pack(ctx, lo, layout.LayerM1)
+	if !errors.Is(err2, budget.ErrExceeded) {
+		t.Fatalf("Pack err = %v, want the cached budget error", err2)
+	}
+}
+
+func TestPanicCachedAsPanicError(t *testing.T) {
+	lo := testLayout(t)
+	c := New(budget.Limits{})
+	calls := 0
+	c.SetFaultHook(func(ctx context.Context, l layout.Layer) error {
+		calls++
+		panic("kaboom")
+	})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		_, err := c.Flatten(ctx, lo, layout.LayerM1)
+		var pe *pool.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("call %d: err = %v, want *pool.PanicError", i, err)
+		}
+		if pe.Value != "kaboom" {
+			t.Fatalf("panic value = %v", pe.Value)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("hook ran %d times, want 1 (panic must be cached)", calls)
+	}
+}
+
+func TestSingleFlightConcurrent(t *testing.T) {
+	lo := testLayout(t)
+	c := New(budget.Limits{})
+	var mu sync.Mutex
+	computes := 0
+	c.SetFaultHook(func(ctx context.Context, l layout.Layer) error {
+		mu.Lock()
+		computes++
+		mu.Unlock()
+		return nil
+	})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Pack(ctx, lo, layout.LayerM1); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if computes != 1 {
+		t.Fatalf("flatten computed %d times under concurrency, want 1", computes)
+	}
+	s := c.Stats()
+	if s.PackMisses != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 pack miss", s)
+	}
+}
+
+func TestMBRsAndRowsMatchDirectComputation(t *testing.T) {
+	lo := testLayout(t)
+	c := New(budget.Limits{})
+	ctx := context.Background()
+	boxes, err := c.MBRs(ctx, lo, layout.LayerM1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polys := lo.FlattenLayer(layout.LayerM1)
+	if len(boxes) != len(polys) {
+		t.Fatalf("%d boxes for %d polys", len(boxes), len(polys))
+	}
+	for i := range polys {
+		if boxes[i] != polys[i].Shape.MBR() {
+			t.Fatalf("box %d = %+v, want %+v", i, boxes[i], polys[i].Shape.MBR())
+		}
+	}
+	const guard = 18
+	rows, err := c.Rows(ctx, lo, layout.LayerM1, guard, partition.Pigeonhole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := partition.Rows(boxes, guard, partition.Pigeonhole)
+	if len(rows) != len(want) {
+		t.Fatalf("%d rows, want %d", len(rows), len(want))
+	}
+	for i := range rows {
+		if len(rows[i].Members) != len(want[i].Members) {
+			t.Fatalf("row %d has %d members, want %d", i, len(rows[i].Members), len(want[i].Members))
+		}
+	}
+	again, err := c.Rows(ctx, lo, layout.LayerM1, guard, partition.Pigeonhole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) > 0 && &rows[0] != &again[0] {
+		t.Fatal("second Rows did not return the shared partition")
+	}
+}
+
+func TestTableMatchesMBRs(t *testing.T) {
+	lo := testLayout(t)
+	c := New(budget.Limits{})
+	ctx := context.Background()
+	tab, err := c.Table(ctx, lo, layout.LayerM1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxes, err := c.MBRs(ctx, lo, layout.LayerM1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.XLo) != len(boxes) || len(tab.XOrder) != len(boxes) {
+		t.Fatalf("table sizes %d/%d, want %d", len(tab.XLo), len(tab.XOrder), len(boxes))
+	}
+	for i, b := range boxes {
+		if tab.XLo[i] != b.XLo || tab.XHi[i] != b.XHi || tab.YLo[i] != b.YLo || tab.YHi[i] != b.YHi {
+			t.Fatalf("table row %d disagrees with MBR %+v", i, b)
+		}
+	}
+	for k := 1; k < len(tab.XOrder); k++ {
+		a, b := tab.XOrder[k-1], tab.XOrder[k]
+		if tab.XLo[a] > tab.XLo[b] || (tab.XLo[a] == tab.XLo[b] && a >= b) {
+			t.Fatalf("XOrder not sorted by (XLo, index) at %d", k)
+		}
+	}
+	again, err := c.Table(ctx, lo, layout.LayerM1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != tab {
+		t.Fatal("second Table did not return the shared table")
+	}
+}
+
+func TestPeekFlatten(t *testing.T) {
+	lo := testLayout(t)
+	c := New(budget.Limits{})
+	ctx := context.Background()
+	if _, ok := c.PeekFlatten(layout.LayerM1); ok {
+		t.Fatal("Peek hit before any Flatten")
+	}
+	if _, err := c.Flatten(ctx, lo, layout.LayerM1); err != nil {
+		t.Fatal(err)
+	}
+	if polys, ok := c.PeekFlatten(layout.LayerM1); !ok || len(polys) == 0 {
+		t.Fatal("Peek missed after a successful Flatten")
+	}
+	// Errors never become peek hits.
+	cErr := New(budget.Limits{MaxFlattenPolys: 1})
+	if _, err := cErr.Flatten(ctx, lo, layout.LayerM1); err == nil {
+		t.Fatal("want budget error")
+	}
+	if _, ok := cErr.PeekFlatten(layout.LayerM1); ok {
+		t.Fatal("Peek hit on a failed flatten")
+	}
+}
+
+func TestOneCacheOneLayout(t *testing.T) {
+	lo := testLayout(t)
+	lo2, _, err := synth.Load("uart", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(budget.Limits{})
+	ctx := context.Background()
+	if _, err := c.Flatten(ctx, lo, layout.LayerM1); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("binding a second layout did not panic")
+		}
+	}()
+	_, _ = c.Flatten(ctx, lo2, layout.LayerM1)
+}

@@ -226,6 +226,17 @@ func cornerSweep(s *gpu.Stream, e *Edges, min int64, c Collector) {
 	for i := range order {
 		order[i] = int32(i)
 	}
+	cornerSweepList(s, e, order, min, c)
+}
+
+// cornerSweepList is cornerSweep over an explicit edge list (the
+// member-indexed variants restrict it to a row's edges of a shared buffer).
+// The order slice is sorted in place; callers pass a fresh slice.
+func cornerSweepList(s *gpu.Stream, e *Edges, order []int32, min int64, c Collector) {
+	n := len(order)
+	if n == 0 {
+		return
+	}
 	// Corners sorted by x(P1); charged inside the same modeled sort as the
 	// views (cheap relative to checks), so only the scan+check are charged.
 	sortBy(order, func(a, b int32) bool {

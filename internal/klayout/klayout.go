@@ -34,6 +34,7 @@ import (
 	"opendrc/internal/budget"
 	"opendrc/internal/checks"
 	"opendrc/internal/faults"
+	"opendrc/internal/geocache"
 	"opendrc/internal/geom"
 	"opendrc/internal/layout"
 	"opendrc/internal/rules"
@@ -86,6 +87,15 @@ type Options struct {
 	// Faults is the deterministic fault injector driving the chaos suite;
 	// nil (the production value) is inert.
 	Faults *faults.Injector
+
+	// Cache is an optional cross-rule geometry cache shared by the rules of
+	// one run over one layout. Flat mode flattens each layer through it
+	// (once per layer instead of once per rule); tiling mode consults it
+	// non-blockingly — a tile filters an already-cached flatten instead of
+	// re-walking the hierarchy, but never *forces* a full flatten, so the
+	// budget-driven flat→tiling fallback still avoids the materialization
+	// it fell back from. Results are identical with or without a cache.
+	Cache *geocache.Cache
 }
 
 // Result is the outcome of checking one rule.
@@ -165,24 +175,9 @@ func flattenEstimate(lo *layout.Layout, l layout.Layer) int64 {
 }
 
 func sortViolations(vs []rules.Violation) {
-	sort.Slice(vs, func(i, j int) bool {
-		a, b := &vs[i], &vs[j]
-		if a.Rule != b.Rule {
-			return a.Rule < b.Rule
-		}
-		ab, bb := a.Marker.Box, b.Marker.Box
-		switch {
-		case ab.XLo != bb.XLo:
-			return ab.XLo < bb.XLo
-		case ab.YLo != bb.YLo:
-			return ab.YLo < bb.YLo
-		case ab.XHi != bb.XHi:
-			return ab.XHi < bb.XHi
-		case ab.YHi != bb.YHi:
-			return ab.YHi < bb.YHi
-		}
-		return a.Marker.Dist < b.Marker.Dist
-	})
+	// rules.Less is a total order, so equal violation multisets sort to the
+	// same sequence regardless of the emission order a mode produced.
+	sort.Slice(vs, func(i, j int) bool { return rules.Less(&vs[i], &vs[j]) })
 }
 
 // emitFn builds a violation emitter for one rule.
@@ -212,6 +207,16 @@ func checkPolyIntra(p geom.Polygon, name string, r rules.Rule, emit func(checks.
 			emit(checks.Marker{Box: p.MBR()})
 		}
 	}
+}
+
+// flattenVia flattens a layer through the run's geometry cache when one is
+// configured (one materialization per layer per run, with the cache's
+// flatten-polys budget applied), or directly otherwise.
+func flattenVia(ctx context.Context, cache *geocache.Cache, lo *layout.Layout, l layout.Layer) ([]layout.PlacedPoly, error) {
+	if cache == nil {
+		return lo.FlattenLayer(l), nil
+	}
+	return cache.Flatten(ctx, lo, l)
 }
 
 // flatName resolves the label of a flattened polygon from its definition
@@ -246,7 +251,10 @@ func checkFlat(ctx context.Context, lo *layout.Layout, r rules.Rule, opts Option
 		}
 	}
 	emit := emitFn(res, r)
-	polys := lo.FlattenLayer(r.Layer)
+	polys, err := flattenVia(ctx, opts.Cache, lo, r.Layer)
+	if err != nil {
+		return err
+	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -264,7 +272,10 @@ func checkFlat(ctx context.Context, lo *layout.Layout, r rules.Rule, opts Option
 			return err
 		}
 	case rules.Enclosure:
-		metals := lo.FlattenLayer(r.Outer)
+		metals, err := flattenVia(ctx, opts.Cache, lo, r.Outer)
+		if err != nil {
+			return err
+		}
 		viaBoxes := make([]geom.Rect, len(polys))
 		for i := range polys {
 			viaBoxes[i] = polys[i].Shape.MBR().Expand(r.Min)

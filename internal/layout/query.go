@@ -74,7 +74,12 @@ func (lo *Layout) FlattenLayer(l Layer) []PlacedPoly {
 	if window.Empty() {
 		return nil
 	}
-	out, _ := lo.QueryLayer(l, window)
+	// Every instance on the layer overlaps the full-layer window, so the
+	// instance count is the exact output size: one allocation instead of
+	// repeated append growth over potentially millions of entries.
+	out := make([]PlacedPoly, 0, lo.NumInstancesOnLayer(l))
+	var st QueryStats
+	lo.queryCell(lo.Top, geom.Identity(), l, window, &out, &st)
 	return out
 }
 

@@ -267,6 +267,63 @@ func (v Violation) String() string {
 	return fmt.Sprintf("%s @ %v", v.Rule, v.Marker.Box)
 }
 
+// Less is the canonical total order on violations: every field participates,
+// so two violations compare equal only when they are identical values. This
+// matters for determinism — equal violation *multisets* sort into identical
+// slices regardless of emission order, which is how reports stay
+// bit-identical across worker counts, kernel schedules, and geometry-cache
+// configurations even under an unstable sort.
+func Less(a, b *Violation) bool {
+	if a.Rule != b.Rule {
+		return a.Rule < b.Rule
+	}
+	ab, bb := a.Marker.Box, b.Marker.Box
+	switch {
+	case ab.XLo != bb.XLo:
+		return ab.XLo < bb.XLo
+	case ab.YLo != bb.YLo:
+		return ab.YLo < bb.YLo
+	case ab.XHi != bb.XHi:
+		return ab.XHi < bb.XHi
+	case ab.YHi != bb.YHi:
+		return ab.YHi < bb.YHi
+	}
+	if a.Marker.Dist != b.Marker.Dist {
+		return a.Marker.Dist < b.Marker.Dist
+	}
+	if a.Marker.Corner != b.Marker.Corner {
+		return !a.Marker.Corner
+	}
+	if c := edgeCompare(a.Marker.EdgeA, b.Marker.EdgeA); c != 0 {
+		return c < 0
+	}
+	if c := edgeCompare(a.Marker.EdgeB, b.Marker.EdgeB); c != 0 {
+		return c < 0
+	}
+	if a.Cell != b.Cell {
+		return a.Cell < b.Cell
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.Layer < b.Layer
+}
+
+// edgeCompare orders edges lexicographically by their endpoints.
+func edgeCompare(a, b geom.Edge) int {
+	for _, p := range [4][2]int64{
+		{a.P0.X, b.P0.X}, {a.P0.Y, b.P0.Y}, {a.P1.X, b.P1.X}, {a.P1.Y, b.P1.Y},
+	} {
+		if p[0] != p[1] {
+			if p[0] < p[1] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
 // Deck is an ordered rule list.
 type Deck []Rule
 

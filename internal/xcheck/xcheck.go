@@ -162,22 +162,7 @@ func transfer(s *gpu.Stream, shapes []geom.Polygon) (*kernels.Edges, error) {
 }
 
 func sortViolations(vs []rules.Violation) {
-	sort.Slice(vs, func(i, j int) bool {
-		a, b := &vs[i], &vs[j]
-		if a.Rule != b.Rule {
-			return a.Rule < b.Rule
-		}
-		ab, bb := a.Marker.Box, b.Marker.Box
-		switch {
-		case ab.XLo != bb.XLo:
-			return ab.XLo < bb.XLo
-		case ab.YLo != bb.YLo:
-			return ab.YLo < bb.YLo
-		case ab.XHi != bb.XHi:
-			return ab.XHi < bb.XHi
-		case ab.YHi != bb.YHi:
-			return ab.YHi < bb.YHi
-		}
-		return a.Marker.Dist < b.Marker.Dist
-	})
+	// rules.Less is a total order shared with the engines and the KLayout
+	// baseline, so cross-checked reports compare positionally.
+	sort.Slice(vs, func(i, j int) bool { return rules.Less(&vs[i], &vs[j]) })
 }
