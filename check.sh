@@ -27,4 +27,10 @@ go test -run=NONE -fuzz=FuzzPolygonTransform -fuzztime=10s ./internal/geom
 # change that breaks flatten/pack off the engine path still fails the gate.
 go test -run=NONE -bench 'BenchmarkFlattenLayer|BenchmarkPack' -benchtime=1x .
 
+# Trace smoke: one traced full-deck run at reduced scale, then a structural
+# validation of the exported Chrome-trace JSON (required processes, paired
+# flows, well-formed events). Catches export regressions off the test path.
+go run ./cmd/odrc-bench -trace BENCH_trace.json -scale 0.1
+go run ./cmd/odrc-bench -validate-trace BENCH_trace.json
+
 echo "check.sh: all green"

@@ -9,6 +9,11 @@
 //	odrc-bench -speedup [-workers n] [-runs k] [-out f.json]
 //	                                     sequential-engine multi-core speedup
 //	                                     (Workers=1 vs Workers=n wall time)
+//	odrc-bench -trace f.json [-trace-design d] [-trace-mode seq|par]
+//	                                     run the full deck once with the
+//	                                     timeline recorder attached and write
+//	                                     the Chrome-trace/Perfetto JSON
+//	odrc-bench -validate-trace f.json    structural check of an exported trace
 //
 // Every experiment accepts -timeout d; an expired deadline aborts between
 // cells and exits with code 3 (the same taxonomy as cmd/odrc).
@@ -30,6 +35,7 @@ import (
 	"opendrc/internal/core"
 	"opendrc/internal/partition"
 	"opendrc/internal/synth"
+	"opendrc/internal/trace"
 )
 
 func main() {
@@ -49,7 +55,11 @@ func run() error {
 	ablation := flag.Bool("ablation", false, "run the design-choice ablations")
 	speedup := flag.Bool("speedup", false, "run the multi-core speedup experiment (both engine modes)")
 	reuse := flag.Bool("reuse", false, "run the cross-rule geometry reuse experiment (cache on vs off)")
-	workers := flag.Int("workers", 0, "worker-pool size for -speedup (0 = GOMAXPROCS)")
+	traceOut := flag.String("trace", "", "run the full deck once with tracing and write the Chrome-trace JSON to this file")
+	traceDesign := flag.String("trace-design", "aes", "design for the -trace run")
+	traceMode := flag.String("trace-mode", "par", "engine mode for the -trace run: seq or par")
+	validateTrace := flag.String("validate-trace", "", "validate the structure of an exported trace file and print its summary")
+	workers := flag.Int("workers", 0, "worker-pool size for -speedup and -trace (0 = GOMAXPROCS)")
 	runs := flag.Int("runs", 3, "repetitions per -speedup/-reuse cell (minimum wall time is reported)")
 	out := flag.String("out", "", "also write the -speedup/-reuse report as JSON to this file")
 	scale := flag.Float64("scale", 1, "design scale factor (1 = full synthetic size)")
@@ -64,6 +74,10 @@ func run() error {
 	}
 
 	switch {
+	case *validateTrace != "":
+		return runValidateTrace(*validateTrace)
+	case *traceOut != "":
+		return runTrace(ctx, *traceOut, *traceDesign, *traceMode, *scale, *workers)
 	case *table == 1:
 		return runTable(ctx, "Table I — intra-polygon checks (width, area)", bench.TableIRules(), *scale)
 	case *table == 2:
@@ -89,6 +103,57 @@ func run() error {
 		return runReuse(ctx, *scale, *runs, *out)
 	}
 	flag.Usage()
+	return nil
+}
+
+// runTrace runs the full deck once on one design with the timeline recorder
+// attached and writes the exported Chrome-trace/Perfetto JSON.
+func runTrace(ctx context.Context, outPath, design, mode string, scale float64, workers int) error {
+	m := core.Sequential
+	switch mode {
+	case "seq":
+	case "par":
+		m = core.Parallel
+	default:
+		return fmt.Errorf("unknown -trace-mode %q (want seq or par)", mode)
+	}
+	rec := trace.New()
+	rep, err := bench.TraceRunContext(ctx, design, m, scale, workers, rec)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("%s %s (scale %g): %d violations in %v; %d trace events -> %s\n",
+		design, mode, scale, len(rep.Violations), rep.HostWall.Round(time.Microsecond), rec.Len(), outPath)
+	if rep.Stats.Trace != nil {
+		fmt.Printf("  %s\n", rep.Stats.Trace)
+	}
+	return nil
+}
+
+// runValidateTrace structurally checks an exported trace file.
+func runValidateTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, err := trace.Validate(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: valid; %d events, %d flows, processes %v\n",
+		path, info.Events, info.Flows, info.Processes)
 	return nil
 }
 

@@ -58,6 +58,7 @@ func run() int {
 	maxEdges := flag.Int64("max-edges", 0, "fail a rule that would pack more than this many device edges (0 = unlimited)")
 	maxDeviceBytes := flag.Int64("max-device-bytes", 0, "simulated device memory pool limit in bytes (0 = unlimited)")
 	noGeoCache := flag.Bool("no-geocache", false, "disable the cross-rule geometry cache and pipelined schedule (ablation; results are identical)")
+	traceOut := flag.String("trace", "", "write a Chrome-trace/Perfetto JSON timeline of the run to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: odrc [flags] file.gds\n")
 		flag.PrintDefaults()
@@ -111,6 +112,12 @@ func run() int {
 			MaxPackedEdges:  *maxEdges,
 			MaxDeviceBytes:  *maxDeviceBytes,
 		}))
+	var tracer *opendrc.Tracer
+	if *traceOut != "" {
+		tracer = opendrc.NewTracer()
+		tracer.SetMeta("source", flag.Arg(0))
+		opts = append(opts, opendrc.WithTrace(tracer))
+	}
 	eng := opendrc.NewEngine(opts...)
 
 	deck := synth.Deck()
@@ -143,6 +150,20 @@ func run() int {
 	rep, err := eng.CheckContext(ctx, db)
 	if err != nil {
 		return fail(err)
+	}
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fail(err)
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events -> %s\n", tracer.Len(), *traceOut)
 	}
 	vs := rep.Violations
 	if *dedup {
@@ -191,6 +212,9 @@ func run() int {
 		if rep.Device != nil {
 			fmt.Printf("modeled CPU+GPU time: %v (device busy %v)\n",
 				rep.Modeled.Round(1e3), rep.Device.DeviceBusy().Round(1e3))
+		}
+		if rep.Stats.Trace != nil {
+			fmt.Printf("trace: %s\n", rep.Stats.Trace)
 		}
 	}
 	return code

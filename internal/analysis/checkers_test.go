@@ -85,6 +85,12 @@ func TestCheckers(t *testing.T) {
 			want:    nil,
 		},
 		{
+			name:    "clock exempt in trace",
+			file:    "clock_src.go",
+			pkgPath: "example.com/internal/trace",
+			want:    nil,
+		},
+		{
 			name:    "rawgo in a regular package",
 			file:    "rawgo_src.go",
 			pkgPath: "example.com/internal/core",

@@ -7,17 +7,21 @@ import (
 // Clock enforces the timing discipline behind the modeled CPU+GPU timeline:
 // all host timing flows through infra.Profiler / the parallel branch's
 // hostPhase, so the only packages that may read the wall clock directly are
-// internal/infra (the profiler itself) and internal/bench (measurement
-// harness). A stray time.Now elsewhere produces host work the modeled device
-// clock never sees — the silent drift PR 1 fixed in the custom-rule path.
+// internal/infra (the profiler itself), internal/bench (measurement
+// harness), and internal/trace (the run-timeline recorder's default clock —
+// injectable everywhere else, so traced runs stay deterministic under
+// test clocks). A stray time.Now elsewhere produces host work the modeled
+// device clock never sees — the silent drift PR 1 fixed in the custom-rule
+// path.
 var Clock = &Checker{
 	Name: "clock",
-	Doc:  "no direct time.Now/time.Since outside internal/infra and internal/bench",
+	Doc:  "no direct time.Now/time.Since outside internal/infra, internal/bench, and internal/trace",
 	Run:  runClock,
 }
 
 func isClockExemptPkg(pkgPath string) bool {
-	return pkgIs(pkgPath, "internal/infra") || pkgIs(pkgPath, "internal/bench")
+	return pkgIs(pkgPath, "internal/infra") || pkgIs(pkgPath, "internal/bench") ||
+		pkgIs(pkgPath, "internal/trace")
 }
 
 func runClock(p *Pass) {
@@ -37,7 +41,7 @@ func runClock(p *Pass) {
 			switch sel.Sel.Name {
 			case "Now", "Since":
 				p.Reportf(sel.Pos(), "clock",
-					"time.%s outside internal/infra and internal/bench: time host work through the Profiler/hostPhase so it enters the modeled timeline", sel.Sel.Name)
+					"time.%s outside internal/infra, internal/bench, and internal/trace: time host work through the Profiler/hostPhase so it enters the modeled timeline", sel.Sel.Name)
 			}
 			return true
 		})

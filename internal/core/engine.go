@@ -24,6 +24,7 @@ import (
 	"opendrc/internal/partition"
 	"opendrc/internal/pool"
 	"opendrc/internal/rules"
+	"opendrc/internal/trace"
 )
 
 // Mode selects the execution branch.
@@ -86,6 +87,14 @@ type Options struct {
 	// Faults is the deterministic fault injector driving the chaos test
 	// suite; nil (the production value) is inert.
 	Faults *faults.Injector
+
+	// Trace is the run-timeline recorder (nil disables tracing, the
+	// zero-cost default). When set, the run records host phase spans, rule
+	// lifecycle, geometry-cache traffic, pool task lanes, and — in parallel
+	// mode — the simulated device's per-stream timeline, all exportable via
+	// trace.Recorder.WriteJSON; a TraceSummary lands on Report.Stats.
+	// Reports are bit-identical with tracing on or off.
+	Trace *trace.Recorder
 
 	Logger *infra.Logger
 }
@@ -162,6 +171,12 @@ type Stats struct {
 	DeviceUploads   int64
 	DeviceReuses    int64
 	DeviceEvictions int64
+
+	// Trace is the run's timeline summary (device busy, host/device
+	// overlap, per-rule critical path). It holds measured times, so it is
+	// excluded from JSON: serialized reports stay bit-identical across
+	// worker counts and with tracing on or off.
+	Trace *TraceSummary `json:"-"`
 }
 
 // add merges s2 into s.
@@ -223,6 +238,11 @@ type Report struct {
 	// Device exposes the simulated GPU used by the parallel mode (nil in
 	// sequential mode) for timeline inspection.
 	Device *gpu.Device
+
+	// Raw per-rule and modeled-host windows behind Stats.Trace and the
+	// trace export; unexported — the summary is the public view.
+	ruleWindows []ruleWindow
+	hostSpans   []modeledSpan
 }
 
 // CountByRule returns violation counts keyed by rule ID.
@@ -252,9 +272,19 @@ func (e *Engine) CheckContext(ctx context.Context, lo *layout.Layout) (*Report, 
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: check cancelled: %w", err)
 	}
-	rep := &Report{Mode: e.opts.Mode, Profile: infra.NewProfiler()}
-	geo := newGeoSource(e.opts)
-	start := time.Now() //odrc:allow clock — whole-run wall measurement; feeds Report.HostWall, not a modeled phase
+	rec := e.opts.Trace
+	// The profiler shares the recorder's clock (one timeline for phases and
+	// trace events) and reports every completed Phase as a span; the
+	// recorder rides the context so the pool traces task lanes.
+	rep := &Report{Mode: e.opts.Mode, Profile: infra.NewProfilerWithClock(rec.Clock())}
+	if rec != nil {
+		rep.Profile.OnPhase(func(name string, from, to time.Duration) {
+			rec.Span(trace.TrackPhases, "", name, "phase", from, to)
+		})
+		ctx = trace.WithRecorder(ctx, rec)
+	}
+	geo := newGeoSource(e.opts, rec)
+	start := rep.Profile.Elapsed()
 	var err error
 	switch e.opts.Mode {
 	case Parallel:
@@ -265,7 +295,7 @@ func (e *Engine) CheckContext(ctx context.Context, lo *layout.Layout) (*Report, 
 	if err != nil {
 		return nil, err
 	}
-	rep.HostWall = time.Since(start) //odrc:allow clock — closes the Report.HostWall measurement opened above
+	rep.HostWall = rep.Profile.Elapsed() - start
 	if rep.Device == nil {
 		rep.Modeled = rep.HostWall
 	} else {
@@ -277,6 +307,10 @@ func (e *Engine) CheckContext(ctx context.Context, lo *layout.Layout) (*Report, 
 		rep.Stats.FlattenCacheMisses = cs.FlattenMisses
 		rep.Stats.PackCacheHits = cs.PackHits
 		rep.Stats.PackCacheMisses = cs.PackMisses
+	}
+	if rec != nil {
+		rep.Stats.Trace = buildTraceSummary(rep)
+		exportRunTrace(rec, rep, e.opts)
 	}
 	sortViolations(rep.Violations)
 	return rep, nil
@@ -295,6 +329,17 @@ func cancelled(err error) bool {
 // run continues. Cancellation is the exception: it aborts the whole check.
 func (e *Engine) guardRule(ctx context.Context, rep *Report, r rules.Rule, fn func() error) error {
 	mark := len(rep.Violations)
+	stop := e.opts.Trace.Begin(trace.TrackRules, "", r.ID, "rule")
+	status := "ok"
+	defer func() {
+		emitted := len(rep.Violations) - mark
+		if status != "ok" {
+			emitted = 0
+		}
+		stop(trace.Arg{Key: "kind", Val: r.Kind.String()},
+			trace.Arg{Key: "status", Val: status},
+			trace.Arg{Key: "violations", Val: emitted})
+	}()
 	err := func() (err error) {
 		defer func() {
 			if rec := recover(); rec != nil {
@@ -314,8 +359,10 @@ func (e *Engine) guardRule(ctx context.Context, rep *Report, r rules.Rule, fn fu
 		return nil
 	}
 	if cancelled(err) {
+		status = "cancelled"
 		return fmt.Errorf("core: rule %s: check cancelled: %w", r.ID, err)
 	}
+	status = "failed"
 	rep.Violations = rep.Violations[:mark]
 	f := RuleFailure{Rule: r.ID, Err: err.Error()}
 	var pe *pool.PanicError

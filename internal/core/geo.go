@@ -11,6 +11,7 @@ import (
 	"opendrc/internal/kernels"
 	"opendrc/internal/layout"
 	"opendrc/internal/partition"
+	"opendrc/internal/trace"
 )
 
 // geoSource is the engine's per-run view of the geometry reuse layer: the
@@ -26,14 +27,25 @@ type geoSource struct {
 }
 
 // newGeoSource builds the run's geometry source from the engine options,
-// wiring the flatten fault seam into the cache.
-func newGeoSource(opts Options) *geoSource {
+// wiring the flatten fault seam and the trace recorder's geocache track
+// into the cache.
+func newGeoSource(opts Options, rec *trace.Recorder) *geoSource {
 	g := &geoSource{limits: opts.Budgets, inj: opts.Faults}
 	if !opts.DisableGeoCache {
 		g.cache = geocache.New(opts.Budgets)
 		if inj := opts.Faults; inj != nil {
 			g.cache.SetFaultHook(func(ctx context.Context, l layout.Layer) error {
 				return inj.Hit(ctx, faults.SiteFlatten, layerKey(l))
+			})
+		}
+		if rec != nil {
+			g.cache.SetEventHook(func(ev geocache.Event) {
+				result := "miss"
+				if ev.Hit {
+					result = "hit"
+				}
+				rec.Instant(trace.TrackGeocache, "", ev.Op+":"+ev.Key, "geocache",
+					trace.Arg{Key: "result", Val: result})
 			})
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"opendrc/internal/layout"
 	"opendrc/internal/pool"
 	"opendrc/internal/rules"
+	"opendrc/internal/trace"
 )
 
 // intraMarkers computes the violation markers of one cell's own layer
@@ -108,7 +109,7 @@ func (e *Engine) runIntraSeq(ctx context.Context, lo *layout.Layout, r rules.Rul
 		stats Stats
 	}
 	shards := make([]shard, len(cells))
-	err := pool.ForEachCtx(ctx, e.opts.Workers, len(cells), func(i int) error {
+	err := pool.ForEachCtx(trace.WithTask(ctx, "cell"), e.opts.Workers, len(cells), func(i int) error {
 		c := cells[i]
 		if err := e.opts.Faults.Hit(ctx, faults.SiteCell, c.Name); err != nil {
 			return err

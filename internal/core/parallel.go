@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
-	"time"
 
 	"opendrc/internal/budget"
 	"opendrc/internal/checks"
@@ -18,6 +17,7 @@ import (
 	"opendrc/internal/partition"
 	"opendrc/internal/pool"
 	"opendrc/internal/rules"
+	"opendrc/internal/trace"
 )
 
 // The parallel mode (Section IV-E). Per the paper's flow (Fig. 1), the
@@ -87,16 +87,23 @@ func (pc *parCtx) mbrTable(ctx context.Context, lo *layout.Layout, rep *Report, 
 	return nil, nil
 }
 
-// hostPhase measures fn as host work: it is charged to the profiler and
-// advances the modeled host clock, during which the device may still be
-// executing previously enqueued work. fn's error passes through after the
-// clock is charged (the failed work still spent host time).
+// hostPhase measures fn as host work: it is charged to the profiler (whose
+// clock the trace recorder shares) and advances the modeled host clock,
+// during which the device may still be executing previously enqueued work.
+// The modeled window is also kept on the report as a modeled-host span —
+// the host side of the trace's overlap analysis. fn's error passes through
+// after the clock is charged (the failed work still spent host time).
+// hostPhase runs on the engine goroutine only.
 func (p *parCtx) hostPhase(rep *Report, name string, fn func() error) error {
-	start := time.Now() //odrc:allow clock — hostPhase IS the clock discipline: it charges the profiler and advances the modeled device clock
+	stop := rep.Profile.Phase(name)
 	err := fn()
-	d := time.Since(start) //odrc:allow clock — paired with the hostPhase start above; d feeds both Profiler and HostAdvance
-	rep.Profile.Add(name, d)
+	d := stop()
+	m0 := p.dev.HostClock()
 	p.dev.HostAdvance(d)
+	m1 := p.dev.HostClock()
+	if m1 > m0 {
+		rep.hostSpans = append(rep.hostSpans, modeledSpan{name: name, s: m0, e: m1})
+	}
 	return err
 }
 
@@ -176,9 +183,10 @@ func (e *Engine) checkParallel(ctx context.Context, lo *layout.Layout, rep *Repo
 			}
 			prefetch := pool.New(w)
 			defer prefetch.Close()
+			pctx := trace.WithTask(ctx, "prefetch")
 			for _, g := range groups {
 				g := g
-				_ = prefetch.SubmitCtx(ctx, func() {
+				_ = prefetch.SubmitCtx(pctx, func() {
 					if ctx.Err() != nil {
 						return
 					}
@@ -211,6 +219,8 @@ func (e *Engine) checkParallel(ctx context.Context, lo *layout.Layout, rep *Repo
 		}
 		e.opts.Logger.Debugf("par: rule %s", r)
 		r := r
+		w := ruleWindow{rule: r.ID, m0: pc.dev.HostClock(), c0: pc.dev.OpCount()}
+		h0 := len(rep.hostSpans)
 		err := e.guardRule(ctx, rep, r, func() error {
 			switch r.Kind {
 			case rules.Spacing:
@@ -239,6 +249,12 @@ func (e *Engine) checkParallel(ctx context.Context, lo *layout.Layout, rep *Repo
 		if err != nil {
 			return err
 		}
+		w.m1 = pc.dev.HostClock()
+		w.c1 = pc.dev.OpCount()
+		for _, h := range rep.hostSpans[h0:] {
+			w.host += h.e - h.s
+		}
+		rep.ruleWindows = append(rep.ruleWindows, w)
 	}
 	// Return the resident layer buffers to the pool: the frees are ordered
 	// after every kernel enqueued so far, mirroring how they were uploaded.

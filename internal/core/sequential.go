@@ -25,6 +25,7 @@ func (e *Engine) checkSequential(ctx context.Context, lo *layout.Layout, rep *Re
 		}
 		e.opts.Logger.Debugf("seq: rule %s", r)
 		r := r
+		w := ruleWindow{rule: r.ID, m0: rep.Profile.Elapsed()}
 		err := e.guardRule(ctx, rep, r, func() error {
 			switch r.Kind {
 			case rules.Spacing:
@@ -40,6 +41,9 @@ func (e *Engine) checkSequential(ctx context.Context, lo *layout.Layout, rep *Re
 		if err != nil {
 			return err
 		}
+		w.m1 = rep.Profile.Elapsed()
+		w.host = w.m1 - w.m0
+		rep.ruleWindows = append(rep.ruleWindows, w)
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"opendrc/internal/pool"
 	"opendrc/internal/rules"
 	"opendrc/internal/sweep"
+	"opendrc/internal/trace"
 )
 
 // Sequential inter-polygon spacing (Sections IV-C and IV-D).
@@ -126,7 +127,7 @@ func (e *Engine) cellSpacingMarkers(ctx context.Context, lo *layout.Layout, c *l
 		stats   Stats
 	}
 	results := make([]rowResult, len(rows))
-	err := pool.ForEachCtx(ctx, e.opts.Workers, len(rows), func(ri int) error {
+	err := pool.ForEachCtx(trace.WithTask(ctx, "row"), e.opts.Workers, len(rows), func(ri int) error {
 		row := rows[ri]
 		if err := e.opts.Faults.Hit(ctx, faults.SiteRow,
 			fmt.Sprintf("%s/%s/row#%d", r.ID, c.Name, ri)); err != nil {

@@ -29,6 +29,7 @@ package geocache
 
 import (
 	"context"
+	"fmt"
 	"runtime/debug"
 	"sort"
 	"sync"
@@ -53,6 +54,21 @@ type Stats struct {
 // FaultHook is the injection seam consulted before each flatten computation
 // (the engine wires it to faults.SiteFlatten).
 type FaultHook func(ctx context.Context, l layout.Layer) error
+
+// Event describes one cache lookup: Op names the table ("flatten", "pack",
+// "mbrs", "rows", "table"), Key the entry, Hit whether a prior computation
+// was reused. Events carry no caller identity, so for a fixed deck the
+// event multiset is deterministic even though prefetch racing reorders
+// which lookup hits.
+type Event struct {
+	Op  string
+	Key string
+	Hit bool
+}
+
+// EventHook observes cache lookups (the engine wires it to the trace
+// recorder's geocache track). The hook runs outside the cache lock.
+type EventHook func(Event)
 
 // flatEntry is one single-flight flatten computation.
 type flatEntry struct {
@@ -101,8 +117,9 @@ type tableEntry struct {
 // Cache is the per-run layer-keyed geometry memo. The zero value is not
 // usable; construct with New.
 type Cache struct {
-	limits budget.Limits
-	hook   FaultHook
+	limits  budget.Limits
+	hook    FaultHook
+	eventFn EventHook
 
 	mu     sync.Mutex
 	lo     *layout.Layout // bound on first use; one cache serves one layout
@@ -131,6 +148,20 @@ func New(lim budget.Limits) *Cache {
 // first Flatten/Pack.
 func (c *Cache) SetFaultHook(h FaultHook) { c.hook = h }
 
+// SetEventHook installs the lookup observer. Must be called before the
+// first lookup.
+func (c *Cache) SetEventHook(h EventHook) { c.eventFn = h }
+
+// event reports one lookup to the observer; callers must not hold c.mu.
+func (c *Cache) event(op string, key string, hit bool) {
+	if c.eventFn != nil {
+		c.eventFn(Event{Op: op, Key: key, Hit: hit})
+	}
+}
+
+// layerKey renders a layer entry key for events.
+func layerKey(l layout.Layer) string { return fmt.Sprintf("layer#%d", int(l)) }
+
 // Stats returns a snapshot of the hit/miss counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
@@ -158,12 +189,14 @@ func (c *Cache) Flatten(ctx context.Context, lo *layout.Layout, l layout.Layer) 
 	if e, ok := c.flat[l]; ok {
 		c.stats.FlattenHits++
 		c.mu.Unlock()
+		c.event("flatten", layerKey(l), true)
 		return awaitFlat(ctx, e)
 	}
 	e := &flatEntry{done: make(chan struct{})}
 	c.flat[l] = e
 	c.stats.FlattenMisses++
 	c.mu.Unlock()
+	c.event("flatten", layerKey(l), false)
 
 	c.computeFlat(ctx, e, lo, l)
 	return e.polys, e.err
@@ -215,6 +248,7 @@ func (c *Cache) Pack(ctx context.Context, lo *layout.Layout, l layout.Layer) (*k
 	if e, ok := c.packs[l]; ok {
 		c.stats.PackHits++
 		c.mu.Unlock()
+		c.event("pack", layerKey(l), true)
 		select {
 		case <-e.done:
 			return e.edges, e.err
@@ -226,6 +260,7 @@ func (c *Cache) Pack(ctx context.Context, lo *layout.Layout, l layout.Layer) (*k
 	c.packs[l] = e
 	c.stats.PackMisses++
 	c.mu.Unlock()
+	c.event("pack", layerKey(l), false)
 
 	func() {
 		defer close(e.done)
@@ -261,6 +296,7 @@ func (c *Cache) MBRs(ctx context.Context, lo *layout.Layout, l layout.Layer) ([]
 	c.bind(lo)
 	if e, ok := c.mbrs[l]; ok {
 		c.mu.Unlock()
+		c.event("mbrs", layerKey(l), true)
 		select {
 		case <-e.done:
 			return e.boxes, e.err
@@ -271,6 +307,7 @@ func (c *Cache) MBRs(ctx context.Context, lo *layout.Layout, l layout.Layer) ([]
 	e := &mbrEntry{done: make(chan struct{})}
 	c.mbrs[l] = e
 	c.mu.Unlock()
+	c.event("mbrs", layerKey(l), false)
 
 	func() {
 		defer close(e.done)
@@ -307,8 +344,10 @@ func (c *Cache) Rows(ctx context.Context, lo *layout.Layout, l layout.Layer, gua
 	k := rowsKey{layer: l, guard: guard, alg: alg}
 	c.mu.Lock()
 	c.bind(lo)
+	rk := fmt.Sprintf("%s/reach=%d/alg=%d", layerKey(l), guard, int(alg))
 	if e, ok := c.rows[k]; ok {
 		c.mu.Unlock()
+		c.event("rows", rk, true)
 		select {
 		case <-e.done:
 			return e.rows, e.err
@@ -319,6 +358,7 @@ func (c *Cache) Rows(ctx context.Context, lo *layout.Layout, l layout.Layer, gua
 	e := &rowsEntry{done: make(chan struct{})}
 	c.rows[k] = e
 	c.mu.Unlock()
+	c.event("rows", rk, false)
 
 	func() {
 		defer close(e.done)
@@ -352,6 +392,7 @@ func (c *Cache) Table(ctx context.Context, lo *layout.Layout, l layout.Layer) (*
 	c.bind(lo)
 	if e, ok := c.tables[l]; ok {
 		c.mu.Unlock()
+		c.event("table", layerKey(l), true)
 		select {
 		case <-e.done:
 			return e.t, e.err
@@ -362,6 +403,7 @@ func (c *Cache) Table(ctx context.Context, lo *layout.Layout, l layout.Layer) (*
 	e := &tableEntry{done: make(chan struct{})}
 	c.tables[l] = e
 	c.mu.Unlock()
+	c.event("table", layerKey(l), false)
 
 	func() {
 		defer close(e.done)

@@ -285,3 +285,36 @@ func TestOneCacheOneLayout(t *testing.T) {
 	}()
 	_, _ = c.Flatten(ctx, lo2, layout.LayerM1)
 }
+
+func TestEventHookMultiset(t *testing.T) {
+	lo := testLayout(t)
+	c := New(budget.Limits{})
+	ctx := context.Background()
+	var got []Event
+	c.SetEventHook(func(ev Event) { got = append(got, ev) })
+	// Pack misses and computes the flatten internally; a later Flatten on the
+	// same layer hits; a second Pack hits.
+	if _, err := c.Pack(ctx, lo, layout.LayerM1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Flatten(ctx, lo, layout.LayerM1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Pack(ctx, lo, layout.LayerM1); err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Op: "pack", Key: "layer#19", Hit: false},
+		{Op: "flatten", Key: "layer#19", Hit: false},
+		{Op: "flatten", Key: "layer#19", Hit: true},
+		{Op: "pack", Key: "layer#19", Hit: true},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("events = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -101,8 +101,9 @@ type Record struct {
 	Stream     string
 	Start, End time.Duration // modeled time since device creation
 	Threads    int
-	Ops        int64 // total thread operations (kernels)
-	Bytes      int64 // transfer size (copies)
+	Ops        int64  // total thread operations (kernels)
+	Bytes      int64  // transfer size (copies)
+	Seq        uint64 // monotonic enqueue order across all streams
 }
 
 // Device is one simulated GPU plus its modeled clock. The host clock
@@ -115,6 +116,9 @@ type Device struct {
 	mu        sync.Mutex
 	hostClock time.Duration
 	records   []Record
+	waits     []WaitEdge
+	seq       uint64 // next Record.Seq (== len(records))
+	eventSeq  uint64 // next Event id
 	pool      poolStats
 	memLimit  int64               // pool byte budget; 0 = unlimited
 	allocHook func(n int64) error // fault-injection seam; nil = none
@@ -158,13 +162,38 @@ func (d *Device) HostClock() time.Duration {
 	return d.hostClock
 }
 
-// Timeline returns all completed operations sorted by start time.
+// Timeline returns all completed operations sorted by (start time, enqueue
+// sequence). The sequence tiebreak matters: async copies enqueued at one
+// frontier across streams share a start time, and a start-only unstable
+// sort returned them in nondeterministic order.
 func (d *Device) Timeline() []Record {
 	d.mu.Lock()
 	out := append([]Record(nil), d.records...)
 	d.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Seq < out[j].Seq
+	})
 	return out
+}
+
+// OpCount returns the number of timeline records enqueued so far — also the
+// next Record.Seq, so callers can bracket a phase with two OpCount reads
+// and select its records by sequence.
+func (d *Device) OpCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.records)
+}
+
+// WaitEdges returns the cross-stream dependencies that actually deferred
+// work, in recording order.
+func (d *Device) WaitEdges() []WaitEdge {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]WaitEdge(nil), d.waits...)
 }
 
 // DeviceBusy returns the total modeled device-busy time (union of kernel and
@@ -253,7 +282,9 @@ func (s *Stream) enqueue(kind OpKind, name string, dur time.Duration, threads in
 	d.records = append(d.records, Record{
 		Kind: kind, Name: name, Stream: s.name,
 		Start: start, End: end, Threads: threads, Ops: ops, Bytes: bytes,
+		Seq: d.seq,
 	})
+	d.seq++
 	d.mu.Unlock()
 	return end
 }
@@ -363,7 +394,9 @@ func (s *Stream) Synchronize() {
 	d.mu.Lock()
 	d.records = append(d.records, Record{
 		Kind: OpSync, Name: "sync", Stream: s.name, Start: d.hostClock, End: d.hostClock,
+		Seq: d.seq,
 	})
+	d.seq++
 	if s.ready > d.hostClock {
 		d.hostClock = s.ready
 	}
@@ -372,21 +405,41 @@ func (s *Stream) Synchronize() {
 
 // Event marks a point in a stream's modeled execution.
 type Event struct {
-	at time.Duration
+	at     time.Duration
+	id     uint64
+	stream string
+}
+
+// WaitEdge is one cross-stream dependency that actually deferred work: a
+// WaitEvent call that pushed the waiting stream's frontier forward to the
+// event time. The trace exporter renders these as flow arrows between
+// stream tracks.
+type WaitEdge struct {
+	From string        // stream that recorded the event
+	To   string        // stream that waited
+	At   time.Duration // event time (= the waiter's new frontier)
+	ID   uint64        // event identity (device-wide RecordEvent order)
 }
 
 // RecordEvent captures the stream's current completion frontier.
 func (s *Stream) RecordEvent() Event {
-	s.dev.mu.Lock()
-	defer s.dev.mu.Unlock()
-	return Event{at: s.ready}
+	d := s.dev
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := d.eventSeq
+	d.eventSeq++
+	return Event{at: s.ready, id: id, stream: s.name}
 }
 
-// WaitEvent makes subsequent operations on s wait for the event.
+// WaitEvent makes subsequent operations on s wait for the event. An edge is
+// recorded only when the wait is binding (it moved the frontier); a wait on
+// an already-passed event costs nothing and draws nothing.
 func (s *Stream) WaitEvent(e Event) {
-	s.dev.mu.Lock()
+	d := s.dev
+	d.mu.Lock()
 	if e.at > s.ready {
 		s.ready = e.at
+		d.waits = append(d.waits, WaitEdge{From: e.stream, To: s.name, At: e.at, ID: e.id})
 	}
-	s.dev.mu.Unlock()
+	d.mu.Unlock()
 }

@@ -199,6 +199,145 @@ func TestDeviceBusy(t *testing.T) {
 	}
 }
 
+// unitProps is a device whose timeline math is exact: no overheads, no host
+// calibration, 1 GB/s bandwidth (1 byte = 1ns), so a copy of n*1000 bytes
+// occupies exactly n microseconds.
+func unitProps() Props {
+	return Props{
+		Name: "unit", SMs: 1, LanesPerSM: 32, WarpSize: 32,
+		ClockHz: 1e9, CyclesPerOp: 1, MemBandwidth: 1e9,
+		HostCalibration: 1,
+	}
+}
+
+func TestTimelineStableAtSharedFrontier(t *testing.T) {
+	// Regression: async ops enqueued across streams at the same frontier
+	// share a start time; a start-only unstable sort returned them in
+	// nondeterministic order. Timeline must order by (Start, Seq).
+	d := NewDevice(unitProps())
+	s1 := d.NewStream("s1")
+	s2 := d.NewStream("s2")
+	want := []string{"b", "a", "d", "c"}
+	s2.MemcpyAsync("b", 1000)
+	s1.MemcpyAsync("a", 1000)
+	s2.MemcpyAsync("d", 1000) // starts at s2's new frontier, not 0
+	s1.MemcpyAsync("c", 1000)
+	// b, a start at 0; d, c start at 1µs — each pair resolved by Seq.
+	for trial := 0; trial < 20; trial++ {
+		recs := d.Timeline()
+		for i, r := range recs {
+			if r.Name != want[i] {
+				t.Fatalf("trial %d: timeline order %v, want %v (enqueue order within a frontier)",
+					trial, names(recs), want)
+			}
+			if r.Seq != uint64(i) {
+				t.Fatalf("record %q Seq = %d, want %d", r.Name, r.Seq, i)
+			}
+		}
+	}
+}
+
+func names(recs []Record) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.Name
+	}
+	return out
+}
+
+func TestDeviceBusyContained(t *testing.T) {
+	// A short copy fully inside a longer one adds nothing to the union.
+	d := NewDevice(unitProps())
+	d.NewStream("a").MemcpyAsync("long", 10000) // [0, 10µs]
+	d.NewStream("b").MemcpyAsync("short", 2000) // [0, 2µs] ⊂ [0, 10µs]
+	if busy := d.DeviceBusy(); busy != 10*time.Microsecond {
+		t.Errorf("busy = %v, want 10µs (contained interval absorbed)", busy)
+	}
+}
+
+func TestDeviceBusyAbutting(t *testing.T) {
+	// Back-to-back intervals (s.s == cur.e) merge without a gap and without
+	// double counting the shared endpoint.
+	d := NewDevice(unitProps())
+	d.NewStream("a").MemcpyAsync("first", 10000) // [0, 10µs]
+	d.HostAdvance(10 * time.Microsecond)
+	d.NewStream("b").MemcpyAsync("second", 5000) // [10µs, 15µs]
+	if busy := d.DeviceBusy(); busy != 15*time.Microsecond {
+		t.Errorf("busy = %v, want 15µs (abutting intervals merge)", busy)
+	}
+}
+
+func TestDeviceBusyOverlapUnionNotSum(t *testing.T) {
+	// Overlapping intervals across streams: the union (12µs) is less than
+	// the per-stream sum (17µs).
+	d := NewDevice(unitProps())
+	d.NewStream("a").MemcpyAsync("x", 10000) // [0, 10µs]
+	d.HostAdvance(5 * time.Microsecond)
+	d.NewStream("b").MemcpyAsync("y", 7000) // [5µs, 12µs]
+	if busy := d.DeviceBusy(); busy != 12*time.Microsecond {
+		t.Errorf("busy = %v, want 12µs (union, not 17µs sum)", busy)
+	}
+}
+
+func TestDeviceBusyDisjointGap(t *testing.T) {
+	d := NewDevice(unitProps())
+	d.NewStream("a").MemcpyAsync("x", 2000) // [0, 2µs]
+	d.HostAdvance(10 * time.Microsecond)
+	d.NewStream("b").MemcpyAsync("y", 3000) // [10µs, 13µs]
+	if busy := d.DeviceBusy(); busy != 5*time.Microsecond {
+		t.Errorf("busy = %v, want 5µs (gap excluded)", busy)
+	}
+}
+
+func TestOpCountBracketsRecords(t *testing.T) {
+	d := NewDevice(unitProps())
+	s := d.NewStream("s")
+	if d.OpCount() != 0 {
+		t.Fatalf("fresh device OpCount = %d", d.OpCount())
+	}
+	c0 := d.OpCount()
+	s.MemcpyAsync("in", 1000)
+	s.Launch("k", 32, func(int) int64 { return 1 })
+	c1 := d.OpCount()
+	if c1-c0 != 2 {
+		t.Fatalf("bracket saw %d records, want 2", c1-c0)
+	}
+	// OpCount is also the next Seq: records in [c0, c1) select the bracket.
+	for _, r := range d.Timeline() {
+		if r.Seq < uint64(c0) || r.Seq >= uint64(c1) {
+			t.Errorf("record %q Seq %d outside bracket [%d, %d)", r.Name, r.Seq, c0, c1)
+		}
+	}
+}
+
+func TestWaitEdgesOnlyWhenBinding(t *testing.T) {
+	d := NewDevice(unitProps())
+	prod := d.NewStream("producer")
+	cons := d.NewStream("consumer")
+	prod.MemcpyAsync("produce", 10000) // producer frontier: 10µs
+	ev := prod.RecordEvent()
+	cons.WaitEvent(ev) // binding: consumer frontier 0 -> 10µs
+	edges := d.WaitEdges()
+	if len(edges) != 1 {
+		t.Fatalf("edges = %d, want 1 binding wait", len(edges))
+	}
+	e := edges[0]
+	if e.From != "producer" || e.To != "consumer" || e.At != 10*time.Microsecond {
+		t.Errorf("edge = %+v", e)
+	}
+	// A wait on an already-passed event must not record an edge.
+	cons.WaitEvent(ev)
+	late := prod.RecordEvent()
+	prod.WaitEvent(late) // self-wait at own frontier: never binding
+	if got := len(d.WaitEdges()); got != 1 {
+		t.Errorf("edges = %d after non-binding waits, want still 1", got)
+	}
+	// Distinct RecordEvent calls get distinct ids.
+	if ev2 := prod.RecordEvent(); ev2.id == ev.id || ev2.id == late.id {
+		t.Errorf("event ids collide: %d %d %d", ev.id, late.id, ev2.id)
+	}
+}
+
 func TestHostAdvanceNegativeIgnored(t *testing.T) {
 	d := NewDevice(GTX1660Ti())
 	d.HostAdvance(-time.Second)

@@ -43,6 +43,68 @@ func TestProfilerPhaseStopwatch(t *testing.T) {
 	}
 }
 
+func TestProfilerPhaseStopIdempotent(t *testing.T) {
+	var now time.Duration
+	p := NewProfilerWithClock(func() time.Duration { return now })
+	stop := p.Phase("work")
+	now = 7 * time.Millisecond
+	if d := stop(); d != 7*time.Millisecond {
+		t.Errorf("first stop = %v, want 7ms", d)
+	}
+	now = 20 * time.Millisecond
+	if d := stop(); d != 7*time.Millisecond {
+		t.Errorf("second stop = %v, want the original 7ms", d)
+	}
+	if got := p.Get("work"); got != 7*time.Millisecond {
+		t.Errorf("accumulated = %v after double stop, want 7ms", got)
+	}
+}
+
+func TestProfilerInjectedClock(t *testing.T) {
+	var now time.Duration
+	p := NewProfilerWithClock(func() time.Duration { return now })
+	if p.Elapsed() != 0 {
+		t.Errorf("Elapsed = %v at epoch", p.Elapsed())
+	}
+	now = 3 * time.Millisecond
+	if p.Elapsed() != 3*time.Millisecond {
+		t.Errorf("Elapsed = %v, want 3ms", p.Elapsed())
+	}
+	// A nil clock falls back to the wall clock.
+	if NewProfilerWithClock(nil).Elapsed() < 0 {
+		t.Error("wall-clock Elapsed went backwards")
+	}
+}
+
+func TestProfilerOnPhaseHook(t *testing.T) {
+	var now time.Duration
+	p := NewProfilerWithClock(func() time.Duration { return now })
+	type span struct {
+		name       string
+		start, end time.Duration
+	}
+	var spans []span
+	p.OnPhase(func(name string, start, end time.Duration) {
+		spans = append(spans, span{name, start, end})
+	})
+	now = 2 * time.Millisecond
+	stop := p.Phase("sweepline")
+	now = 5 * time.Millisecond
+	stop()
+	stop() // idempotent: the hook must not fire again
+	p.Add("edge-checks", time.Millisecond)
+	if len(spans) != 1 {
+		t.Fatalf("hook fired %d times, want 1 (Phase only, not Add)", len(spans))
+	}
+	want := span{"sweepline", 2 * time.Millisecond, 5 * time.Millisecond}
+	if spans[0] != want {
+		t.Errorf("hook span = %+v, want %+v", spans[0], want)
+	}
+	if p.Get("sweepline") != 3*time.Millisecond {
+		t.Errorf("accumulated = %v, want 3ms", p.Get("sweepline"))
+	}
+}
+
 func TestProfilerMergeAndTop(t *testing.T) {
 	a := NewProfiler()
 	a.Add("x", 10*time.Millisecond)
@@ -56,6 +118,25 @@ func TestProfilerMergeAndTop(t *testing.T) {
 	top := a.TopPhases(1)
 	if len(top) != 1 || top[0].Name != "y" {
 		t.Errorf("top = %+v", top)
+	}
+}
+
+func TestTopPhasesStableTies(t *testing.T) {
+	// Three tied phases must keep their first-seen order in every call —
+	// an unstable sort is free to permute them between runs.
+	p := NewProfiler()
+	p.Add("alpha", 10*time.Millisecond)
+	p.Add("beta", 10*time.Millisecond)
+	p.Add("gamma", 10*time.Millisecond)
+	p.Add("small", 1*time.Millisecond)
+	for i := 0; i < 10; i++ {
+		top := p.TopPhases(3)
+		if len(top) != 3 {
+			t.Fatalf("top = %d entries", len(top))
+		}
+		if top[0].Name != "alpha" || top[1].Name != "beta" || top[2].Name != "gamma" {
+			t.Fatalf("tied phases reordered: %s %s %s", top[0].Name, top[1].Name, top[2].Name)
+		}
 	}
 }
 

@@ -17,24 +17,71 @@ import (
 // profiler, so a phase total is the summed worker time (it can exceed wall
 // time when workers overlap — the wall clock is Report.HostWall).
 type Profiler struct {
+	clock func() time.Duration
+
 	mu     sync.Mutex
 	order  []string
 	totals map[string]time.Duration
+	hook   func(name string, start, end time.Duration)
 }
 
-// NewProfiler returns an empty profiler.
+// NewProfiler returns an empty profiler on the wall clock.
 func NewProfiler() *Profiler {
-	return &Profiler{totals: make(map[string]time.Duration)}
+	epoch := time.Now()
+	return NewProfilerWithClock(func() time.Duration { return time.Since(epoch) })
+}
+
+// NewProfilerWithClock returns a profiler reading the given monotonic
+// clock — the determinism seam the trace recorder shares, so phase spans
+// and trace events live on one timeline. A nil clock selects the wall
+// clock.
+func NewProfilerWithClock(clock func() time.Duration) *Profiler {
+	if clock == nil {
+		return NewProfiler()
+	}
+	return &Profiler{clock: clock, totals: make(map[string]time.Duration)}
+}
+
+// Elapsed reads the profiler's clock: time since construction on the
+// default wall clock, or whatever the injected clock reports.
+func (p *Profiler) Elapsed() time.Duration { return p.clock() }
+
+// OnPhase installs a hook observing every completed Phase as a (name,
+// start, end) span on the profiler's clock. The hook fires only for
+// Phase-timed intervals — Add and Merge accumulate totals without spans.
+// Call before the first Phase; the hook runs outside the profiler's lock.
+func (p *Profiler) OnPhase(hook func(name string, start, end time.Duration)) {
+	p.mu.Lock()
+	p.hook = hook
+	p.mu.Unlock()
 }
 
 // Phase starts timing a phase; call the returned stop function to finish.
+// Stop is idempotent — only the first call accumulates (and reports the
+// measured duration); repeats return the same duration without
+// re-accumulating.
 //
 //	stop := prof.Phase("sweepline")
 //	... work ...
 //	stop()
-func (p *Profiler) Phase(name string) func() {
-	start := time.Now()
-	return func() { p.Add(name, time.Since(start)) }
+func (p *Profiler) Phase(name string) func() time.Duration {
+	start := p.clock()
+	var once sync.Once
+	var d time.Duration
+	return func() time.Duration {
+		once.Do(func() {
+			end := p.clock()
+			d = end - start
+			p.Add(name, d)
+			p.mu.Lock()
+			hook := p.hook
+			p.mu.Unlock()
+			if hook != nil {
+				hook(name, start, end)
+			}
+		})
+		return d
+	}
 }
 
 // Add accumulates d into the named phase.
@@ -131,10 +178,12 @@ func (p *Profiler) WriteTo(w io.Writer) (int64, error) {
 	return n, nil
 }
 
-// TopPhases returns the n largest phases by duration.
+// TopPhases returns the n largest phases by duration; ties keep their
+// first-seen order (Breakdown order), so tied phases render
+// deterministically in Fig. 4 output.
 func (p *Profiler) TopPhases(n int) []Share {
 	all := p.Breakdown()
-	sort.Slice(all, func(i, j int) bool { return all[i].Duration > all[j].Duration })
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Duration > all[j].Duration })
 	if len(all) > n {
 		all = all[:n]
 	}

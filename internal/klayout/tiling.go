@@ -14,6 +14,7 @@ import (
 	"opendrc/internal/pool"
 	"opendrc/internal/rules"
 	"opendrc/internal/sweep"
+	"opendrc/internal/trace"
 )
 
 // Tiling mode: the layout plane is cut into a fixed grid of tiles; each tile
@@ -64,7 +65,7 @@ func checkTiling(ctx context.Context, lo *layout.Layout, r rules.Rule, opts Opti
 		processed bool
 	}
 	results := make([]tileResult, len(tiles))
-	err := pool.ForEachCtx(ctx, opts.Workers, len(tiles), func(i int) error {
+	err := pool.ForEachCtx(trace.WithTask(ctx, "tile"), opts.Workers, len(tiles), func(i int) error {
 		if err := opts.Faults.Hit(ctx, faults.SiteTile, fmt.Sprintf("tile#%d", i)); err != nil {
 			return err
 		}

@@ -21,6 +21,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"opendrc/internal/trace"
 )
 
 // ErrClosed is returned by Submit and Close when the pool is already
@@ -57,6 +59,7 @@ type Pool struct {
 	tasks   chan func()
 	pending sync.WaitGroup // open tasks
 	workers sync.WaitGroup // live worker goroutines
+	taskSeq atomic.Uint64  // numbers traced SubmitCtx tasks in submission order
 
 	mu     sync.Mutex
 	closed bool
@@ -112,10 +115,21 @@ func (p *Pool) Submit(fn func()) error {
 }
 
 // SubmitCtx is Submit that gives up when ctx is cancelled while the queue
-// is full, returning ctx.Err(); tasks already queued keep draining.
+// is full, returning ctx.Err(); tasks already queued keep draining. When
+// ctx carries a trace recorder the task records a span on the pool track,
+// named by the ctx task label and the pool-wide submission order.
 func (p *Pool) SubmitCtx(ctx context.Context, fn func()) error {
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	if rec := trace.FromContext(ctx); rec != nil {
+		name := fmt.Sprintf("%s#%d", trace.TaskLabel(ctx), p.taskSeq.Add(1)-1)
+		inner := fn
+		fn = func() {
+			stop := rec.Begin(trace.TrackPool, "", name, "pool")
+			defer stop()
+			inner()
+		}
 	}
 	p.mu.Lock()
 	if p.closed {
@@ -224,6 +238,18 @@ type indexedErr struct {
 func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
+	}
+	if rec := trace.FromContext(ctx); rec != nil {
+		// Trace each index as a pool-track span (also on the inline fast
+		// path, so one-worker traces show the same tasks). Lanes are
+		// assigned at export from span overlap, not goroutine identity.
+		label := trace.TaskLabel(ctx)
+		inner := fn
+		fn = func(i int) error {
+			stop := rec.Begin(trace.TrackPool, "", fmt.Sprintf("%s#%d", label, i), "pool")
+			defer stop()
+			return inner(i)
+		}
 	}
 	workers = Workers(workers)
 	if workers > n {

@@ -1,13 +1,19 @@
 package pool
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"reflect"
 	"runtime"
+	"sort"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"opendrc/internal/trace"
 )
 
 func TestWorkersDefault(t *testing.T) {
@@ -246,5 +252,70 @@ func TestForEachCtxPanicAsError(t *testing.T) {
 	}
 	if len(pe.Stack) == 0 {
 		t.Fatal("panic stack not captured")
+	}
+}
+
+// traceNames exports rec and returns the names of its pool-track spans.
+func traceNames(t *testing.T, rec *trace.Recorder) []string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, ev := range file.TraceEvents {
+		if ev["ph"] == "X" && ev["cat"] == "pool" {
+			names = append(names, ev["name"].(string))
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func TestForEachCtxRecordsTaskSpans(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		rec := trace.NewWithClock(func() time.Duration { return 0 })
+		ctx := trace.WithTask(trace.WithRecorder(context.Background(), rec), "row")
+		err := ForEachCtx(ctx, workers, 3, func(i int) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := traceNames(t, rec)
+		want := []string{"row#0", "row#1", "row#2"}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: spans %v, want %v (inline path must trace too)", workers, got, want)
+		}
+	}
+}
+
+func TestForEachCtxNoRecorderNoSpans(t *testing.T) {
+	// Without a recorder the fan-out must not pay any tracing cost or panic.
+	err := ForEachCtx(context.Background(), 2, 4, func(i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubmitCtxRecordsTaskSpans(t *testing.T) {
+	rec := trace.NewWithClock(func() time.Duration { return 0 })
+	ctx := trace.WithTask(trace.WithRecorder(context.Background(), rec), "prefetch")
+	p := New(2)
+	defer p.Close()
+	for i := 0; i < 3; i++ {
+		if err := p.SubmitCtx(ctx, func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Wait()
+	got := traceNames(t, rec)
+	want := []string{"prefetch#0", "prefetch#1", "prefetch#2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("spans %v, want %v (named by submission order)", got, want)
 	}
 }

@@ -1,0 +1,337 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Process / thread layout of the exported file. Chrome-trace groups tracks
+// by (pid, tid); sort_index metadata pins the display order.
+const (
+	pidHost   = 1
+	pidPool   = 2
+	pidDevice = 3
+
+	tidPhases   = 1
+	tidRules    = 2
+	tidGeocache = 3
+
+	tidDeviceHost = 1 // "host (modeled)"; streams are assigned 2, 3, ...
+)
+
+// outEvent is one resolved event: track mapped to concrete (pid, tid).
+type outEvent struct {
+	ev  event
+	pid int
+	tid int
+}
+
+// WriteJSON exports the recorded timeline as Chrome-trace/Perfetto JSON
+// ({"traceEvents": [...], "otherData": {...}}). The export is canonical:
+// given the same recorded content, the bytes are identical regardless of
+// how concurrent recording interleaved. Timestamps are microseconds with
+// nanosecond precision (Perfetto's native unit).
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return errors.New("trace: nil recorder")
+	}
+	r.mu.Lock()
+	evs := append([]event(nil), r.events...)
+	meta := append([]Arg(nil), r.meta...)
+	r.mu.Unlock()
+
+	out := resolveTracks(evs)
+	sortCanonical(out)
+
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[\n")
+	first := true
+	emit := func(m map[string]any) error {
+		b, err := json.Marshal(m)
+		if err != nil {
+			return err
+		}
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.Write(b)
+		return nil
+	}
+	for _, m := range metadataEvents(out) {
+		if err := emit(m); err != nil {
+			return err
+		}
+	}
+	for _, oe := range out {
+		if err := emit(eventJSON(oe)); err != nil {
+			return err
+		}
+	}
+	bw.WriteString("\n],\"otherData\":")
+	other := map[string]any{"clock_domains": "host/pool: recorder clock; device (modeled): simulated time"}
+	for _, a := range meta {
+		other[a.Key] = a.Val
+	}
+	ob, err := json.Marshal(other)
+	if err != nil {
+		return err
+	}
+	bw.Write(ob)
+	bw.WriteString("}\n")
+	return bw.Flush()
+}
+
+// resolveTracks maps every event's TrackID/sub to a concrete (pid, tid):
+// fixed tids for the host tracks, deterministic lane packing for the pool,
+// and name-sorted stream tids for the device.
+func resolveTracks(evs []event) []outEvent {
+	streamTid := deviceStreamTids(evs)
+	poolLane := packPoolLanes(evs)
+	out := make([]outEvent, 0, len(evs))
+	for i, e := range evs {
+		oe := outEvent{ev: e}
+		switch e.track {
+		case TrackPhases:
+			oe.pid, oe.tid = pidHost, tidPhases
+		case TrackRules:
+			oe.pid, oe.tid = pidHost, tidRules
+		case TrackGeocache:
+			oe.pid, oe.tid = pidHost, tidGeocache
+		case TrackPool:
+			oe.pid, oe.tid = pidPool, poolLane[i]
+		case TrackDevice:
+			oe.pid, oe.tid = pidDevice, streamTid[e.sub]
+		default:
+			oe.pid, oe.tid = pidHost, tidPhases
+		}
+		out = append(out, oe)
+	}
+	return out
+}
+
+// deviceStreamTids assigns device-track tids: "host" (the modeled-host
+// track) is pinned to tid 1, streams follow in name order.
+func deviceStreamTids(evs []event) map[string]int {
+	tids := map[string]int{"host": tidDeviceHost}
+	var names []string
+	for _, e := range evs {
+		if e.track != TrackDevice || e.sub == "host" {
+			continue
+		}
+		if _, ok := tids[e.sub]; !ok {
+			tids[e.sub] = 0 // placeholder
+			names = append(names, e.sub)
+		}
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		tids[n] = tidDeviceHost + 1 + i
+	}
+	return tids
+}
+
+// packPoolLanes assigns each pool event a lane (tid, 1-based) by
+// deterministic greedy interval packing: spans sorted by content, each
+// placed on the lowest-numbered lane that is free at its start time. The
+// result depends only on the recorded spans, not on which worker goroutine
+// executed each task — the trace shows observed concurrency, not goroutine
+// identity.
+func packPoolLanes(evs []event) map[int]int {
+	type item struct{ idx int }
+	var items []item
+	for i, e := range evs {
+		if e.track == TrackPool {
+			items = append(items, item{i})
+		}
+	}
+	sort.Slice(items, func(a, b int) bool {
+		ea, eb := evs[items[a].idx], evs[items[b].idx]
+		if ea.ts != eb.ts {
+			return ea.ts < eb.ts
+		}
+		if ea.dur != eb.dur {
+			return ea.dur < eb.dur
+		}
+		if ea.name != eb.name {
+			return ea.name < eb.name
+		}
+		return ea.seq < eb.seq
+	})
+	lanes := map[int]int{}
+	var laneEnd []time.Duration
+	for _, it := range items {
+		e := evs[it.idx]
+		placed := false
+		for l := range laneEnd {
+			if laneEnd[l] <= e.ts {
+				laneEnd[l] = e.ts + e.dur
+				lanes[it.idx] = l + 1
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			laneEnd = append(laneEnd, e.ts+e.dur)
+			lanes[it.idx] = len(laneEnd)
+		}
+	}
+	return lanes
+}
+
+// sortCanonical orders events by (pid, tid, content); the recording
+// sequence number is only the final tiebreak and is never emitted, so the
+// order — and therefore the exported bytes — depends only on content.
+func sortCanonical(out []outEvent) {
+	sort.Slice(out, func(a, b int) bool {
+		x, y := out[a], out[b]
+		if x.pid != y.pid {
+			return x.pid < y.pid
+		}
+		if x.tid != y.tid {
+			return x.tid < y.tid
+		}
+		if x.ev.ts != y.ev.ts {
+			return x.ev.ts < y.ev.ts
+		}
+		if x.ev.dur != y.ev.dur {
+			return x.ev.dur > y.ev.dur // longer first: parents nest before children
+		}
+		if x.ev.ph != y.ev.ph {
+			return x.ev.ph < y.ev.ph
+		}
+		if x.ev.name != y.ev.name {
+			return x.ev.name < y.ev.name
+		}
+		if x.ev.cat != y.ev.cat {
+			return x.ev.cat < y.ev.cat
+		}
+		ka, kb := argsKey(x.ev.args), argsKey(y.ev.args)
+		if ka != kb {
+			return ka < kb
+		}
+		return x.ev.seq < y.ev.seq
+	})
+}
+
+// argsKey flattens args into a comparable string for canonical ordering.
+func argsKey(args []Arg) string {
+	if len(args) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, a := range args {
+		fmt.Fprintf(&sb, "%s=%v;", a.Key, a.Val)
+	}
+	return sb.String()
+}
+
+// metadataEvents builds the process_name / thread_name / sort_index
+// metadata for every (pid, tid) that carries events.
+func metadataEvents(out []outEvent) []map[string]any {
+	procs := map[int]bool{}
+	type thr struct{ pid, tid int }
+	threads := map[thr]string{}
+	for _, oe := range out {
+		procs[oe.pid] = true
+		t := thr{oe.pid, oe.tid}
+		if _, ok := threads[t]; ok {
+			continue
+		}
+		threads[t] = threadName(oe)
+	}
+	procName := map[int]string{pidHost: "host", pidPool: "pool", pidDevice: "device (modeled)"}
+	var ms []map[string]any
+	var pids []int
+	for p := range procs {
+		pids = append(pids, p)
+	}
+	sort.Ints(pids)
+	for _, p := range pids {
+		ms = append(ms,
+			map[string]any{"ph": "M", "pid": p, "name": "process_name", "args": map[string]any{"name": procName[p]}},
+			map[string]any{"ph": "M", "pid": p, "name": "process_sort_index", "args": map[string]any{"sort_index": p}},
+		)
+	}
+	var ts []thr
+	for t := range threads {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(a, b int) bool {
+		if ts[a].pid != ts[b].pid {
+			return ts[a].pid < ts[b].pid
+		}
+		return ts[a].tid < ts[b].tid
+	})
+	for _, t := range ts {
+		ms = append(ms,
+			map[string]any{"ph": "M", "pid": t.pid, "tid": t.tid, "name": "thread_name", "args": map[string]any{"name": threads[t]}},
+			map[string]any{"ph": "M", "pid": t.pid, "tid": t.tid, "name": "thread_sort_index", "args": map[string]any{"sort_index": t.tid}},
+		)
+	}
+	return ms
+}
+
+// threadName names the track for one resolved event.
+func threadName(oe outEvent) string {
+	switch oe.pid {
+	case pidHost:
+		switch oe.tid {
+		case tidPhases:
+			return "phases"
+		case tidRules:
+			return "rules"
+		case tidGeocache:
+			return "geocache"
+		}
+	case pidPool:
+		return fmt.Sprintf("lane %d", oe.tid)
+	case pidDevice:
+		if oe.tid == tidDeviceHost {
+			return "host (modeled)"
+		}
+		return "stream " + oe.ev.sub
+	}
+	return "track"
+}
+
+// eventJSON renders one event in Chrome-trace form. Timestamps/durations
+// are microseconds (float, nanosecond precision).
+func eventJSON(oe outEvent) map[string]any {
+	m := map[string]any{
+		"name": oe.ev.name,
+		"cat":  oe.ev.cat,
+		"ph":   string(oe.ev.ph),
+		"pid":  oe.pid,
+		"tid":  oe.tid,
+		"ts":   us(oe.ev.ts),
+	}
+	switch oe.ev.ph {
+	case 'X':
+		m["dur"] = us(oe.ev.dur)
+	case 'i':
+		m["s"] = "t" // thread-scoped instant
+	case 's':
+		m["id"] = fmt.Sprintf("flow-%d", oe.ev.flow)
+	case 'f':
+		m["id"] = fmt.Sprintf("flow-%d", oe.ev.flow)
+		m["bp"] = "e" // bind to enclosing slice
+	}
+	if len(oe.ev.args) > 0 {
+		args := make(map[string]any, len(oe.ev.args))
+		for _, a := range oe.ev.args {
+			args[a.Key] = a.Val
+		}
+		m["args"] = args
+	}
+	return m
+}
+
+// us converts a duration to trace microseconds.
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }

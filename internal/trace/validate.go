@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// FileInfo summarizes a validated trace file.
+type FileInfo struct {
+	Events    int      // non-metadata events
+	Processes []string // process_name values, sorted
+	Flows     int      // matched flow-start/flow-end pairs
+}
+
+// Validate structurally checks an exported Chrome-trace JSON file: the
+// top-level shape, per-event required fields by phase type, the presence of
+// the "host" process, and that every flow id has both endpoints. It is the
+// schema gate used by `odrc-bench -validate-trace` and check.sh.
+func Validate(r io.Reader) (*FileInfo, error) {
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&file); err != nil {
+		return nil, fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		return nil, fmt.Errorf("trace: traceEvents is empty")
+	}
+	info := &FileInfo{}
+	procNames := map[string]bool{}
+	flowStarts := map[string]int{}
+	flowEnds := map[string]int{}
+	for i, ev := range file.TraceEvents {
+		name, _ := ev["name"].(string)
+		if name == "" {
+			return nil, fmt.Errorf("trace: event %d: missing name", i)
+		}
+		ph, _ := ev["ph"].(string)
+		if _, ok := ev["pid"].(float64); !ok {
+			return nil, fmt.Errorf("trace: event %d (%s): missing pid", i, name)
+		}
+		switch ph {
+		case "M":
+			if name == "process_name" {
+				args, _ := ev["args"].(map[string]any)
+				if pn, _ := args["name"].(string); pn != "" {
+					procNames[pn] = true
+				}
+			}
+			continue
+		case "X":
+			if d, ok := ev["dur"].(float64); !ok || d < 0 {
+				return nil, fmt.Errorf("trace: event %d (%s): span without non-negative dur", i, name)
+			}
+		case "i":
+			// instant: ts suffices
+		case "s", "f":
+			id, _ := ev["id"].(string)
+			if id == "" {
+				return nil, fmt.Errorf("trace: event %d (%s): flow without id", i, name)
+			}
+			if ph == "s" {
+				flowStarts[id]++
+			} else {
+				flowEnds[id]++
+			}
+		default:
+			return nil, fmt.Errorf("trace: event %d (%s): unknown phase %q", i, name, ph)
+		}
+		if _, ok := ev["ts"].(float64); !ok {
+			return nil, fmt.Errorf("trace: event %d (%s): missing ts", i, name)
+		}
+		if _, ok := ev["tid"].(float64); !ok {
+			return nil, fmt.Errorf("trace: event %d (%s): missing tid", i, name)
+		}
+		info.Events++
+	}
+	if !procNames["host"] {
+		return nil, fmt.Errorf("trace: no \"host\" process metadata")
+	}
+	for id, n := range flowStarts {
+		if flowEnds[id] != n {
+			return nil, fmt.Errorf("trace: flow %s: %d starts, %d ends", id, n, flowEnds[id])
+		}
+		info.Flows += n
+	}
+	for id := range flowEnds {
+		if flowStarts[id] == 0 {
+			return nil, fmt.Errorf("trace: flow %s: end without start", id)
+		}
+	}
+	for pn := range procNames {
+		info.Processes = append(info.Processes, pn)
+	}
+	sort.Strings(info.Processes)
+	return info, nil
+}

@@ -31,6 +31,7 @@ import (
 	"opendrc/internal/layout"
 	"opendrc/internal/partition"
 	"opendrc/internal/rules"
+	"opendrc/internal/trace"
 )
 
 // Layout is a loaded hierarchical layout database.
@@ -149,6 +150,22 @@ func WithWorkers(n int) Option {
 // pigeonhole array (ablation).
 func WithSortPartition() Option {
 	return func(o *core.Options) { o.PartitionAlg = partition.SortBased }
+}
+
+// Tracer records a run's unified timeline — host phases, rule lifecycle,
+// geometry-cache traffic, pool worker lanes, and (parallel mode) the
+// simulated device's per-stream operations — exportable as Chrome-trace/
+// Perfetto JSON via its WriteJSON method.
+type Tracer = trace.Recorder
+
+// NewTracer creates a run-timeline recorder on the wall clock.
+func NewTracer() *Tracer { return trace.New() }
+
+// WithTrace attaches a timeline recorder to the engine. A nil recorder
+// disables tracing (the zero-cost default). Reports are bit-identical with
+// tracing on or off; the recorder adds a TraceSummary to Report.Stats.
+func WithTrace(rec *Tracer) Option {
+	return func(o *core.Options) { o.Trace = rec }
 }
 
 // WithBudgets caps the resources a check may consume (flattened polygon
