@@ -27,6 +27,16 @@ go test -run=NONE -fuzz=FuzzPolygonTransform -fuzztime=10s ./internal/geom
 # change that breaks flatten/pack off the engine path still fails the gate.
 go test -run=NONE -bench 'BenchmarkFlattenLayer|BenchmarkPack' -benchtime=1x .
 
+# Bench gate: regenerate the speedup and reuse experiments with the
+# regression gate on — any row with a ratio below 1.0 or mismatched reports
+# between configurations fails the build. Medians of interleaved runs keep
+# the gate robust to scheduler noise, and single-CPU hosts mark their
+# same-config speedup rows degenerate instead of reporting jitter. The JSON
+# artifacts are written before gating, so a failed gate still leaves them
+# for inspection (CI uploads them).
+go run ./cmd/odrc-bench -speedup -runs 5 -scale 0.3 -out BENCH_workers.json -gate
+go run ./cmd/odrc-bench -reuse -runs 5 -scale 0.3 -out BENCH_reuse.json -gate
+
 # Trace smoke: one traced full-deck run at reduced scale, then a structural
 # validation of the exported Chrome-trace JSON (required processes, paired
 # flows, well-formed events). Catches export regressions off the test path.

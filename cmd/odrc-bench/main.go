@@ -6,9 +6,14 @@
 //	odrc-bench -fig 3                    print the sweepline trace (Fig. 3)
 //	odrc-bench -fig 4 [-scale f]         runtime breakdown (Fig. 4)
 //	odrc-bench -ablation [-scale f]      design-choice ablations
-//	odrc-bench -speedup [-workers n] [-runs k] [-out f.json]
-//	                                     sequential-engine multi-core speedup
-//	                                     (Workers=1 vs Workers=n wall time)
+//	odrc-bench -speedup [-workers n] [-runs k] [-out f.json] [-gate]
+//	                                     multi-core speedup, both engine modes
+//	                                     (Workers=1 vs Workers=n wall time,
+//	                                     medians of interleaved runs)
+//	odrc-bench -reuse [-runs k] [-out f.json] [-gate]
+//	                                     cross-rule geometry reuse (cache on
+//	                                     vs off); -gate exits non-zero when a
+//	                                     row regresses
 //	odrc-bench -trace f.json [-trace-design d] [-trace-mode seq|par]
 //	                                     run the full deck once with the
 //	                                     timeline recorder attached and write
@@ -60,8 +65,9 @@ func run() error {
 	traceMode := flag.String("trace-mode", "par", "engine mode for the -trace run: seq or par")
 	validateTrace := flag.String("validate-trace", "", "validate the structure of an exported trace file and print its summary")
 	workers := flag.Int("workers", 0, "worker-pool size for -speedup and -trace (0 = GOMAXPROCS)")
-	runs := flag.Int("runs", 3, "repetitions per -speedup/-reuse cell (minimum wall time is reported)")
+	runs := flag.Int("runs", 3, "repetitions per -speedup/-reuse cell (medians of interleaved runs are reported)")
 	out := flag.String("out", "", "also write the -speedup/-reuse report as JSON to this file")
+	gate := flag.Bool("gate", false, "for -speedup/-reuse: exit non-zero when any row regresses (ratio < 1.0 or reports not identical)")
 	scale := flag.Float64("scale", 1, "design scale factor (1 = full synthetic size)")
 	timeout := flag.Duration("timeout", 0, "abort the experiment after this duration (0 = no deadline); exits 3 on expiry")
 	flag.Parse()
@@ -98,9 +104,9 @@ func run() error {
 	case *ablation:
 		return runAblations(*scale)
 	case *speedup:
-		return runSpeedup(ctx, *scale, *workers, *runs, *out)
+		return runSpeedup(ctx, *scale, *workers, *runs, *out, *gate)
 	case *reuse:
-		return runReuse(ctx, *scale, *runs, *out)
+		return runReuse(ctx, *scale, *runs, *out, *gate)
 	}
 	flag.Usage()
 	return nil
@@ -158,7 +164,7 @@ func runValidateTrace(path string) error {
 }
 
 // runSpeedup measures Workers=1 vs Workers=N wall time on the six designs.
-func runSpeedup(ctx context.Context, scale float64, workers, runs int, outPath string) error {
+func runSpeedup(ctx context.Context, scale float64, workers, runs int, outPath string, gate bool) error {
 	lts, err := bench.Layouts(scale)
 	if err != nil {
 		return err
@@ -181,12 +187,17 @@ func runSpeedup(ctx context.Context, scale float64, workers, runs int, outPath s
 		}
 		fmt.Printf("wrote %s\n", outPath)
 	}
+	if gate {
+		// The JSON is written before gating so a failing run still leaves
+		// the artifact for inspection.
+		return rep.Gate()
+	}
 	return nil
 }
 
 // runReuse compares cache-on and cache-off runs of the multi-rule spacing
 // deck on the six designs, in both engine modes.
-func runReuse(ctx context.Context, scale float64, runs int, outPath string) error {
+func runReuse(ctx context.Context, scale float64, runs int, outPath string, gate bool) error {
 	lts, err := bench.Layouts(scale)
 	if err != nil {
 		return err
@@ -208,6 +219,9 @@ func runReuse(ctx context.Context, scale float64, runs int, outPath string) erro
 			return err
 		}
 		fmt.Printf("wrote %s\n", outPath)
+	}
+	if gate {
+		return rep.Gate()
 	}
 	return nil
 }

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBestDuration(t *testing.T) {
+	cases := []struct {
+		in   []time.Duration
+		want time.Duration
+	}{
+		{nil, 0},
+		{[]time.Duration{5}, 5},
+		{[]time.Duration{3, 1, 2}, 1},
+		// Contaminated samples — however many — must not move the result:
+		// external load only ever adds time, so the min is the estimate of
+		// the uncontended cost.
+		{[]time.Duration{1000, 11, 900, 1000, 9}, 9},
+	}
+	for _, c := range cases {
+		if got := bestDuration(c.in); got != c.want {
+			t.Errorf("best(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// The input must not be reordered (samples stay in run order).
+	s := []time.Duration{3, 1, 2}
+	bestDuration(s)
+	if s[0] != 3 || s[1] != 1 || s[2] != 2 {
+		t.Errorf("best mutated its input: %v", s)
+	}
+}
+
+func TestSpeedupGate(t *testing.T) {
+	rep := &SpeedupReport{Workers: 4, Rows: []SpeedupRow{
+		{Design: "a", Mode: "sequential", Speedup: 1.5, Identical: true},
+		{Design: "b", Mode: "parallel", Speedup: 1.0, Identical: true, Degenerate: true},
+	}}
+	if err := rep.Gate(); err != nil {
+		t.Errorf("clean report gated: %v", err)
+	}
+	rep.Rows = append(rep.Rows, SpeedupRow{Design: "c", Mode: "parallel", Speedup: 0.9, Identical: true})
+	err := rep.Gate()
+	if err == nil || !strings.Contains(err.Error(), "c/parallel") {
+		t.Errorf("sub-1.0 speedup not gated: %v", err)
+	}
+	rep.Rows = []SpeedupRow{{Design: "d", Mode: "sequential", Speedup: 2, Identical: false}}
+	if err := rep.Gate(); err == nil {
+		t.Error("non-identical reports not gated")
+	}
+}
+
+func TestReuseGate(t *testing.T) {
+	rep := &ReuseReport{Rows: []ReuseRow{
+		{Design: "a", Mode: "parallel", Improvement: 1.4, Identical: true},
+	}}
+	if err := rep.Gate(); err != nil {
+		t.Errorf("clean report gated: %v", err)
+	}
+	rep.Rows = append(rep.Rows, ReuseRow{Design: "b", Mode: "sequential", Improvement: 0.8, Identical: true})
+	if err := rep.Gate(); err == nil {
+		t.Error("sub-1.0 improvement not gated")
+	}
+	rep.Rows = []ReuseRow{{Design: "c", Mode: "parallel", Improvement: 1.2, Identical: false}}
+	if err := rep.Gate(); err == nil {
+		t.Error("non-identical reports not gated")
+	}
+	// A sub-noise-floor row may dip below 1.0 without gating (its ratio is
+	// timer noise), but a mismatched report on such a row still gates.
+	rep.Rows = []ReuseRow{{Design: "d", Mode: "sequential", Improvement: 0.9, Identical: true, BelowNoiseFloor: true}}
+	if err := rep.Gate(); err != nil {
+		t.Errorf("noise-floor row gated on improvement: %v", err)
+	}
+	rep.Rows = []ReuseRow{{Design: "e", Mode: "sequential", Improvement: 1.1, Identical: false, BelowNoiseFloor: true}}
+	if err := rep.Gate(); err == nil {
+		t.Error("non-identical noise-floor row not gated")
+	}
+}
+
+// TestReuseNoiseFloorMark pins where the marker comes from: both sides'
+// best-of-runs under the floor.
+func TestReuseNoiseFloorMark(t *testing.T) {
+	if reuseNoiseFloor != time.Millisecond {
+		t.Fatalf("noise floor = %v, want 1ms (update the docs if intentional)", reuseNoiseFloor)
+	}
+}

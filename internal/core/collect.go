@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sync"
+
+	"opendrc/internal/checks"
+	"opendrc/internal/rules"
+)
+
+// Violation collection for the fan-out paths. Workers never share an output
+// slice: each index of a fan-out owns one shard and appends to it without
+// synchronization, and the shards merge into the report in index order — the
+// same order a single worker would have produced, so the report is
+// bit-identical for every worker count. The shard tables themselves recycle
+// through the engine's freelist: rules run in sequence, so the steady state
+// is one warm table per concurrently-live fan-out and zero per-rule slot
+// allocations.
+
+// shard is one index-owned output slot of a fan-out: violations (intra
+// rules), markers (spacing rows, still in the cell's local frame), and a
+// stats delta.
+type shard struct {
+	vs      []rules.Violation
+	markers []checks.Marker
+	stats   Stats
+}
+
+// shardTable is a recycled slice of shards, tied to the freelist it came
+// from.
+type shardTable struct {
+	pool *shardPool
+	s    []shard
+}
+
+// shardPool is a deterministic mutex-guarded freelist of shard tables, one
+// per engine. It is intentionally not a sync.Pool: pool contents would then
+// depend on process history (GC victim caches, race-mode put drops), and a
+// run's allocation sequence must stay a pure function of its inputs so
+// repeated identical runs interleave — and trace — identically.
+type shardPool struct {
+	mu   sync.Mutex
+	free []*shardTable
+}
+
+// get returns a table of n empty shards. Backing arrays — the table and each
+// shard's violation and marker buffers — are recycled, so warm tables hand
+// out capacity without allocating.
+func (p *shardPool) get(n int) *shardTable {
+	p.mu.Lock()
+	var t *shardTable
+	if l := len(p.free); l > 0 {
+		t = p.free[l-1]
+		p.free[l-1] = nil
+		p.free = p.free[:l-1]
+	}
+	p.mu.Unlock()
+	if t == nil {
+		t = &shardTable{pool: p}
+	}
+	if cap(t.s) < n {
+		grown := make([]shard, n)
+		copy(grown, t.s[:cap(t.s)])
+		t.s = grown
+	}
+	t.s = t.s[:n]
+	for i := range t.s {
+		t.s[i].vs = t.s[i].vs[:0]
+		t.s[i].markers = t.s[i].markers[:0]
+		t.s[i].stats = Stats{}
+	}
+	return t
+}
+
+// put returns a table to the freelist.
+func (p *shardPool) put(t *shardTable) {
+	p.mu.Lock()
+	p.free = append(p.free, t)
+	p.mu.Unlock()
+}
+
+// discard recycles the table without merging — the fan-out failed and a
+// failed rule contributes nothing, keeping degraded reports independent of
+// which worker got how far.
+func (t *shardTable) discard() { t.pool.put(t) }
+
+// mergeViolations appends every shard's violations and stats to the report
+// in shard-index order, then recycles the table. Appending copies the
+// violation values, so recycling the shard buffers cannot alias the report.
+func (t *shardTable) mergeViolations(rep *Report) {
+	for i := range t.s {
+		rep.Violations = append(rep.Violations, t.s[i].vs...)
+		rep.Stats.add(t.s[i].stats)
+	}
+	t.pool.put(t)
+}
+
+// mergeMarkers appends every shard's markers to dst in shard-index order,
+// accumulates the stats into the report, recycles the table, and returns the
+// grown dst.
+func (t *shardTable) mergeMarkers(dst []checks.Marker, rep *Report) []checks.Marker {
+	for i := range t.s {
+		dst = append(dst, t.s[i].markers...)
+		rep.Stats.add(t.s[i].stats)
+	}
+	t.pool.put(t)
+	return dst
+}

@@ -105,6 +105,10 @@ const defaultBruteEdgeThreshold = 4096
 type Engine struct {
 	opts Options
 	deck rules.Deck
+	// shards recycles fan-out output tables across the engine's rules (see
+	// collect.go); a deterministic freelist, so engine runs stay pure
+	// functions of their inputs.
+	shards shardPool
 }
 
 // New creates an engine.

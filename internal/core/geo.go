@@ -7,10 +7,10 @@ import (
 	"opendrc/internal/budget"
 	"opendrc/internal/faults"
 	"opendrc/internal/geocache"
-	"opendrc/internal/geom"
 	"opendrc/internal/kernels"
 	"opendrc/internal/layout"
 	"opendrc/internal/partition"
+	"opendrc/internal/sweep"
 	"opendrc/internal/trace"
 )
 
@@ -22,6 +22,8 @@ import (
 // configurations.
 type geoSource struct {
 	cache  *geocache.Cache // nil when the cache is disabled
+	arena  *geocache.Arena // the cache's arena, or a standalone one
+	sweeps sweep.Pool      // per-run recycled sweepline scratch
 	limits budget.Limits
 	inj    *faults.Injector
 }
@@ -33,6 +35,7 @@ func newGeoSource(opts Options, rec *trace.Recorder) *geoSource {
 	g := &geoSource{limits: opts.Budgets, inj: opts.Faults}
 	if !opts.DisableGeoCache {
 		g.cache = geocache.New(opts.Budgets)
+		g.arena = g.cache.Arena()
 		if inj := opts.Faults; inj != nil {
 			g.cache.SetFaultHook(func(ctx context.Context, l layout.Layer) error {
 				return inj.Hit(ctx, faults.SiteFlatten, layerKey(l))
@@ -48,6 +51,13 @@ func newGeoSource(opts Options, rec *trace.Recorder) *geoSource {
 					trace.Arg{Key: "result", Val: result})
 			})
 		}
+	}
+	if g.arena == nil {
+		// Scratch recycling is orthogonal to result memoization: the
+		// cache-off ablation still reuses buffers, it just recomputes
+		// results. Only the cached tables themselves are allowed to differ
+		// in cost between the two configurations.
+		g.arena = geocache.NewArena()
 	}
 	return g
 }
@@ -82,11 +92,13 @@ func (g *geoSource) packFrom(ctx context.Context, lo *layout.Layout, l layout.La
 	if g.cache != nil {
 		return g.cache.Pack(ctx, lo, l)
 	}
-	shapes := make([]geom.Polygon, len(polys))
+	shapes := g.arena.Polys(len(polys))
 	for i := range polys {
-		shapes[i] = polys[i].Shape
+		shapes = append(shapes, polys[i].Shape)
 	}
-	return kernels.Pack(shapes), nil
+	edges := kernels.Pack(shapes)
+	g.arena.PutPolys(shapes)
+	return edges, nil
 }
 
 // rows returns the layer's adaptive row partition for the given interaction
@@ -98,9 +110,11 @@ func (g *geoSource) rows(ctx context.Context, lo *layout.Layout, l layout.Layer,
 	if g.cache != nil {
 		return g.cache.Rows(ctx, lo, l, guard, alg)
 	}
-	boxes := make([]geom.Rect, len(polys))
+	boxes := g.arena.Rects(len(polys))
 	for i := range polys {
-		boxes[i] = polys[i].Shape.MBR()
+		boxes = append(boxes, polys[i].Shape.MBR())
 	}
-	return partition.Rows(boxes, guard, alg), nil
+	rows := partition.Rows(boxes, guard, alg)
+	g.arena.PutRects(boxes)
+	return rows, nil
 }

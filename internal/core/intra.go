@@ -13,14 +13,15 @@ import (
 	"opendrc/internal/trace"
 )
 
-// intraMarkers computes the violation markers of one cell's own layer
-// polygons for an intra-polygon rule, in the cell's local frame. min is
-// already scaled into the cell's frame (magnified instances divide the
-// threshold).
-func intraMarkers(c *layout.Cell, r rules.Rule, min int64) []checks.Marker {
-	var out []checks.Marker
+// intraMarkers appends the violation markers of one cell's own layer
+// polygons for an intra-polygon rule to dst, in the cell's local frame. min
+// is already scaled into the cell's frame (magnified instances divide the
+// threshold). Callers pass a recycled buffer; markers are copied out before
+// it is reused.
+func intraMarkers(dst []checks.Marker, c *layout.Cell, r rules.Rule, min int64) []checks.Marker {
+	out := dst
 	emit := func(m checks.Marker) { out = append(out, m) }
-	for _, pi := range c.LocalPolys(r.Layer) {
+	for _, pi := range c.LocalPolyIndex(r.Layer) {
 		p := c.Polys[pi].Shape
 		switch r.Kind {
 		case rules.Width:
@@ -104,34 +105,49 @@ func rescaleMarker(m checks.Marker, t geom.Transform, r rules.Rule) checks.Marke
 func (e *Engine) runIntraSeq(ctx context.Context, lo *layout.Layout, r rules.Rule, placements [][]geom.Transform, rep *Report) error {
 	defer rep.Profile.Phase("intra:" + r.Kind.String())()
 	cells := lo.LayerCells(r.Layer)
-	type shard struct {
-		vs    []rules.Violation
-		stats Stats
-	}
-	shards := make([]shard, len(cells))
+	tbl := e.shards.get(len(cells))
 	err := pool.ForEachCtx(trace.WithTask(ctx, "cell"), e.opts.Workers, len(cells), func(i int) error {
 		c := cells[i]
 		if err := e.opts.Faults.Hit(ctx, faults.SiteCell, c.Name); err != nil {
 			return err
 		}
-		if len(c.LocalPolys(r.Layer)) == 0 {
+		if len(c.LocalPolyIndex(r.Layer)) == 0 {
 			return nil // cell participates only through its children
 		}
 		insts := placements[c.ID]
 		if len(insts) == 0 {
 			return nil
 		}
-		sh := &shards[i]
+		sh := &tbl.s[i]
 		if e.opts.DisablePruning {
 			for _, t := range insts {
 				mag := t.Mag
 				if mag == 0 {
 					mag = 1
 				}
-				markers := intraMarkers(c, r, scaledIntraMin(r, mag))
+				sh.markers = intraMarkers(sh.markers[:0], c, r, scaledIntraMin(r, mag))
 				sh.stats.DefsChecked++
 				sh.stats.InstancesEmitted++
-				sh.vs = appendMarkers(sh.vs, r, c.Name, markers, t)
+				sh.vs = appendMarkers(sh.vs, r, c.Name, sh.markers, t)
+			}
+			return nil
+		}
+		// Magnified instances are rare: scan first and take the map-free
+		// path when every placement is at unit scale — one computation, one
+		// replay loop, no per-cell grouping allocation.
+		uniform := true
+		for _, t := range insts {
+			if t.Mag > 1 {
+				uniform = false
+				break
+			}
+		}
+		if uniform {
+			sh.markers = intraMarkers(sh.markers[:0], c, r, scaledIntraMin(r, 1))
+			sh.stats.DefsChecked++
+			for _, t := range insts {
+				sh.stats.InstancesEmitted++
+				sh.vs = appendMarkers(sh.vs, r, c.Name, sh.markers, t)
 			}
 			return nil
 		}
@@ -151,11 +167,11 @@ func (e *Engine) runIntraSeq(ctx context.Context, lo *layout.Layout, r rules.Rul
 		}
 		sort.Slice(mags, func(a, b int) bool { return mags[a] < mags[b] })
 		for _, mag := range mags {
-			markers := intraMarkers(c, r, scaledIntraMin(r, mag))
+			sh.markers = intraMarkers(sh.markers[:0], c, r, scaledIntraMin(r, mag))
 			sh.stats.DefsChecked++
 			for _, t := range byMag[mag] {
 				sh.stats.InstancesEmitted++
-				sh.vs = appendMarkers(sh.vs, r, c.Name, markers, t)
+				sh.vs = appendMarkers(sh.vs, r, c.Name, sh.markers, t)
 			}
 		}
 		return nil
@@ -163,12 +179,10 @@ func (e *Engine) runIntraSeq(ctx context.Context, lo *layout.Layout, r rules.Rul
 	if err != nil {
 		// Shards are discarded wholesale: a failed rule contributes nothing,
 		// keeping degraded reports independent of which worker got how far.
+		tbl.discard()
 		return err
 	}
-	for i := range shards {
-		rep.Violations = append(rep.Violations, shards[i].vs...)
-		rep.Stats.add(shards[i].stats)
-	}
+	tbl.mergeViolations(rep)
 	if extra := rep.Stats.InstancesEmitted - rep.Stats.DefsChecked; extra > 0 {
 		rep.Stats.ChecksReused = extra
 	}

@@ -395,7 +395,7 @@ func (e *Engine) runIntraPar(ctx context.Context, lo *layout.Layout, r rules.Rul
 		return e.runIntraParFlat(ctx, lo, r, pc, rep)
 	}
 	for _, c := range lo.LayerCells(r.Layer) {
-		if len(c.LocalPolys(r.Layer)) == 0 || len(placements[c.ID]) == 0 {
+		if len(c.LocalPolyIndex(r.Layer)) == 0 || len(placements[c.ID]) == 0 {
 			continue
 		}
 		magSet := make(map[int64]bool)
@@ -430,7 +430,7 @@ func (e *Engine) runIntraPar(ctx context.Context, lo *layout.Layout, r rules.Rul
 		var owner []*layout.Cell
 		if err := pc.hostPhase(rep, "par:edge-packing", func() error {
 			for _, c := range cells {
-				for _, pi := range c.LocalPolys(r.Layer) {
+				for _, pi := range c.LocalPolyIndex(r.Layer) {
 					shapes = append(shapes, c.Polys[pi].Shape)
 					owner = append(owner, c)
 				}

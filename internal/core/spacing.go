@@ -11,7 +11,6 @@ import (
 	"opendrc/internal/partition"
 	"opendrc/internal/pool"
 	"opendrc/internal/rules"
-	"opendrc/internal/sweep"
 	"opendrc/internal/trace"
 )
 
@@ -52,7 +51,7 @@ func (e *Engine) runSpacingSeq(ctx context.Context, lo *layout.Layout, r rules.R
 		if len(placements[c.ID]) == 0 {
 			continue
 		}
-		markers, err := e.cellSpacingMarkers(ctx, lo, c, r, rep)
+		markers, err := e.cellSpacingMarkers(ctx, lo, c, r, rep, geo)
 		if err != nil {
 			return err
 		}
@@ -72,7 +71,7 @@ func (e *Engine) runSpacingSeq(ctx context.Context, lo *layout.Layout, r rules.R
 // (Fig. 1 / Fig. 4), the cell's participants are first split into
 // independent rows by the adaptive partition, then each row runs the MBR
 // sweepline, and surviving pairs get edge-to-edge checks.
-func (e *Engine) cellSpacingMarkers(ctx context.Context, lo *layout.Layout, c *layout.Cell, r rules.Rule, rep *Report) ([]checks.Marker, error) {
+func (e *Engine) cellSpacingMarkers(ctx context.Context, lo *layout.Layout, c *layout.Cell, r rules.Rule, rep *Report, geo *geoSource) ([]checks.Marker, error) {
 	lim := r.SpacingLimit()
 	min := lim.Reach()
 	var out []checks.Marker
@@ -80,17 +79,24 @@ func (e *Engine) cellSpacingMarkers(ctx context.Context, lo *layout.Layout, c *l
 
 	// Notches of local polygons belong to this definition.
 	stopChecks := rep.Profile.Phase("spacing:edge-checks")
-	for _, pi := range c.LocalPolys(r.Layer) {
+	for _, pi := range c.LocalPolyIndex(r.Layer) {
 		checks.CheckNotchLim(c.Polys[pi].Shape, lim, emit)
 	}
 	stopChecks()
 
 	// Sweepline participants: raw layer MBRs for partitioning, expanded
 	// MBRs ("enlarged by a minimum rule distance") for pair generation.
+	// Both MBR lists are scratch — this loop runs once per cell definition
+	// per rule, so they recycle through the run's arena.
 	var items []spaceItem
-	var raw, boxes []geom.Rect
-	for _, pi := range c.LocalPolys(r.Layer) {
-		items = append(items, spaceItem{polyIdx: pi})
+	raw := geo.arena.Rects(len(c.Polys))
+	boxes := geo.arena.Rects(len(c.Polys))
+	defer func() {
+		geo.arena.PutRects(raw)
+		geo.arena.PutRects(boxes)
+	}()
+	for _, pi := range c.LocalPolyIndex(r.Layer) {
+		items = append(items, spaceItem{polyIdx: int(pi)})
 		mbr := c.Polys[pi].Shape.MBR()
 		raw = append(raw, mbr)
 		boxes = append(boxes, mbr.Expand(min))
@@ -120,13 +126,9 @@ func (e *Engine) cellSpacingMarkers(ctx context.Context, lo *layout.Layout, c *l
 
 	// Row independence is exactly what the worker pool needs: each row runs
 	// its sweepline and edge checks on a worker, writing markers and
-	// counters into its own slot; slots merge in row order so the result is
-	// bit-identical for every worker count.
-	type rowResult struct {
-		markers []checks.Marker
-		stats   Stats
-	}
-	results := make([]rowResult, len(rows))
+	// counters into its own recycled shard; shards merge in row order so the
+	// result is bit-identical for every worker count.
+	tbl := e.shards.get(len(rows))
 	err := pool.ForEachCtx(trace.WithTask(ctx, "row"), e.opts.Workers, len(rows), func(ri int) error {
 		row := rows[ri]
 		if err := e.opts.Faults.Hit(ctx, faults.SiteRow,
@@ -136,18 +138,24 @@ func (e *Engine) cellSpacingMarkers(ctx context.Context, lo *layout.Layout, c *l
 		if len(row.Members) < 2 {
 			return nil
 		}
-		res := &results[ri]
+		res := &tbl.s[ri]
 		remit := func(m checks.Marker) { res.markers = append(res.markers, m) }
-		rowBoxes := make([]geom.Rect, len(row.Members))
-		for i, mi := range row.Members {
-			rowBoxes[i] = boxes[mi]
+		// Row scratch recycles through the arena: each worker draws its own
+		// buffers (the pools are concurrency-safe), and the sweepline keeps
+		// nothing — the interval tree copies its coordinate skeleton — so
+		// both go back as soon as the row is done with them.
+		rowBoxes := geo.arena.Rects(len(row.Members))
+		for _, mi := range row.Members {
+			rowBoxes = append(rowBoxes, boxes[mi])
 		}
 		stopSweep := rep.Profile.Phase("spacing:sweepline")
-		var pairs [][2]int
-		_, err := sweep.Overlaps(rowBoxes, func(a, b int) {
+		pairs := geo.arena.Pairs()
+		defer func() { geo.arena.PutPairs(pairs) }()
+		_, err := geo.sweeps.Overlaps(rowBoxes, func(a, b int) {
 			pairs = append(pairs, [2]int{row.Members[a], row.Members[b]})
 		})
 		stopSweep()
+		geo.arena.PutRects(rowBoxes)
 		if err != nil {
 			return err
 		}
@@ -172,13 +180,10 @@ func (e *Engine) cellSpacingMarkers(ctx context.Context, lo *layout.Layout, c *l
 		return nil
 	})
 	if err != nil {
+		tbl.discard()
 		return nil, err
 	}
-	for i := range results {
-		out = append(out, results[i].markers...)
-		rep.Stats.add(results[i].stats)
-	}
-	return out, nil
+	return tbl.mergeMarkers(out, rep), nil
 }
 
 // collectSubtree returns the layer polygons of item's child subtree, in the
@@ -244,10 +249,11 @@ func (e *Engine) runSpacingFlat(ctx context.Context, lo *layout.Layout, r rules.
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	boxes := make([]geom.Rect, len(polys))
+	boxes := geo.arena.Rects(len(polys))
 	for i := range polys {
-		boxes[i] = polys[i].Shape.MBR().Expand(lim.Reach())
+		boxes = append(boxes, polys[i].Shape.MBR().Expand(lim.Reach()))
 	}
+	defer geo.arena.PutRects(boxes)
 	emit := func(m checks.Marker) {
 		rep.Violations = append(rep.Violations, rules.Violation{
 			Rule: r.ID, Kind: r.Kind, Layer: r.Layer, Marker: m,
@@ -257,7 +263,7 @@ func (e *Engine) runSpacingFlat(ctx context.Context, lo *layout.Layout, r rules.
 		rep.Stats.PairsChecked++
 		checks.CheckNotchLim(polys[i].Shape, lim, emit)
 	}
-	_, err = sweep.Overlaps(boxes, func(a, b int) {
+	_, err = geo.sweeps.Overlaps(boxes, func(a, b int) {
 		rep.Stats.PairsConsidered++
 		rep.Stats.PairsChecked++
 		checks.CheckSpacingLim(polys[a].Shape, polys[b].Shape, lim, emit)

@@ -120,6 +120,7 @@ type Cache struct {
 	limits  budget.Limits
 	hook    FaultHook
 	eventFn EventHook
+	arena   *Arena
 
 	mu     sync.Mutex
 	lo     *layout.Layout // bound on first use; one cache serves one layout
@@ -136,6 +137,7 @@ type Cache struct {
 func New(lim budget.Limits) *Cache {
 	return &Cache{
 		limits: lim,
+		arena:  NewArena(),
 		flat:   make(map[layout.Layer]*flatEntry),
 		packs:  make(map[layout.Layer]*packEntry),
 		mbrs:   make(map[layout.Layer]*mbrEntry),
@@ -147,6 +149,11 @@ func New(lim budget.Limits) *Cache {
 // SetFaultHook installs the fault-injection seam. Must be called before the
 // first Flatten/Pack.
 func (c *Cache) SetFaultHook(h FaultHook) { c.hook = h }
+
+// Arena returns the run's scratch arena. The cache owns the run's geometry
+// lifetimes, so it also owns the recycled scratch the hot paths draw from;
+// see Arena for the ownership rules.
+func (c *Cache) Arena() *Arena { return c.arena }
 
 // SetEventHook installs the lookup observer. Must be called before the
 // first lookup.
@@ -278,11 +285,15 @@ func (c *Cache) Pack(ctx context.Context, lo *layout.Layout, l layout.Layer) (*k
 			e.err = err
 			return
 		}
-		shapes := make([]geom.Polygon, len(polys))
+		// The shape list is pure scratch: Pack copies every coordinate into
+		// its own buffers, so the list recycles through the arena while the
+		// packed result is cached and shared.
+		shapes := c.arena.Polys(len(polys))
 		for i := range polys {
-			shapes[i] = polys[i].Shape
+			shapes = append(shapes, polys[i].Shape)
 		}
 		e.edges = kernels.Pack(shapes)
+		c.arena.PutPolys(shapes)
 	}()
 	return e.edges, e.err
 }

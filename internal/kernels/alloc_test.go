@@ -1,0 +1,62 @@
+package kernels
+
+import (
+	"testing"
+	"unsafe"
+
+	"opendrc/internal/geom"
+)
+
+// TestPackAllocsPerRun is the regression gate for the counting-pass Pack:
+// whatever the polygon count, packing costs exactly four allocations — the
+// Edges header, the contiguous coordinate backing, the Poly ids, and the
+// PolyStart table. Growth-by-append would scale with the edge count and
+// trip this immediately.
+func TestPackAllocsPerRun(t *testing.T) {
+	polys := make([]geom.Polygon, 0, 256)
+	for i := 0; i < 256; i++ {
+		x := int64(i) * 100
+		polys = append(polys, geom.MustPolygon([]geom.Point{
+			geom.Pt(x, 0), geom.Pt(x+40, 0), geom.Pt(x+40, 40), geom.Pt(x, 40),
+		}))
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		e := Pack(polys)
+		if e.Len() != 4*len(polys) {
+			t.Fatalf("Len = %d", e.Len())
+		}
+	})
+	if allocs > 4 {
+		t.Errorf("Pack allocs = %v, want <= 4 (header, coords, Poly, PolyStart)", allocs)
+	}
+}
+
+// TestPackContiguousLayout pins the SoA transfer layout: the six coordinate
+// slices are carved out of one backing array in X0,Y0,X1,Y1,X2,Y2 order —
+// the block the single modeled "edges" copy transfers — and each slice's
+// capacity is clipped so an append cannot silently bleed into its neighbor.
+func TestPackContiguousLayout(t *testing.T) {
+	polys := []geom.Polygon{
+		geom.MustPolygon([]geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 10), geom.Pt(0, 10)}),
+	}
+	e := Pack(polys)
+	n := e.Len()
+	if n == 0 {
+		t.Fatal("empty pack")
+	}
+	slices := [][]int64{e.X0, e.Y0, e.X1, e.Y1, e.X2, e.Y2}
+	for i, s := range slices {
+		if len(s) != n || cap(s) != n {
+			t.Errorf("slice %d: len/cap = %d/%d, want %d/%d", i, len(s), cap(s), n, n)
+		}
+		if i > 0 {
+			// Adjacent carve: the next slice starts right after the previous
+			// one in the shared backing array.
+			prev := unsafe.Pointer(unsafe.SliceData(slices[i-1]))
+			cur := unsafe.Pointer(unsafe.SliceData(s))
+			if uintptr(cur) != uintptr(prev)+uintptr(n)*8 {
+				t.Errorf("slice %d does not follow slice %d contiguously", i, i-1)
+			}
+		}
+	}
+}

@@ -114,17 +114,37 @@ func RectilinearKernel(s *gpu.Stream, e *Edges, c Collector) {
 
 // SpacingBrute launches the brute-force pair executor: one thread per
 // candidate polygon pair, enumerating the cross product of their edges.
+// Each pair is prescreened on the packed coordinates before the edge
+// structs are materialized: when the two edge boxes are separated by at
+// least lim.Reach() on either axis, the parallel-edge test cannot fire
+// (the perpendicular distance is at least the separation, and a
+// same-axis separation kills the projection overlap) and neither can the
+// corner test (the corners lie inside the edge boxes, so their dx or dy
+// is at least the separation, which is >= lim.Min). The skip changes
+// neither the emitted markers nor their order, and the modeled op count
+// still charges both tests, so reports stay bit-identical.
 func SpacingBrute(s *gpu.Stream, e *Edges, pairs [][2]int32, lim checks.SpacingLimit, c Collector) {
+	reach := lim.Reach()
 	s.Launch("space-brute", len(pairs), func(tid int) int64 {
 		pa, pb := pairs[tid][0], pairs[tid][1]
 		alo, ahi := e.PolyEdges(int(pa))
 		blo, bhi := e.PolyEdges(int(pb))
 		var ops int64
 		for i := alo; i < ahi; i++ {
-			ei := e.Edge(i)
-			eo := e.NextEdge(i)
+			ixlo, ixhi := minI64(e.X0[i], e.X1[i]), maxI64(e.X0[i], e.X1[i])
+			iylo, iyhi := minI64(e.Y0[i], e.Y1[i]), maxI64(e.Y0[i], e.Y1[i])
+			var ei, eo geom.Edge
+			loaded := false
 			for j := blo; j < bhi; j++ {
 				ops += 2
+				if minI64(e.X0[j], e.X1[j])-ixhi >= reach || ixlo-maxI64(e.X0[j], e.X1[j]) >= reach ||
+					minI64(e.Y0[j], e.Y1[j])-iyhi >= reach || iylo-maxI64(e.Y0[j], e.Y1[j]) >= reach {
+					continue
+				}
+				if !loaded {
+					ei, eo = e.Edge(i), e.NextEdge(i)
+					loaded = true
+				}
 				fj := e.Edge(j)
 				if m, ok := checks.EdgePairSpacingLim(ei, fj, lim); ok {
 					c(Hit{Marker: m, A: pa, B: pb})
@@ -474,7 +494,11 @@ func PairDiscoveryRows(s *gpu.Stream, e *Edges, rowsP [][2]int32, min int64) [][
 	}
 	s.Launch("sort-mbrs", len(order), func(tid int) int64 { return logn * logn })
 
-	pairs := make([][][2]int32, len(order))
+	// Launch executes thread bodies sequentially in tid order, so appending
+	// to one shared slice produces exactly the concatenation order the old
+	// per-thread lists had, without a slice header per thread or the final
+	// copy.
+	var out [][2]int32
 	s.Launch("pair-scan", len(order), func(tid int) int64 {
 		i := order[tid]
 		limit := xhi[i] + 2*min
@@ -491,15 +515,11 @@ func PairDiscoveryRows(s *gpu.Stream, e *Edges, rowsP [][2]int32, min int64) [][
 				if a > b {
 					a, b = b, a
 				}
-				pairs[tid] = append(pairs[tid], [2]int32{a, b})
+				out = append(out, [2]int32{a, b})
 			}
 		}
 		return ops + 1
 	})
-	var out [][2]int32
-	for _, p := range pairs {
-		out = append(out, p...)
-	}
 	return out
 }
 
@@ -546,8 +566,10 @@ func PairDiscovery(s *gpu.Stream, e *Edges, min int64) [][2]int32 {
 	s.Launch("sort-mbrs", nP, func(tid int) int64 { return logn * logn })
 
 	// Scan kernel: expanded boxes overlap iff the gap on each axis is at
-	// most 2·min (each box grows by min on every side).
-	pairs := make([][][2]int32, nP)
+	// most 2·min (each box grows by min on every side). Threads execute in
+	// tid order, so one shared output slice preserves the per-thread
+	// concatenation order.
+	var out [][2]int32
 	s.Launch("pair-scan", nP, func(tid int) int64 {
 		i := order[tid]
 		limit := xhi[i] + 2*min
@@ -563,14 +585,10 @@ func PairDiscovery(s *gpu.Stream, e *Edges, min int64) [][2]int32 {
 				if a > b {
 					a, b = b, a
 				}
-				pairs[tid] = append(pairs[tid], [2]int32{a, b})
+				out = append(out, [2]int32{a, b})
 			}
 		}
 		return ops + 1
 	})
-	var out [][2]int32
-	for _, p := range pairs {
-		out = append(out, p...)
-	}
 	return out
 }

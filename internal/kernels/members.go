@@ -141,7 +141,11 @@ func PairDiscoveryTable(s *gpu.Stream, e *Edges, t *MBRTable, rows [][]int32, mi
 // pairScan is the shared scan kernel of the discovery variants: each thread
 // walks its row's x-window emitting expanded-MBR-overlapping pairs.
 func pairScan(s *gpu.Stream, e *Edges, t *MBRTable, order, rowEnd []int32, min int64) [][2]int32 {
-	pairs := make([][][2]int32, len(order))
+	// Launch executes thread bodies sequentially in tid order, so appending
+	// to one shared slice produces exactly the concatenation order the old
+	// per-thread lists had, without a slice header per thread or the final
+	// copy.
+	var out [][2]int32
 	s.Launch("pair-scan", len(order), func(tid int) int64 {
 		i := order[tid]
 		limit := t.XHi[i] + 2*min
@@ -158,15 +162,11 @@ func pairScan(s *gpu.Stream, e *Edges, t *MBRTable, order, rowEnd []int32, min i
 				if a > b {
 					a, b = b, a
 				}
-				pairs[tid] = append(pairs[tid], [2]int32{a, b})
+				out = append(out, [2]int32{a, b})
 			}
 		}
 		return ops + 1
 	})
-	var out [][2]int32
-	for _, p := range pairs {
-		out = append(out, p...)
-	}
 	return out
 }
 
@@ -224,7 +224,7 @@ func PairDiscoveryMembers(s *gpu.Stream, e *Edges, rows [][]int32, min int64) []
 	}
 	s.Launch("sort-mbrs", len(order), func(tid int) int64 { return logn * logn })
 
-	pairs := make([][][2]int32, len(order))
+	var out [][2]int32
 	s.Launch("pair-scan", len(order), func(tid int) int64 {
 		i := order[tid]
 		limit := xhi[i] + 2*min
@@ -241,14 +241,10 @@ func PairDiscoveryMembers(s *gpu.Stream, e *Edges, rows [][]int32, min int64) []
 				if a > b {
 					a, b = b, a
 				}
-				pairs[tid] = append(pairs[tid], [2]int32{a, b})
+				out = append(out, [2]int32{a, b})
 			}
 		}
 		return ops + 1
 	})
-	var out [][2]int32
-	for _, p := range pairs {
-		out = append(out, p...)
-	}
 	return out
 }

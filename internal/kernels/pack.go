@@ -27,34 +27,47 @@ type Edges struct {
 	PolyStart              []int32 // len = numPolys+1
 }
 
-// Pack flattens the polygons into an edge buffer.
+// Pack flattens the polygons into an edge buffer. A counting pass sizes
+// everything up front, so the seven parallel slices are written by index
+// into exactly four allocations: the Edges header, one contiguous backing
+// array carved into the six coordinate slices, the Poly ids, and the
+// PolyStart offsets. The contiguous coordinate backing is also the transfer
+// layout: the single async "edges" copy the device upload path models is one
+// block of 6·n coordinates followed by the two index tables, which is what
+// Bytes() prices.
 func Pack(polys []geom.Polygon) *Edges {
 	total := 0
 	for _, p := range polys {
 		total += p.NumEdges()
 	}
+	coords := make([]int64, 6*total)
 	e := &Edges{
-		X0: make([]int64, 0, total), Y0: make([]int64, 0, total),
-		X1: make([]int64, 0, total), Y1: make([]int64, 0, total),
-		X2: make([]int64, 0, total), Y2: make([]int64, 0, total),
-		Poly:      make([]int32, 0, total),
-		PolyStart: make([]int32, 1, len(polys)+1),
+		X0:        coords[0*total : 1*total : 1*total],
+		Y0:        coords[1*total : 2*total : 2*total],
+		X1:        coords[2*total : 3*total : 3*total],
+		Y1:        coords[3*total : 4*total : 4*total],
+		X2:        coords[4*total : 5*total : 5*total],
+		Y2:        coords[5*total : 6*total : 6*total],
+		Poly:      make([]int32, total),
+		PolyStart: make([]int32, len(polys)+1),
 	}
+	k := 0
 	for pi, p := range polys {
 		n := p.NumEdges()
 		for i := 0; i < n; i++ {
 			a := p.Vertex(i)
 			b := p.Vertex((i + 1) % n)
 			c := p.Vertex((i + 2) % n)
-			e.X0 = append(e.X0, a.X)
-			e.Y0 = append(e.Y0, a.Y)
-			e.X1 = append(e.X1, b.X)
-			e.Y1 = append(e.Y1, b.Y)
-			e.X2 = append(e.X2, c.X)
-			e.Y2 = append(e.Y2, c.Y)
-			e.Poly = append(e.Poly, int32(pi))
+			e.X0[k] = a.X
+			e.Y0[k] = a.Y
+			e.X1[k] = b.X
+			e.Y1[k] = b.Y
+			e.X2[k] = c.X
+			e.Y2[k] = c.Y
+			e.Poly[k] = int32(pi)
+			k++
 		}
-		e.PolyStart = append(e.PolyStart, int32(len(e.X0)))
+		e.PolyStart[pi+1] = int32(k)
 	}
 	return e
 }
@@ -98,7 +111,17 @@ type views struct {
 // bitonic-sort-equivalent kernel (n threads × log² n ops), matching how
 // X-Check prepares its sweep orders on device.
 func buildViews(s *gpu.Stream, e *Edges) views {
-	var v views
+	// Counting pass so each view is exactly one allocation.
+	nh, nv := 0, 0
+	for i := 0; i < e.Len(); i++ {
+		switch e.Edge(i).Dir() {
+		case geom.DirEast, geom.DirWest:
+			nh++
+		case geom.DirNorth, geom.DirSouth:
+			nv++
+		}
+	}
+	v := views{horiz: make([]int32, 0, nh), vert: make([]int32, 0, nv)}
 	for i := 0; i < e.Len(); i++ {
 		switch e.Edge(i).Dir() {
 		case geom.DirEast, geom.DirWest:

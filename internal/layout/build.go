@@ -153,6 +153,7 @@ func (lo *Layout) computeMBRs() {
 		c.layerMBR = make(map[Layer]geom.Rect)
 		c.localEdgeCount = make(map[Layer]int)
 		c.polysByLayer = make(map[Layer][]int32)
+		c.subtreeCount = make(map[Layer]int)
 		c.mbr = geom.EmptyRect()
 		for i := range c.Polys {
 			p := &c.Polys[i]
@@ -161,6 +162,7 @@ func (lo *Layout) computeMBRs() {
 			c.mbr = c.mbr.Union(r)
 			c.localEdgeCount[p.Layer] += p.Shape.NumEdges()
 			c.polysByLayer[p.Layer] = append(c.polysByLayer[p.Layer], int32(i))
+			c.subtreeCount[p.Layer]++
 		}
 		for ri := range c.Refs {
 			ref := &c.Refs[ri]
@@ -181,6 +183,10 @@ func (lo *Layout) computeMBRs() {
 					u = u.Union(ref.Placement(cr[0], cr[1]).ApplyRect(childR))
 				}
 				c.layerMBR[l] = u
+				// Children finish before parents (topological order), so the
+				// child's subtree count is final here; the whole array
+				// contributes one subtree per placement.
+				c.subtreeCount[l] += ref.NumPlacements() * child.subtreeCount[l]
 			}
 			if !child.mbr.Empty() {
 				for _, cr := range corners {

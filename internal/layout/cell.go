@@ -116,6 +116,10 @@ type Cell struct {
 	// queries and flattening never scan other layers' shapes (essential
 	// for top cells holding tens of thousands of routing polygons).
 	polysByLayer map[Layer][]int32
+	// subtreeCount[l] is the instance-expanded polygon count of the subtree
+	// rooted at one placement of this cell, per layer — the exact output
+	// size of a full-subtree query, used to pre-size query results.
+	subtreeCount map[Layer]int
 }
 
 // MBR returns the cell's all-layer bounding box (local frame).
@@ -160,8 +164,19 @@ func (c *Cell) LocalPolys(l Layer) []int {
 	return out
 }
 
+// LocalPolyIndex returns the indices of the cell's own polygons on the
+// layer without copying. The returned slice is shared and must not be
+// mutated; hot paths that only iterate use it instead of LocalPolys to
+// avoid a copy per call.
+func (c *Cell) LocalPolyIndex(l Layer) []int32 { return c.polysByLayer[l] }
+
 // localPolyIndex returns the per-layer index without copying.
 func (c *Cell) localPolyIndex(l Layer) []int32 { return c.polysByLayer[l] }
+
+// SubtreePolyCount returns the instance-expanded polygon count on the layer
+// of the subtree rooted at one placement of the cell — the exact size of a
+// full-subtree query result, precomputed at build time.
+func (c *Cell) SubtreePolyCount(l Layer) int { return c.subtreeCount[l] }
 
 // Layout is the loaded hierarchical database.
 type Layout struct {

@@ -1,0 +1,75 @@
+package layout
+
+import (
+	"testing"
+
+	"opendrc/internal/geom"
+)
+
+// TestSubtreePolyCount pins the build-time counts against the fixture
+// hierarchy: TOP → 2×ROW → 4×CELLA.
+func TestSubtreePolyCount(t *testing.T) {
+	lo := build(t)
+	ca := lo.CellByName("CELLA")
+	row := lo.CellByName("ROW")
+	cases := []struct {
+		cell *Cell
+		l    Layer
+		want int
+	}{
+		{ca, LayerM1, 1},
+		{ca, LayerV1, 1},
+		{ca, LayerM2, 0},
+		{row, LayerM1, 4}, // AREF 4×1
+		{row, LayerM2, 1}, // local polygon
+		{lo.Top, LayerM1, 8},
+		{lo.Top, LayerM2, 2},
+		{lo.Top, LayerV1, 8},
+	}
+	for _, c := range cases {
+		if got := c.cell.SubtreePolyCount(c.l); got != c.want {
+			t.Errorf("%s.SubtreePolyCount(%s) = %d, want %d",
+				c.cell.Name, LayerName(c.l), got, c.want)
+		}
+	}
+}
+
+// TestFlattenLayerExactCapacity verifies the full-layer query allocates its
+// result exactly once at the precomputed flat size.
+func TestFlattenLayerExactCapacity(t *testing.T) {
+	lo := build(t)
+	out := lo.FlattenLayer(LayerM1)
+	if len(out) != 8 {
+		t.Fatalf("flatten size = %d, want 8", len(out))
+	}
+	if cap(out) != 8 {
+		t.Errorf("flatten cap = %d, want exactly 8 (pre-sized, no growth)", cap(out))
+	}
+}
+
+// TestCapHint checks the area-ratio estimator's boundary behavior; the hint
+// only affects allocation, but a hint above the true total would waste the
+// memory the pre-sizing is meant to save.
+func TestCapHint(t *testing.T) {
+	extent := geom.R(0, 0, 1000, 1000)
+	if h := capHint(100, extent, extent); h != 100 {
+		t.Errorf("full-window hint = %d, want the exact total 100", h)
+	}
+	if h := capHint(100, extent, geom.R(2000, 2000, 3000, 3000)); h != 0 {
+		t.Errorf("disjoint-window hint = %d, want 0", h)
+	}
+	if h := capHint(0, extent, extent); h != 0 {
+		t.Errorf("empty-layer hint = %d, want 0", h)
+	}
+	h := capHint(100, extent, geom.R(0, 0, 100, 100))
+	if h <= 0 || h > 100 {
+		t.Errorf("small-window hint = %d, want within (0, 100]", h)
+	}
+	// QueryLayer results must match regardless of the hint: same window as
+	// the pruning test, checked for content here.
+	lo := build(t)
+	got, _ := lo.QueryLayer(LayerM1, geom.R(0, 0, 50, 50))
+	if len(got) != 1 {
+		t.Errorf("windowed query hit %d polys, want 1", len(got))
+	}
+}

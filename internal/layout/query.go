@@ -26,10 +26,37 @@ type QueryStats struct {
 // of everything — or simply a huge rect — to enumerate the whole layer; use
 // FlattenLayer for that common case.
 func (lo *Layout) QueryLayer(l Layer, window geom.Rect) ([]PlacedPoly, QueryStats) {
-	var out []PlacedPoly
+	out := make([]PlacedPoly, 0, capHint(lo.Top.SubtreePolyCount(l), lo.Top.LayerMBR(l), window))
 	var st QueryStats
 	lo.queryCell(lo.Top, geom.Identity(), l, window, &out, &st)
 	return out, st
+}
+
+// capHint estimates how many of the total polygons spread over extent a
+// query window will hit, assuming roughly uniform density: the total scaled
+// by the fraction of the extent's area the window covers, with slack for
+// local clustering. A window covering the whole extent returns the exact
+// total, so full-layer queries pre-size perfectly; a miss returns 0. Areas
+// multiply in float64 — chip-scale coordinates overflow int64 areas.
+func capHint(total int, extent, window geom.Rect) int {
+	if total == 0 || extent.Empty() {
+		return 0
+	}
+	inter := extent.Intersect(window)
+	if inter.Empty() {
+		return 0
+	}
+	ea := float64(extent.Width()) * float64(extent.Height())
+	if ea <= 0 {
+		return total // degenerate extent: everything is in the window
+	}
+	ia := float64(inter.Width()) * float64(inter.Height())
+	h := int(float64(total) * (ia / ea))
+	h += h/4 + 8 // slack: geometry clusters, and tiny windows still hit a few
+	if h > total {
+		h = total
+	}
+	return h
 }
 
 func (lo *Layout) queryCell(c *Cell, t geom.Transform, l Layer, window geom.Rect, out *[]PlacedPoly, st *QueryStats) {
@@ -84,14 +111,11 @@ func (lo *Layout) FlattenLayer(l Layer) []PlacedPoly {
 }
 
 // NumInstancesOnLayer counts instance-expanded polygons on the layer (the
-// flat size, versus NumPolysOnLayer's definition count).
+// flat size, versus NumPolysOnLayer's definition count). The count is
+// precomputed bottom-up at build time, so this is a map lookup — FlattenLayer
+// calls it per invocation to pre-size its output.
 func (lo *Layout) NumInstancesOnLayer(l Layer) int {
-	counts := lo.instanceCounts()
-	n := 0
-	for _, pr := range lo.inverted[l] {
-		n += counts[pr.Cell.ID]
-	}
-	return n
+	return lo.Top.SubtreePolyCount(l)
 }
 
 // instanceCounts returns, per cell ID, how many times the cell is
@@ -187,7 +211,7 @@ func (lo *Layout) Placements() [][]geom.Transform {
 // returned shapes are in the cell's local frame. Subtrees without layer
 // geometry are pruned by the layer-wise MBRs exactly as in QueryLayer.
 func (lo *Layout) QuerySubtree(cell *Cell, l Layer, window geom.Rect) []PlacedPoly {
-	var out []PlacedPoly
+	out := make([]PlacedPoly, 0, capHint(cell.SubtreePolyCount(l), cell.LayerMBR(l), window))
 	var st QueryStats
 	lo.queryCell(cell, geom.Identity(), l, window, &out, &st)
 	return out

@@ -116,49 +116,36 @@ const (
 // linear rank/assignment passes, so the whole partition is a single
 // O(k log k) sort plus the Θ(k + N) merge.
 func Rows(boxes []geom.Rect, guard int64, alg Algorithm) []Row {
-	// Discretize: domain = unique interval endpoints, ranked by one sort.
-	type endpoint struct {
-		v   int64
-		box int32
-		hi  bool
+	// Discretize: domain = unique interval endpoints. Sorting the bare
+	// values (slices.Sort's specialized int64 path — no comparator calls,
+	// no struct swaps) and ranking each box endpoint by binary search in
+	// the compacted result produces exactly the ranks the old
+	// endpoint-record sort did, at a fraction of the cost; this sort is
+	// the hottest host instruction stream of the partition phase.
+	vals := make([]int64, 0, 2*len(boxes))
+	for _, b := range boxes {
+		if b.Empty() {
+			continue
+		}
+		vals = append(vals, b.YLo, b.YHi+guard)
 	}
-	eps := make([]endpoint, 0, 2*len(boxes))
+	if len(vals) == 0 {
+		return nil
+	}
+	slices.Sort(vals)
+	vals = slices.Compact(vals)
+	domain := len(vals)
+	spanLo := make([]int32, len(boxes))
+	spanHi := make([]int32, len(boxes))
 	for bi, b := range boxes {
 		if b.Empty() {
 			continue
 		}
-		eps = append(eps,
-			endpoint{v: b.YLo, box: int32(bi)},
-			endpoint{v: b.YHi + guard, box: int32(bi), hi: true})
+		lo, _ := slices.BinarySearch(vals, b.YLo)
+		hi, _ := slices.BinarySearch(vals, b.YHi+guard)
+		spanLo[bi] = int32(lo)
+		spanHi[bi] = int32(hi)
 	}
-	if len(eps) == 0 {
-		return nil
-	}
-	slices.SortFunc(eps, func(a, b endpoint) int {
-		switch {
-		case a.v < b.v:
-			return -1
-		case a.v > b.v:
-			return 1
-		}
-		return 0
-	})
-	spanLo := make([]int32, len(boxes))
-	spanHi := make([]int32, len(boxes))
-	rank := int32(-1)
-	var prev int64
-	for i, e := range eps {
-		if i == 0 || e.v != prev {
-			rank++
-			prev = e.v
-		}
-		if e.hi {
-			spanHi[e.box] = rank
-		} else {
-			spanLo[e.box] = rank
-		}
-	}
-	domain := int(rank) + 1
 
 	spans := make([]Span, 0, len(boxes))
 	for bi, b := range boxes {

@@ -203,11 +203,12 @@ func (p *Pool) Close() error {
 
 // ForEach runs fn(0..n-1) on up to `workers` goroutines (<= 0 selects
 // GOMAXPROCS) and returns when every index completed. Indices are handed
-// out dynamically, so uneven task costs balance across workers. With one
-// worker (or one index) fn runs inline on the caller — zero overhead and
-// byte-identical scheduling to a plain loop. If any fn panics, ForEach
-// finishes the remaining indices on the surviving workers and then
-// re-panics the first *PanicError on the caller.
+// out dynamically in chunks, so uneven task costs balance across workers
+// without paying per-index dispatch. With one worker (or one index) fn runs
+// inline on the caller — zero overhead and byte-identical scheduling to a
+// plain loop. If any fn panics, ForEach finishes the remaining indices on
+// the surviving workers and then re-panics the first *PanicError on the
+// caller.
 func ForEach(workers, n int, fn func(i int)) {
 	err := ForEachCtx(context.Background(), workers, n, func(i int) error {
 		fn(i)
@@ -226,60 +227,104 @@ type indexedErr struct {
 	err error
 }
 
+// chunksPerWorker oversubscribes the chunk count relative to the worker
+// count so dynamic handout can still balance uneven task costs: each worker
+// pulls several chunks per fan-out on average, while tiny tasks amortize
+// their dispatch (one atomic increment and one trace span per chunk, not
+// per index).
+const chunksPerWorker = 4
+
+// chunkFor returns the adaptive chunk size for a fan-out of n indices over
+// the given (already resolved, > 1) worker count.
+func chunkFor(workers, n int) int {
+	c := n / (workers * chunksPerWorker)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
 // ForEachCtx runs fn(0..n-1) on up to `workers` goroutines with cooperative
 // cancellation and error propagation. Scheduling matches ForEach (dynamic
-// index handout, inline fast path for one worker). When fn returns an
-// error or panics, no new indices are handed out, in-flight indices drain,
-// and the error of the lowest failed index is returned (a panic is wrapped
-// in a *PanicError carrying the worker's stack). When ctx is cancelled the
-// handout stops the same way and ctx.Err() is returned. The choice of the
-// lowest-index error keeps degraded results deterministic across worker
-// counts.
+// chunked handout, inline fast path for one worker or one index). When fn
+// returns an error or panics, no new indices are handed out, in-flight
+// indices drain, and the error of the lowest failed index is returned (a
+// panic is wrapped in a *PanicError carrying the worker's stack). When ctx
+// is cancelled the handout stops the same way and ctx.Err() is returned.
+// The choice of the lowest-index error keeps degraded results deterministic
+// across worker counts and chunk sizes.
 func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return ForEachChunkCtx(ctx, workers, n, 0, fn)
+}
+
+// ForEachChunkCtx is ForEachCtx with an explicit chunk size: indices are
+// handed to workers in spans of `chunk` consecutive indices (the last span
+// may be shorter). chunk <= 0 selects the adaptive size, which targets
+// chunksPerWorker chunks per worker. Error, panic, cancellation, and result
+// semantics are identical for every chunk size; the equivalence tests pin
+// that down. Exported so callers with known task granularity (and the
+// chunking-equivalence tests) can force a size.
+func ForEachChunkCtx(ctx context.Context, workers, n, chunk int, fn func(i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
-	if rec := trace.FromContext(ctx); rec != nil {
-		// Trace each index as a pool-track span (also on the inline fast
-		// path, so one-worker traces show the same tasks). Lanes are
-		// assigned at export from span overlap, not goroutine identity.
-		label := trace.TaskLabel(ctx)
-		inner := fn
-		fn = func(i int) error {
-			stop := rec.Begin(trace.TrackPool, "", fmt.Sprintf("%s#%d", label, i), "pool")
-			defer stop()
-			return inner(i)
-		}
+	rec := trace.FromContext(ctx)
+	var label string
+	if rec != nil {
+		// Trace chunks as pool-track spans (also on the inline fast path, so
+		// one-worker traces show the same tasks). Lanes are assigned at
+		// export from span overlap, not goroutine identity.
+		label = trace.TaskLabel(ctx)
 	}
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}
-	if workers == 1 {
+	if workers == 1 || n == 1 {
+		// Inline fast path: no goroutines, no synchronization, and — with no
+		// recorder attached — no allocations at all. Kept out of line so the
+		// worker path's goroutine closures cannot force rec/label/fn onto
+		// the heap for this branch (escape analysis is per-function).
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := runSpan(rec, label, i, fn); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
+	return forEachChunked(ctx, rec, label, workers, n, chunk, fn)
+}
+
+// forEachChunked is the multi-worker body of ForEachChunkCtx. It lives in
+// its own function so the goroutine closures below (which capture their
+// surroundings and therefore heap-allocate them) never tax the inline fast
+// path above.
+func forEachChunked(ctx context.Context, rec *trace.Recorder, label string, workers, n, chunk int, fn func(i int) error) error {
+	if chunk <= 0 {
+		chunk = chunkFor(workers, n)
+	}
+	nChunks := (n + chunk - 1) / chunk
+	if workers > nChunks {
+		workers = nChunks
+	}
 	var (
-		next int64
-		stop atomic.Bool
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		fail *indexedErr
+		next    int64
+		failIdx atomic.Int64 // lowest recorded failure index; n = none
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		fail    *indexedErr
 	)
+	failIdx.Store(int64(n))
 	record := func(i int, err error) {
 		mu.Lock()
 		if fail == nil || i < fail.idx {
 			fail = &indexedErr{idx: i, err: err}
+			failIdx.Store(int64(i))
 		}
 		mu.Unlock()
-		stop.Store(true)
 	}
 	body := func(i int) {
 		defer func() {
@@ -296,14 +341,41 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 		go func() {
 			defer wg.Done()
 			for {
-				if stop.Load() || ctx.Err() != nil {
+				// One cancellation check per chunk: ctx.Err() takes a lock
+				// inside the context, so probing it per index would serialize
+				// the workers on exactly the hot path chunking exists to
+				// relieve.
+				if ctx.Err() != nil {
 					return
 				}
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= n {
+				c := int(atomic.AddInt64(&next, 1)) - 1
+				lo := c * chunk
+				// After a failure, indices at or above the lowest recorded
+				// failing index may be skipped — but every index below it
+				// still runs, so the reported error is the globally lowest
+				// failing index, deterministic for every worker count and
+				// chunk size. Chunks are handed out in ascending order, so
+				// once lo passes the watermark nothing below it remains.
+				if lo >= n || int64(lo) > failIdx.Load() {
 					return
 				}
-				body(i)
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				var stopSpan func(args ...trace.Arg)
+				if rec != nil {
+					stopSpan = rec.Begin(trace.TrackPool, "", chunkName(label, lo, hi), "pool")
+				}
+				for i := lo; i < hi; i++ {
+					if int64(i) > failIdx.Load() {
+						break
+					}
+					body(i)
+				}
+				if stopSpan != nil {
+					stopSpan()
+				}
 			}
 		}()
 	}
@@ -312,4 +384,30 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 		return fail.err
 	}
 	return ctx.Err()
+}
+
+// runSpan executes one inline-path index, tracing it as its own span when a
+// recorder is attached (matching the per-chunk spans of the worker path:
+// inline chunks have exactly one index).
+func runSpan(rec *trace.Recorder, label string, i int, fn func(i int) error) (err error) {
+	if rec != nil {
+		stop := rec.Begin(trace.TrackPool, "", chunkName(label, i, i+1), "pool")
+		defer stop()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
+// chunkName renders a pool-track span name for the chunk [lo, hi): single-
+// index chunks keep the historical "label#i" form, multi-index chunks show
+// the span "label#lo-hi" (hi exclusive).
+func chunkName(label string, lo, hi int) string {
+	if hi == lo+1 {
+		return fmt.Sprintf("%s#%d", label, lo)
+	}
+	return fmt.Sprintf("%s#%d-%d", label, lo, hi)
 }

@@ -319,3 +319,139 @@ func TestSubmitCtxRecordsTaskSpans(t *testing.T) {
 		t.Errorf("spans %v, want %v (named by submission order)", got, want)
 	}
 }
+
+// TestForEachChunkCtxEquivalence pins the chunking contract: for forced
+// chunk sizes 1, 7, and n, the fan-out produces identical per-index
+// results, the identical lowest-index error, and identical cancellation
+// behavior. Reports built from per-index slots are therefore bit-identical
+// whatever the chunk size.
+func TestForEachChunkCtxEquivalence(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{1, 3, 8} {
+		for _, chunk := range []int{1, 7, n} {
+			// Results land in per-index slots, the callers' merge pattern.
+			slots := make([]int, n)
+			err := ForEachChunkCtx(context.Background(), workers, n, chunk, func(i int) error {
+				slots[i] = i * i
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("workers=%d chunk=%d: %v", workers, chunk, err)
+			}
+			for i, v := range slots {
+				if v != i*i {
+					t.Fatalf("workers=%d chunk=%d: slot %d = %d", workers, chunk, i, v)
+				}
+			}
+
+			// Lowest-index error, independent of chunk size.
+			err = ForEachChunkCtx(context.Background(), workers, n, chunk, func(i int) error {
+				if i%7 == 3 {
+					return fmt.Errorf("fail@%d", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "fail@3" {
+				t.Fatalf("workers=%d chunk=%d: err = %v, want fail@3", workers, chunk, err)
+			}
+
+			// Panic wrapped as *PanicError with the same lowest-index rule.
+			err = ForEachChunkCtx(context.Background(), workers, n, chunk, func(i int) error {
+				if i == 5 {
+					panic("kaput")
+				}
+				return nil
+			})
+			var pe *PanicError
+			if !errors.As(err, &pe) || pe.Value != "kaput" {
+				t.Fatalf("workers=%d chunk=%d: err = %v, want *PanicError{kaput}", workers, chunk, err)
+			}
+
+			// Cancellation surfaces ctx.Err() and stops the handout.
+			ctx, cancel := context.WithCancel(context.Background())
+			var ran atomic.Int32
+			err = ForEachChunkCtx(ctx, workers, n, chunk, func(i int) error {
+				if ran.Add(1) == 5 {
+					cancel()
+				}
+				return nil
+			})
+			cancel()
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("workers=%d chunk=%d: cancel err = %v", workers, chunk, err)
+			}
+		}
+	}
+}
+
+// TestForEachCtxLowestErrorAcrossChunks forces the adversarial schedule: a
+// failure late in a later chunk must not suppress a lower failing index
+// still pending in an earlier chunk.
+func TestForEachCtxLowestErrorAcrossChunks(t *testing.T) {
+	const n = 90
+	var gate atomic.Bool
+	err := ForEachChunkCtx(context.Background(), 2, n, 30, func(i int) error {
+		switch {
+		case i == 60:
+			// Fail immediately in the last chunk, before index 3 runs.
+			gate.Store(true)
+			return fmt.Errorf("fail@%d", i)
+		case i == 3:
+			// Give the high failure every chance to land first.
+			for j := 0; j < 1000 && !gate.Load(); j++ {
+				runtime.Gosched()
+			}
+			return fmt.Errorf("fail@%d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "fail@3" {
+		t.Fatalf("err = %v, want fail@3 (lowest failing index must win)", err)
+	}
+}
+
+// TestForEachCtxNoRecorderAllocFree is the regression gate for the nil-
+// recorder hot path: the inline fast path must not allocate at all, and the
+// worker path must allocate O(workers) per fan-out — never O(n).
+func TestForEachCtxNoRecorderAllocFree(t *testing.T) {
+	ctx := context.Background()
+	var sink atomic.Int64
+	fn := func(i int) error {
+		sink.Add(int64(i))
+		return nil
+	}
+	inline := testing.AllocsPerRun(20, func() {
+		if err := ForEachCtx(ctx, 1, 1000, fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if inline != 0 {
+		t.Errorf("inline ForEachCtx allocs = %v, want 0", inline)
+	}
+	workers := testing.AllocsPerRun(20, func() {
+		if err := ForEachCtx(ctx, 4, 10000, fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Goroutines, the waitgroup/closure state, and chunk bookkeeping cost a
+	// handful of allocations per *call*; the budget is far below one
+	// allocation per index (10000 indices here).
+	if workers > 32 {
+		t.Errorf("worker ForEachCtx allocs = %v, want <= 32 (per-call, not per-index)", workers)
+	}
+}
+
+// TestForEachChunkCtxTraceSpansPerChunk checks chunked tracing: one span
+// per chunk, named by the index span it covers.
+func TestForEachChunkCtxTraceSpansPerChunk(t *testing.T) {
+	rec := trace.NewWithClock(func() time.Duration { return 0 })
+	ctx := trace.WithTask(trace.WithRecorder(context.Background(), rec), "row")
+	if err := ForEachChunkCtx(ctx, 2, 10, 4, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	got := traceNames(t, rec)
+	want := []string{"row#0-4", "row#4-8", "row#8-10"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("spans %v, want %v (one span per chunk)", got, want)
+	}
+}

@@ -8,7 +8,8 @@ package sweep
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"opendrc/internal/geom"
 	"opendrc/internal/interval"
@@ -33,15 +34,77 @@ type event struct {
 	top bool
 }
 
+// scratch holds the per-sweep event and coordinate buffers. Sweeps run once
+// per partition row per rule, so callers on that hot path recycle the
+// buffers through a Pool instead of reallocating them for every row;
+// contents are fully rewritten before use, so recycling cannot affect
+// results. The interval tree copies the coordinate skeleton it keeps, so
+// returning the buffers after the sweep is safe.
+type scratch struct {
+	events []event
+	coords []int64
+}
+
+// Pool is a freelist of sweep scratch buffers, owned by whoever runs many
+// sweeps (the engine allocates one per run). It is a plain mutex-guarded
+// stack rather than a package-level sync.Pool so that sweep allocation
+// behavior is a pure function of the owner's call sequence — no state
+// shared across runs, no GC- or race-detector-coupled eviction — which the
+// engine's repeated-run determinism (byte-identical traces) relies on. The
+// zero value is ready to use.
+type Pool struct {
+	mu   sync.Mutex
+	free []*scratch
+}
+
+func (p *Pool) get() *scratch {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if l := len(p.free); l > 0 {
+		sc := p.free[l-1]
+		p.free[l-1] = nil
+		p.free = p.free[:l-1]
+		return sc
+	}
+	return new(scratch)
+}
+
+func (p *Pool) put(sc *scratch) {
+	p.mu.Lock()
+	p.free = append(p.free, sc)
+	p.mu.Unlock()
+}
+
+// Overlaps is the package function with recycled scratch: buffers come from
+// and return to the pool around one sweep. Safe for concurrent use.
+func (p *Pool) Overlaps(boxes []geom.Rect, fn func(a, b int)) (Stats, error) {
+	sc := p.get()
+	defer p.put(sc)
+	return overlapsScratch(sc, boxes, fn)
+}
+
+// OverlapsBetween is the package function with recycled scratch.
+func (p *Pool) OverlapsBetween(as, bs []geom.Rect, fn func(a, b int)) (Stats, error) {
+	boxes := make([]geom.Rect, 0, len(as)+len(bs))
+	boxes = append(boxes, as...)
+	boxes = append(boxes, bs...)
+	return p.Overlaps(boxes, betweenFn(len(as), fn))
+}
+
 // Overlaps reports every pair of rectangles that overlap or touch, invoking
 // fn once per pair with indices (a < b). Empty rectangles never interact.
 // The returned error reports a corrupted sweep state (an interval endpoint
 // missing from the skeleton — unreachable by construction but propagated
 // rather than panicking, per the failure-semantics policy in DESIGN.md).
 func Overlaps(boxes []geom.Rect, fn func(a, b int)) (Stats, error) {
+	return overlapsScratch(new(scratch), boxes, fn)
+}
+
+// overlapsScratch runs one sweep using the given scratch buffers.
+func overlapsScratch(sc *scratch, boxes []geom.Rect, fn func(a, b int)) (Stats, error) {
 	var st Stats
-	events := make([]event, 0, 2*len(boxes))
-	coords := make([]int64, 0, 2*len(boxes))
+	events := sc.events[:0]
+	coords := sc.coords[:0]
 	for i, b := range boxes {
 		if b.Empty() {
 			continue
@@ -51,14 +114,24 @@ func Overlaps(boxes []geom.Rect, fn func(a, b int)) (Stats, error) {
 			event{y: b.YLo, id: i, top: false})
 		coords = append(coords, b.XLo, b.XHi)
 	}
+	sc.events, sc.coords = events, coords
 	// Descending y; at equal y process top events (insertions) before
 	// bottom events (removals) so rectangles that merely touch in y are
 	// simultaneously live and get reported.
-	sort.Slice(events, func(i, j int) bool {
-		if events[i].y != events[j].y {
-			return events[i].y > events[j].y
+	slices.SortFunc(events, func(a, b event) int {
+		if a.y != b.y {
+			if a.y > b.y {
+				return -1
+			}
+			return 1
 		}
-		return events[i].top && !events[j].top
+		switch {
+		case a.top && !b.top:
+			return -1
+		case b.top && !a.top:
+			return 1
+		}
+		return 0
 	})
 
 	tree := interval.NewTree(coords)
@@ -102,15 +175,22 @@ func OverlapsBetween(as, bs []geom.Rect, fn func(a, b int)) (Stats, error) {
 	boxes := make([]geom.Rect, 0, len(as)+len(bs))
 	boxes = append(boxes, as...)
 	boxes = append(boxes, bs...)
-	return Overlaps(boxes, func(x, y int) {
+	return Overlaps(boxes, betweenFn(len(as), fn))
+}
+
+// betweenFn adapts a two-set pair callback to union-sweep indices: pairs
+// within one set are ignored, cross-set pairs are reported as (a-index,
+// b-index).
+func betweenFn(na int, fn func(a, b int)) func(x, y int) {
+	return func(x, y int) {
 		switch {
-		case x < len(as) && y >= len(as):
-			fn(x, y-len(as))
-		case y < len(as) && x >= len(as):
-			fn(y, x-len(as))
+		case x < na && y >= na:
+			fn(x, y-na)
+		case y < na && x >= na:
+			fn(y, x-na)
 		}
 		// same-set pairs are ignored
-	})
+	}
 }
 
 // BruteForcePairs is the quadratic reference used by tests and tiny inputs.
