@@ -1,17 +1,24 @@
 // Command odrc-lint enforces the engine's written invariants as
 // machine-checked rules: deterministic map iteration, clock discipline
-// (host timing through the Profiler/hostPhase), pool-only concurrency, and
-// no in-place mutation of caller slices by exported functions. See
-// internal/analysis for the checkers and the //odrc:allow waiver syntax.
+// (host timing through the Profiler/hostPhase), pool-only concurrency, no
+// in-place mutation of caller slices by exported functions, cached-buffer
+// immutability, and the interprocedural dataflow suite — scratch-arena
+// escapes, context propagation, and mutex discipline on //odrc:guardedby
+// fields. See internal/analysis for the checkers and the //odrc:allow
+// waiver syntax.
 //
 // Usage:
 //
-//	odrc-lint [-C dir]
+//	odrc-lint [-C dir] [-check name[,name...]] [-json] [-workers n]
 //
 // It walks up from -C (default ".") to the enclosing go.mod, lints every
 // non-test package in the module, prints findings as "file:line: [check]
-// message", and exits nonzero when any finding (including a stale waiver)
-// survives.
+// message" (or a JSON array with -json), and exits nonzero when any finding
+// (including a stale waiver) survives. -check restricts the run to the
+// named checkers — handy while developing a fixture — and rejects unknown
+// names with the list of valid ones. The per-package checkers fan out on
+// the worker pool; the summary line on stderr reports the elapsed cost so
+// check.sh lint time stays visible.
 package main
 
 import (
@@ -19,29 +26,51 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 
 	"opendrc/internal/analysis"
 )
 
 func main() {
 	dir := flag.String("C", ".", "directory inside the module to lint")
+	checks := flag.String("check", "", "comma-separated checker names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "print findings as a JSON array instead of text")
+	workers := flag.Int("workers", 0, "per-package checker fan-out width (<= 0 selects GOMAXPROCS)")
 	flag.Parse()
+
+	start := time.Now() //odrc:allow clock — lint CLI self-timing for the check.sh cost line, not engine host work
 
 	root, err := findModuleRoot(*dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "odrc-lint:", err)
 		os.Exit(2)
 	}
-	findings, err := analysis.Run(root)
+	opts := analysis.Options{Workers: *workers}
+	if *checks != "" {
+		for _, name := range strings.Split(*checks, ",") {
+			opts.Checks = append(opts.Checks, strings.TrimSpace(name))
+		}
+	}
+	findings, stats, err := analysis.RunOpts(root, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "odrc-lint:", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "odrc-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
+	elapsed := time.Since(start).Round(time.Millisecond) //odrc:allow clock — lint CLI self-timing for the check.sh cost line, not engine host work
+	fmt.Fprintf(os.Stderr, "odrc-lint: %d package(s), %d checker(s), %d finding(s) in %s\n",
+		stats.Packages, stats.Checks, len(findings), elapsed)
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "odrc-lint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
 }

@@ -82,14 +82,45 @@ var Checkers = []*Checker{MapRange, Clock, RawGo, ArgMut, SharedBuf}
 // comments themselves (malformed, unknown check, stale).
 const WaiverCheck = "waiver"
 
-// knownCheck reports whether name names a real checker.
-func knownCheck(name string) bool {
+// allCheckNames lists every checker, per-package and interprocedural, in
+// reporting order.
+func allCheckNames() []string {
+	var names []string
 	for _, c := range Checkers {
-		if c.Name == name {
+		names = append(names, c.Name)
+	}
+	for _, c := range ProgramCheckers {
+		names = append(names, c.Name)
+	}
+	return names
+}
+
+// knownCheck reports whether name names a real checker (per-package or
+// interprocedural).
+func knownCheck(name string) bool {
+	for _, n := range allCheckNames() {
+		if n == name {
 			return true
 		}
 	}
 	return false
+}
+
+// enabledSet validates a -check selection against the known checkers. An
+// empty selection enables everything (returned as nil).
+func enabledSet(names []string) (map[string]bool, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	valid := allCheckNames()
+	set := map[string]bool{}
+	for _, name := range names {
+		if !knownCheck(name) {
+			return nil, fmt.Errorf("unknown check %q (valid checks: %s)", name, strings.Join(valid, ", "))
+		}
+		set[name] = true
+	}
+	return set, nil
 }
 
 // pkgIs reports whether pkgPath's trailing segments equal suffix (e.g.
@@ -165,8 +196,10 @@ func splitWaiver(s string) (check, reason string, ok bool) {
 }
 
 // applyWaivers suppresses findings covered by a same-file same-line waiver
-// for the same check, then reports every waiver that excused nothing.
-func applyWaivers(findings []Finding, ws []*waiver) []Finding {
+// for the same check, then reports every waiver that excused nothing. A
+// waiver for a check outside the enabled set is ignored entirely (neither
+// suppressing nor stale), so -check runs do not flag unrelated waivers.
+func applyWaivers(findings []Finding, ws []*waiver, enabled map[string]bool) []Finding {
 	out := findings[:0]
 	for _, f := range findings {
 		waived := false
@@ -181,7 +214,7 @@ func applyWaivers(findings []Finding, ws []*waiver) []Finding {
 		}
 	}
 	for _, w := range ws {
-		if !w.used {
+		if !w.used && (enabled == nil || enabled[w.check]) {
 			out = append(out, Finding{Pos: w.pos, Check: WaiverCheck,
 				Message: fmt.Sprintf("stale waiver: the line no longer triggers %q — remove the //odrc:allow", w.check)})
 		}
@@ -189,19 +222,38 @@ func applyWaivers(findings []Finding, ws []*waiver) []Finding {
 	return out
 }
 
-// checkPackage runs the full suite over one type-checked package and returns
-// its post-waiver findings.
-func checkPackage(fset *token.FileSet, pkgPath string, files []*ast.File, pkg *types.Package, info *types.Info) []Finding {
+// runPkgCheckers runs the enabled per-package checkers over one unit and
+// returns the raw (pre-waiver, unsorted) findings.
+func runPkgCheckers(fset *token.FileSet, u *pkgUnit, enabled map[string]bool) []Finding {
 	var findings []Finding
 	pass := &Pass{
-		Fset: fset, Files: files, Pkg: pkg, Info: info, PkgPath: pkgPath,
+		Fset: fset, Files: u.files, Pkg: u.pkg, Info: u.info, PkgPath: u.path,
 		findings: &findings,
 	}
 	for _, c := range Checkers {
+		if enabled != nil && !enabled[c.Name] {
+			continue
+		}
 		c.Run(pass)
 	}
+	return findings
+}
+
+// checkPackage runs the full suite — per-package checkers plus the
+// interprocedural checkers on a one-package program — and returns the
+// post-waiver findings. It is the single-package pipeline the fixture tests
+// drive; Run composes the same pieces module-wide.
+func checkPackage(fset *token.FileSet, pkgPath string, files []*ast.File, pkg *types.Package, info *types.Info) []Finding {
+	return checkPackageChecks(fset, pkgPath, files, pkg, info, nil)
+}
+
+func checkPackageChecks(fset *token.FileSet, pkgPath string, files []*ast.File, pkg *types.Package, info *types.Info, enabled map[string]bool) []Finding {
+	unit := &pkgUnit{path: pkgPath, files: files, pkg: pkg, info: info}
+	findings := runPkgCheckers(fset, unit, enabled)
+	prog := buildProgram(fset, []*pkgUnit{unit})
+	findings = append(findings, runProgramCheckers(prog, enabled)...)
 	ws, bad := collectWaivers(fset, files)
-	findings = applyWaivers(findings, ws)
+	findings = applyWaivers(findings, ws, enabled)
 	findings = append(findings, bad...)
 	sortFindings(findings)
 	return findings

@@ -128,6 +128,32 @@ func TestCheckers(t *testing.T) {
 			want:    []string{"waiver:80"},
 		},
 		{
+			name:    "arenaescape: boundary returns, sinks, cross-call escapes, waiver placement",
+			file:    "arenaescape_src.go",
+			pkgPath: "example.com/internal/geocache",
+			want: []string{"arenaescape:57", "arenaescape:64", "arenaescape:70",
+				"arenaescape:76", "arenaescape:87", "arenaescape:101", "waiver:100"},
+		},
+		{
+			name:    "ctxflow: background/todo, dropped ctx before fan-out",
+			file:    "ctxflow_src.go",
+			pkgPath: "example.com/internal/core",
+			want:    []string{"ctxflow:35", "ctxflow:43", "ctxflow:48", "ctxflow:54"},
+		},
+		{
+			name:    "ctxflow: package main may create root contexts",
+			file:    "ctxflow_main_src.go",
+			pkgPath: "example.com/cmd/odrc",
+			want:    nil,
+		},
+		{
+			name:    "lockdiscipline: guarded fields, branch-aware lock tracking",
+			file:    "lockdiscipline_src.go",
+			pkgPath: "example.com/internal/geocache",
+			want: []string{"lockdiscipline:47", "lockdiscipline:50", "lockdiscipline:58",
+				"lockdiscipline:64", "lockdiscipline:75", "lockdiscipline:76"},
+		},
+		{
 			name:    "waivers suppress, stale waivers report",
 			file:    "waiver_src.go",
 			pkgPath: "example.com/internal/core",

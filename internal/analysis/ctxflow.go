@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CtxFlow enforces context discipline end to end: cancellation only works if
+// every hop propagates its context. Three rules:
+//
+//  1. No context.Background()/context.TODO() outside package main (tests are
+//     never linted). Library code accepts a ctx from its caller; a fresh
+//     Background silently detaches everything below it from cancellation.
+//  2. A function that received a ctx and calls a context-taking callee must
+//     not hand that callee a fresh Background/TODO — that drops the caller's
+//     cancellation on the floor mid-chain.
+//  3. A function that received a ctx must not fan out through a callee that
+//     transitively reaches the worker pool (pool.SubmitCtx / ForEachCtx /
+//     ForEachChunkCtx / WaitCtx) but takes no ctx itself — the fan-out below
+//     becomes uncancellable. This one is interprocedural: the pool
+//     reachability comes from the bottom-up summaries, and the finding
+//     carries the call chain down to the pool entry point.
+var CtxFlow = &ProgramChecker{
+	Name: "ctxflow",
+	Doc:  "contexts must flow: no Background/TODO outside main, no dropped ctx before a pool fan-out",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *ProgPass) {
+	for _, fi := range p.Prog.ordered {
+		checkCtxFlow(p, fi)
+	}
+}
+
+func checkCtxFlow(p *ProgPass, fi *funcInfo) {
+	info := fi.unit.info
+	isMain := fi.unit.pkg.Name() == "main"
+	hasCtx := fi.ctxParam >= 0
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, _, ok := selectorPkgCall(info, call, "context"); ok {
+			switch name {
+			case "Background", "TODO":
+				switch {
+				case isMain:
+				case hasCtx:
+					p.Reportf(call.Pos(), "ctxflow",
+						"%s receives a ctx but creates context.%s — pass the ctx (or a context derived from it) so cancellation propagates", fi.name(), name)
+				default:
+					p.Reportf(call.Pos(), "ctxflow",
+						"context.%s outside package main: accept a ctx parameter and plumb it from the caller", name)
+				}
+			}
+			return true
+		}
+		if !hasCtx {
+			return true
+		}
+		callee := p.Prog.staticCallee(info, call)
+		if callee == nil || callee == fi {
+			return true
+		}
+		if callee.ctxParam < 0 && callee.sum.poolReach != nil {
+			p.Reportf(call.Pos(), "ctxflow",
+				"ctx dropped before a pool fan-out: %s takes no context but %s — the work below this call cannot be cancelled; plumb the ctx through %s",
+				callee.name(), chainString(callee.sum.poolReach), callee.name())
+		}
+		return true
+	})
+}

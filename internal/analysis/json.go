@@ -1,0 +1,34 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// findingJSON is the machine-readable rendering of one finding, used by
+// `odrc-lint -json` (and consumed by CI tooling).
+type findingJSON struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// WriteJSON renders findings as an indented JSON array. The array is always
+// present (an empty run emits []), so consumers never need a null check.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	out := make([]findingJSON, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, findingJSON{
+			File:    f.Pos.Filename,
+			Line:    f.Pos.Line,
+			Column:  f.Pos.Column,
+			Check:   f.Check,
+			Message: f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

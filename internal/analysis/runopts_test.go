@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTempModule lays out a small two-package module with known rawgo
+// findings: internal/a/a.go lines 7 and 8, internal/b/b.go lines 7 and 8,
+// plus a waived line 9 in b.
+func writeTempModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	src := `package %s
+
+func helper() {}
+
+// Fan-out outside the pool: raw go statements the rawgo checker flags.
+func Spawn() {
+	go helper()
+	go helper()
+	go helper() //odrc:allow rawgo — fixture: intentionally unpooled
+}
+`
+	files := map[string]string{
+		"go.mod":          "module example.com/m\n\ngo 1.22\n",
+		"internal/a/a.go": fmt.Sprintf(src, "a"),
+		"internal/b/b.go": fmt.Sprintf(src, "b"),
+	}
+	for name, content := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestRunOptsDeterministicOrder pins the cross-package output contract:
+// findings arrive sorted by (file, line, column, check) no matter how the
+// per-package checkers were scheduled on the pool, and filenames are
+// root-relative.
+func TestRunOptsDeterministicOrder(t *testing.T) {
+	root := writeTempModule(t)
+	want := []string{
+		filepath.Join("internal", "a", "a.go") + ":7 rawgo",
+		filepath.Join("internal", "a", "a.go") + ":8 rawgo",
+		filepath.Join("internal", "b", "b.go") + ":7 rawgo",
+		filepath.Join("internal", "b", "b.go") + ":8 rawgo",
+	}
+	for run := 0; run < 3; run++ {
+		findings, stats, err := RunOpts(root, Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Packages != 2 {
+			t.Fatalf("stats.Packages = %d, want 2", stats.Packages)
+		}
+		var got []string
+		for _, f := range findings {
+			got = append(got, fmt.Sprintf("%s:%d %s", f.Pos.Filename, f.Pos.Line, f.Check))
+		}
+		if strings.Join(got, "|") != strings.Join(want, "|") {
+			t.Fatalf("run %d: findings = %v, want %v", run, got, want)
+		}
+	}
+}
+
+// TestRunOptsUnknownCheck pins the -check error contract: an unknown name
+// fails up front and the message lists every valid checker.
+func TestRunOptsUnknownCheck(t *testing.T) {
+	root := writeTempModule(t)
+	_, _, err := RunOpts(root, Options{Checks: []string{"nosuch"}})
+	if err == nil {
+		t.Fatal("expected an error for an unknown check name")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown check "nosuch"`) {
+		t.Errorf("error %q does not name the unknown check", msg)
+	}
+	for _, name := range allCheckNames() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error %q does not list valid check %q", msg, name)
+		}
+	}
+}
+
+// TestRunOptsCheckFilter pins two -check behaviours: only the selected
+// checker runs, and waivers for unselected checkers are ignored rather than
+// reported stale.
+func TestRunOptsCheckFilter(t *testing.T) {
+	root := writeTempModule(t)
+
+	findings, stats, err := RunOpts(root, Options{Checks: []string{"rawgo"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Checks != 1 {
+		t.Errorf("stats.Checks = %d, want 1", stats.Checks)
+	}
+	if len(findings) != 4 {
+		t.Errorf("rawgo-only run: %d findings, want 4: %v", len(findings), findings)
+	}
+
+	// maprange never fires here, and the rawgo waiver in b.go must not be
+	// reported stale when rawgo itself is not running.
+	findings, _, err = RunOpts(root, Options{Checks: []string{"maprange"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("maprange-only run: unexpected findings %v", findings)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty run = %q, want []", got)
+	}
+
+	buf.Reset()
+	in := []Finding{{
+		Pos:     token.Position{Filename: "internal/core/x.go", Line: 7, Column: 3},
+		Check:   "arenaescape",
+		Message: "recycled scratch returned past the engine boundary",
+	}}
+	if err := WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out) != 1 {
+		t.Fatalf("decoded %d findings, want 1", len(out))
+	}
+	for key, want := range map[string]any{
+		"file": "internal/core/x.go", "line": 7.0, "column": 3.0,
+		"check": "arenaescape", "message": "recycled scratch returned past the engine boundary",
+	} {
+		if out[0][key] != want {
+			t.Errorf("json[%q] = %v, want %v", key, out[0][key], want)
+		}
+	}
+}
+
+// TestEscapeChainCrossesCall pins the interprocedural part of the tentpole:
+// the finding for LeakViaHelper (scratch obtained inside grab, returned by
+// the exported caller) must carry the whole chain — pool method, helper,
+// boundary — in its message.
+func TestEscapeChainCrossesCall(t *testing.T) {
+	findings := lintFixture(t, "example.com/internal/geocache", "arenaescape_src.go")
+	var msg string
+	for _, f := range findings {
+		if f.Check == "arenaescape" && f.Pos.Line == 64 {
+			msg = f.Message
+		}
+	}
+	if msg == "" {
+		t.Fatalf("no arenaescape finding at line 64 (LeakViaHelper): %v", findings)
+	}
+	for _, part := range []string{"scratch from (*Arena).Rects", "returned by grab", "LeakViaHelper"} {
+		if !strings.Contains(msg, part) {
+			t.Errorf("chain message %q is missing %q", msg, part)
+		}
+	}
+}

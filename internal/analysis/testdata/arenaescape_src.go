@@ -1,0 +1,102 @@
+// Fixture for the arenaescape checker. Line numbers are asserted in
+// checkers_test.go — append new cases at the end. The Arena type mirrors
+// geocache.Arena by name; the checker matches scratch pools by type name
+// (like sharedbuf), so the fixture stays self-contained.
+package fixture
+
+type Rect struct{ X0, Y0, X1, Y1 int64 }
+
+// Report mirrors core.Report by name: its fields outlive the run.
+type Report struct{ Rects []Rect }
+
+// Arena is a recycled scratch pool: Rects hands out a buffer that PutRects
+// will recycle under whoever still holds it.
+type Arena struct{ free [][]Rect }
+
+func (a *Arena) Rects(n int) []Rect {
+	if len(a.free) > 0 {
+		b := a.free[len(a.free)-1]
+		a.free = a.free[:len(a.free)-1]
+		return b[:0]
+	}
+	return make([]Rect, 0, n)
+}
+
+func (a *Arena) PutRects(b []Rect) { a.free = append(a.free, b) }
+
+var stash []Rect
+
+// TN: scratch used locally and put back; only a flat count escapes.
+func Sum(a *Arena, n int) int {
+	buf := a.Rects(n)
+	total := 0
+	for _, r := range buf {
+		total += int(r.X0)
+	}
+	a.PutRects(buf)
+	return total
+}
+
+// TN: the scratch is copied before crossing the boundary.
+func Snapshot(a *Arena, n int) []Rect {
+	buf := a.Rects(n)
+	out := make([]Rect, len(buf))
+	copy(out, buf)
+	a.PutRects(buf)
+	return out
+}
+
+// TN: an unexported function may return scratch — the boundary check fires
+// only where it leaves the package surface.
+func grab(a *Arena, n int) []Rect {
+	return a.Rects(n)
+}
+
+// TP: scratch returned straight past the exported boundary (line 57).
+func Leak(a *Arena, n int) []Rect {
+	return a.Rects(n)
+}
+
+// TP (cross-call): the scratch originates inside grab; the escape crosses
+// the call boundary and is reported at the exported return (line 64).
+func LeakViaHelper(a *Arena, n int) []Rect {
+	buf := grab(a, n)
+	return buf
+}
+
+// TP: scratch stored into a package-level variable (line 70).
+func LeakGlobal(a *Arena, n int) {
+	buf := a.Rects(n)
+	stash = buf
+}
+
+// TP: scratch written into a Report field, which outlives the run (line 76).
+func LeakReport(a *Arena, n int, r *Report) {
+	buf := a.Rects(n)
+	r.Rects = buf
+}
+
+// keep stores its parameter into a global: its summary says param 0
+// persists, so handing it scratch is a call-site escape.
+func keep(b []Rect) { stash = b }
+
+// TP (cross-call sink): the store happens inside keep; the escape is
+// reported at the call that handed the scratch over (line 87).
+func LeakViaCall(a *Arena, n int) {
+	buf := a.Rects(n)
+	keep(buf)
+}
+
+// Waived at the reported site: suppressed, waiver consumed.
+func LeakWaived(a *Arena, n int) []Rect {
+	buf := a.Rects(n)
+	return buf //odrc:allow arenaescape — fixture: accepted escape, waiver sits on the reported line
+}
+
+// Waiver on the scratch origin instead of the reported site: the finding
+// survives (line 101) and the waiver on line 100 goes stale — exactly what
+// happens when an interprocedural finding moves and leaves its waiver behind.
+func LeakOriginWaived(a *Arena, n int) []Rect {
+	buf := a.Rects(n) //odrc:allow arenaescape — fixture: wrong line, the finding is at the return
+	return buf
+}

@@ -1,0 +1,13 @@
+// Fixture: package main is exempt from the Background/TODO rule — an
+// entry point is exactly where a root context is supposed to be created.
+package main
+
+import "context"
+
+func rootCtx() context.Context {
+	return context.Background()
+}
+
+func main() {
+	_ = rootCtx()
+}

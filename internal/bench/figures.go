@@ -83,7 +83,7 @@ type Fig4Row struct {
 // paper's runtime breakdown (partition ≈ 15%, sweepline + interval tree ≈
 // 35%, edge-to-edge checks 40–50%).
 func Fig4(layouts map[string]*layout.Layout) ([]Fig4Row, error) {
-	return Fig4Context(context.Background(), layouts)
+	return Fig4Context(context.Background(), layouts) //odrc:allow ctxflow — context-free convenience wrapper, delegates to the Context variant
 }
 
 // Fig4Context is Fig4 under a context; cancellation aborts between designs.
@@ -134,7 +134,7 @@ func WriteFig4(w io.Writer, rows []Fig4Row) {
 // BreakdownProfile exposes the raw profiler of a sequential spacing run for
 // one design (used by cmd/odrc-bench -fig 4 -design X).
 func BreakdownProfile(lo *layout.Layout, ruleID string) (*infra.Profiler, error) {
-	return BreakdownProfileContext(context.Background(), lo, ruleID)
+	return BreakdownProfileContext(context.Background(), lo, ruleID) //odrc:allow ctxflow — context-free convenience wrapper, delegates to the Context variant
 }
 
 // BreakdownProfileContext is BreakdownProfile under a context.

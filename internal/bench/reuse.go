@@ -156,7 +156,7 @@ func reusePair(ctx context.Context, lo *layout.Layout, mode core.Mode, runs int)
 // both engine modes; runs is the repetitions per cell (the best of the
 // interleaved runs is reported).
 func Reuse(layouts map[string]*layout.Layout, runs int, scale float64) (*ReuseReport, error) {
-	return ReuseContext(context.Background(), layouts, runs, scale)
+	return ReuseContext(context.Background(), layouts, runs, scale) //odrc:allow ctxflow — context-free convenience wrapper, delegates to the Context variant
 }
 
 // ReuseContext is Reuse under a context; cancellation aborts between runs.

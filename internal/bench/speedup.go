@@ -101,7 +101,7 @@ func speedupPair(ctx context.Context, lo *layout.Layout, mode core.Mode, workers
 // workers <= 0 selects GOMAXPROCS; runs is the repetitions per cell
 // (the best of the interleaved runs is reported), at least 1.
 func Speedup(layouts map[string]*layout.Layout, workers, runs int, scale float64) (*SpeedupReport, error) {
-	return SpeedupContext(context.Background(), layouts, workers, runs, scale)
+	return SpeedupContext(context.Background(), layouts, workers, runs, scale) //odrc:allow ctxflow — context-free convenience wrapper, delegates to the Context variant
 }
 
 // SpeedupContext is Speedup under a context; cancellation aborts between

@@ -39,7 +39,7 @@ type shardTable struct {
 // repeated identical runs interleave — and trace — identically.
 type shardPool struct {
 	mu   sync.Mutex
-	free []*shardTable
+	free []*shardTable //odrc:guardedby mu
 }
 
 // get returns a table of n empty shards. Backing arrays — the table and each

@@ -260,7 +260,7 @@ func (r *Report) CountByRule() map[string]int {
 
 // Check runs the configured deck against the layout with no deadline.
 func (e *Engine) Check(lo *layout.Layout) (*Report, error) {
-	return e.CheckContext(context.Background(), lo)
+	return e.CheckContext(context.Background(), lo) //odrc:allow ctxflow — context-free convenience wrapper, delegates to the Context variant
 }
 
 // CheckContext runs the configured deck against the layout under ctx.

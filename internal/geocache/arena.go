@@ -36,9 +36,9 @@ import (
 //     explicitly. Recycling therefore cannot change results, only costs.
 type Arena struct {
 	mu    sync.Mutex
-	polys [][]geom.Polygon
-	rects [][]geom.Rect
-	pairs [][][2]int
+	polys [][]geom.Polygon //odrc:guardedby mu
+	rects [][]geom.Rect    //odrc:guardedby mu
+	pairs [][][2]int       //odrc:guardedby mu
 }
 
 // NewArena returns an empty arena.

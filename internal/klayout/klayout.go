@@ -118,7 +118,7 @@ type Result struct {
 
 // Check runs one rule in the configured mode with no deadline.
 func Check(lo *layout.Layout, r rules.Rule, opts Options) (*Result, error) {
-	return CheckContext(context.Background(), lo, r, opts)
+	return CheckContext(context.Background(), lo, r, opts) //odrc:allow ctxflow — context-free convenience wrapper, delegates to the Context variant
 }
 
 // CheckContext runs one rule in the configured mode under ctx. Cancellation

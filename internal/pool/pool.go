@@ -62,8 +62,9 @@ type Pool struct {
 	taskSeq atomic.Uint64  // numbers traced SubmitCtx tasks in submission order
 
 	mu     sync.Mutex
-	closed bool
-	err    *PanicError // first worker panic, cleared by Wait
+	closed bool //odrc:guardedby mu
+	// err is the first worker panic, cleared by Wait.
+	err *PanicError //odrc:guardedby mu
 }
 
 // New starts a pool with the given number of workers (<= 0 selects
@@ -210,7 +211,7 @@ func (p *Pool) Close() error {
 // the surviving workers and then re-panics the first *PanicError on the
 // caller.
 func ForEach(workers, n int, fn func(i int)) {
-	err := ForEachCtx(context.Background(), workers, n, func(i int) error {
+	err := ForEachCtx(context.Background(), workers, n, func(i int) error { //odrc:allow ctxflow — context-free convenience wrapper, delegates to the Context variant
 		fn(i)
 		return nil
 	})

@@ -54,7 +54,7 @@ type scratch struct {
 // zero value is ready to use.
 type Pool struct {
 	mu   sync.Mutex
-	free []*scratch
+	free []*scratch //odrc:guardedby mu
 }
 
 func (p *Pool) get() *scratch {

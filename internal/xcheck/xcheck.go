@@ -50,7 +50,7 @@ type Result struct {
 
 // Check runs one rule with no deadline.
 func Check(lo *layout.Layout, r rules.Rule, opts Options) (*Result, error) {
-	return CheckContext(context.Background(), lo, r, opts)
+	return CheckContext(context.Background(), lo, r, opts) //odrc:allow ctxflow — context-free convenience wrapper, delegates to the Context variant
 }
 
 // CheckContext runs one rule under ctx. Cancellation is cooperative: it is
