@@ -3,8 +3,9 @@
 # odrc-lint invariant suite (determinism, clock discipline, pool-only
 # concurrency, no caller-slice mutation), the full test suite under the
 # race detector (the worker-pool fan-out makes -race part of tier-1
-# verification; the chaos and cancellation suites run here too), and a
-# short fuzz smoke over the GDSII reader and the polygon/transform algebra.
+# verification; the chaos and cancellation suites run here too), a short
+# fuzz smoke over the GDSII reader and the polygon/transform algebra, and
+# an end-to-end smoke of the odrcd service over real HTTP.
 set -e
 
 unformatted=$(gofmt -l .)
@@ -42,5 +43,11 @@ go run ./cmd/odrc-bench -reuse -runs 5 -scale 0.3 -out BENCH_reuse.json -gate
 # flows, well-formed events). Catches export regressions off the test path.
 go run ./cmd/odrc-bench -trace BENCH_trace.json -scale 0.1
 go run ./cmd/odrc-bench -validate-trace BENCH_trace.json
+
+# Service smoke: start odrcd on an ephemeral port, load a generated GDS as a
+# resident session, run full-deck and single-rule checks over HTTP, and
+# require every response byte-identical to `odrc -canon`; then a goroutine
+# steady-state check and a clean SIGTERM drain.
+./smoke_odrcd.sh
 
 echo "check.sh: all green"

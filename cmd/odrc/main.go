@@ -51,6 +51,7 @@ func run() int {
 	ruleIDs := flag.String("rule", "", "comma-separated rule IDs from the standard deck (default: all)")
 	deckFile := flag.String("deck", "", "rule deck file (overrides the built-in deck; see internal/rules.ParseDeck)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout")
+	canonOut := flag.Bool("canon", false, "emit the canonical report JSON (the timing-free form odrcd serves; for diffing service responses against batch runs)")
 	verbose := flag.Bool("v", false, "print every violation (default: per-rule counts only)")
 	stats := flag.Bool("stats", false, "print scheduling statistics and phase breakdown")
 	dedup := flag.Bool("dedup", true, "merge identical violation markers")
@@ -172,6 +173,13 @@ func run() int {
 	code := exitOK
 	if rep.Degraded {
 		code = exitDegraded
+	}
+	if *canonOut {
+		rep.Violations = vs
+		if err := rep.WriteCanonicalJSON(os.Stdout); err != nil {
+			return fail(err)
+		}
+		return code
 	}
 	if *jsonOut {
 		rep.Violations = vs

@@ -17,11 +17,14 @@ import (
 // errors.Is(err, budget.ErrExceeded).
 var ErrExceeded = errors.New("budget exceeded")
 
-// Error reports one tripped budget.
+// Error reports one tripped budget. It marshals to JSON as
+// {"resource":..., "used":..., "limit":...} so report failures and service
+// error bodies carry the tripped budget structurally instead of forcing
+// consumers to parse the rendered message.
 type Error struct {
-	Resource string // "flatten-polys", "packed-edges", "device-pool-bytes"
-	Limit    int64  // the configured budget
-	Used     int64  // the demand that tripped it
+	Resource string `json:"resource"` // "flatten-polys", "packed-edges", "device-pool-bytes"
+	Limit    int64  `json:"limit"`    // the configured budget
+	Used     int64  `json:"used"`     // the demand that tripped it
 }
 
 // Error implements error.
@@ -31,6 +34,17 @@ func (e *Error) Error() string {
 
 // Unwrap ties the typed error to the ErrExceeded sentinel.
 func (e *Error) Unwrap() error { return ErrExceeded }
+
+// FromError extracts the typed budget error wrapped anywhere in err's chain,
+// or nil: the one-liner consumers use to attach structured budget fields to
+// their own error bodies.
+func FromError(err error) *Error {
+	var be *Error
+	if errors.As(err, &be) {
+		return be
+	}
+	return nil
+}
 
 // Check returns a *Error when used exceeds limit; a limit <= 0 means
 // unlimited and always passes.

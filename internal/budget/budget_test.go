@@ -1,7 +1,9 @@
 package budget
 
 import (
+	"encoding/json"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -38,5 +40,60 @@ func TestCheckExceeded(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "device-pool-bytes") {
 		t.Fatalf("error text %q does not name the resource", err.Error())
+	}
+}
+
+// TestErrorJSONRoundTrip pins the structured wire shape: a tripped budget
+// marshals to named resource/used/limit fields and unmarshals back to an
+// equal value, so service error bodies never have to parse the rendered
+// message.
+func TestErrorJSONRoundTrip(t *testing.T) {
+	orig := &Error{Resource: "packed-edges", Limit: 1000, Used: 1234}
+	raw, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"resource":"packed-edges","limit":1000,"used":1234}`
+	if string(raw) != want {
+		t.Fatalf("marshaled form = %s, want %s", raw, want)
+	}
+	var back Error
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != *orig {
+		t.Fatalf("round trip = %+v, want %+v", back, *orig)
+	}
+}
+
+// TestErrorWrappedRoundTrip follows a budget error through fmt.Errorf
+// wrapping, the way the engine and the service layer pass it around: Is
+// still matches the sentinel, As and FromError still recover the typed
+// value, and the recovered value marshals structurally.
+func TestErrorWrappedRoundTrip(t *testing.T) {
+	inner := Check("flatten-polys", 501, 500)
+	wrapped := fmt.Errorf("core: rule M1.W.1: %w", fmt.Errorf("flatten: %w", inner))
+	if !errors.Is(wrapped, ErrExceeded) {
+		t.Fatalf("errors.Is(%v, ErrExceeded) = false", wrapped)
+	}
+	var be *Error
+	if !errors.As(wrapped, &be) {
+		t.Fatalf("errors.As failed on %v", wrapped)
+	}
+	if be.Resource != "flatten-polys" || be.Used != 501 || be.Limit != 500 {
+		t.Fatalf("recovered fields = %+v", be)
+	}
+	if got := FromError(wrapped); got != be {
+		t.Fatalf("FromError = %v, want the wrapped *Error", got)
+	}
+	if FromError(errors.New("unrelated")) != nil {
+		t.Fatal("FromError matched an unrelated error")
+	}
+	raw, err := json.Marshal(be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"resource":"flatten-polys"`) {
+		t.Fatalf("marshaled wrapped error = %s", raw)
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"opendrc/internal/budget"
 	"opendrc/internal/faults"
+	"opendrc/internal/geocache"
 	"opendrc/internal/gpu"
 	"opendrc/internal/infra"
 	"opendrc/internal/layout"
@@ -217,8 +218,12 @@ type RuleFailure struct {
 	// recovered through the pool).
 	Panicked bool
 	Stack    string
-	// BudgetExceeded marks failures caused by a resource budget.
+	// BudgetExceeded marks failures caused by a resource budget; Budget then
+	// carries the tripped budget structurally (resource, limit, demand) so
+	// consumers — the JSON report, the odrcd error bodies — need not parse
+	// the rendered message.
 	BudgetExceeded bool
+	Budget         *budget.Error
 }
 
 // Report is the result of a check run.
@@ -270,6 +275,16 @@ func (e *Engine) Check(lo *layout.Layout) (*Report, error) {
 // panics, trips a budget, or hits an injected fault is recorded as a
 // RuleFailure (Report.Degraded) and the remaining rules still run.
 func (e *Engine) CheckContext(ctx context.Context, lo *layout.Layout) (*Report, error) {
+	return e.checkWith(ctx, lo, nil)
+}
+
+// checkWith is CheckContext with optionally session-owned state: a non-nil
+// session contributes its resident geometry source and (parallel mode) its
+// persistent device context, so the expensive cross-rule state survives the
+// run instead of being rebuilt per check. A nil session is the batch path —
+// per-run geometry source, per-run device. The caller (Session.Check) holds
+// the session lock.
+func (e *Engine) checkWith(ctx context.Context, lo *layout.Layout, ses *Session) (*Report, error) {
 	if err := e.deck.Validate(); err != nil {
 		return nil, err
 	}
@@ -287,12 +302,31 @@ func (e *Engine) CheckContext(ctx context.Context, lo *layout.Layout) (*Report, 
 		})
 		ctx = trace.WithRecorder(ctx, rec)
 	}
-	geo := newGeoSource(e.opts, rec)
+	var geo *geoSource
+	if ses != nil {
+		geo = ses.geo
+	} else {
+		geo = newGeoSource(e.opts, rec)
+	}
+	// Session cache counters accumulate across checks; snapshot so the
+	// report carries this run's traffic (a warm session reports pure hits).
+	var cs0 geocache.Stats
+	if geo.cache != nil {
+		cs0 = geo.cache.Stats()
+	}
+	// On a session device the modeled clock is cumulative; Modeled must be
+	// this run's delta, measured from the clock reading at entry.
+	var devStart time.Duration
 	start := rep.Profile.Elapsed()
 	var err error
 	switch e.opts.Mode {
 	case Parallel:
-		err = e.checkParallel(ctx, lo, rep, geo)
+		var pc *parCtx
+		if ses != nil {
+			pc = ses.deviceCtx()
+			devStart = pc.dev.HostClock()
+		}
+		err = e.checkParallel(ctx, lo, rep, geo, pc)
 	default:
 		err = e.checkSequential(ctx, lo, rep, geo)
 	}
@@ -303,14 +337,14 @@ func (e *Engine) CheckContext(ctx context.Context, lo *layout.Layout) (*Report, 
 	if rep.Device == nil {
 		rep.Modeled = rep.HostWall
 	} else {
-		rep.Modeled = rep.Device.HostClock()
+		rep.Modeled = rep.Device.HostClock() - devStart
 	}
 	if geo.cache != nil {
 		cs := geo.cache.Stats()
-		rep.Stats.FlattenCacheHits = cs.FlattenHits
-		rep.Stats.FlattenCacheMisses = cs.FlattenMisses
-		rep.Stats.PackCacheHits = cs.PackHits
-		rep.Stats.PackCacheMisses = cs.PackMisses
+		rep.Stats.FlattenCacheHits = cs.FlattenHits - cs0.FlattenHits
+		rep.Stats.FlattenCacheMisses = cs.FlattenMisses - cs0.FlattenMisses
+		rep.Stats.PackCacheHits = cs.PackHits - cs0.PackHits
+		rep.Stats.PackCacheMisses = cs.PackMisses - cs0.PackMisses
 	}
 	if rec != nil {
 		rep.Stats.Trace = buildTraceSummary(rep)
@@ -377,6 +411,7 @@ func (e *Engine) guardRule(ctx context.Context, rep *Report, r rules.Rule, fn fu
 	}
 	if errors.Is(err, budget.ErrExceeded) {
 		f.BudgetExceeded = true
+		f.Budget = budget.FromError(err)
 	}
 	rep.Failures = append(rep.Failures, f)
 	rep.Degraded = true

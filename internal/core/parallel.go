@@ -33,7 +33,10 @@ import (
 // polygon pair) for small rows and the two-kernel parallel sweepline for
 // large ones.
 
-// parCtx bundles the device plumbing of one parallel run.
+// parCtx bundles the device plumbing of one parallel run. A batch run owns
+// its parCtx for one check; a Session marks its parCtx persistent and hands
+// it to every check it serves, so resident layer buffers (and their derived
+// MBR tables) survive across checks until the session closes or evicts them.
 type parCtx struct {
 	dev *gpu.Device
 	io  *gpu.Stream // async copies host->device
@@ -41,6 +44,7 @@ type parCtx struct {
 
 	geo        *geoSource
 	residentOn bool           // keep layer buffers on the device across rules
+	persistent bool           // session-owned: residents outlive the check
 	resident   []*residentBuf // slice, not map: eviction scans must be deterministic
 	useCtr     int64
 }
@@ -119,17 +123,19 @@ func (p *parCtx) hostPhase(rep *Report, name string, fn func() error) error {
 // geometry is usually a cache hit costing ~zero host time. Prefetching only
 // warms the cache — it never touches streams, the report, or rule state — so
 // reports stay bit-identical with and without it.
-func (e *Engine) checkParallel(ctx context.Context, lo *layout.Layout, rep *Report, geo *geoSource) error {
+func (e *Engine) checkParallel(ctx context.Context, lo *layout.Layout, rep *Report, geo *geoSource, pc *parCtx) error {
 	if err := checkMagRestriction(lo, e.deck); err != nil {
 		return err
 	}
-	pc := &parCtx{dev: gpu.NewDevice(e.opts.Device), geo: geo, residentOn: geo.cache != nil}
-	pc.io = pc.dev.NewStream("h2d")
-	pc.cs = pc.dev.NewStream("checks")
-	rep.Device = pc.dev
-	if n := e.opts.Budgets.MaxDeviceBytes; n > 0 {
-		pc.dev.SetMemLimit(n)
+	if pc == nil {
+		pc = &parCtx{dev: gpu.NewDevice(e.opts.Device), geo: geo, residentOn: geo.cache != nil}
+		pc.io = pc.dev.NewStream("h2d")
+		pc.cs = pc.dev.NewStream("checks")
+		if n := e.opts.Budgets.MaxDeviceBytes; n > 0 {
+			pc.dev.SetMemLimit(n)
+		}
 	}
+	rep.Device = pc.dev
 	if e.opts.Faults != nil {
 		inj := e.opts.Faults
 		pc.dev.SetAllocHook(func(n int64) error {
@@ -258,7 +264,9 @@ func (e *Engine) checkParallel(ctx context.Context, lo *layout.Layout, rep *Repo
 	}
 	// Return the resident layer buffers to the pool: the frees are ordered
 	// after every kernel enqueued so far, mirroring how they were uploaded.
-	if len(pc.resident) > 0 {
+	// A persistent (session-owned) context keeps them — that residency across
+	// checks is the point of a session; Session.Close frees them the same way.
+	if !pc.persistent && len(pc.resident) > 0 {
 		pc.io.WaitEvent(pc.cs.RecordEvent())
 		for _, b := range pc.resident {
 			pc.io.FreeAsync(b.bytes)

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"opendrc/internal/budget"
 	"opendrc/internal/layout"
 	"opendrc/internal/rules"
 )
@@ -32,12 +33,14 @@ type jsonViolation struct {
 // jsonFailure is the serialized form of one isolated rule failure. The
 // panic stack is deliberately omitted from JSON (it is host-specific and
 // would break report comparisons); consumers that need it read the Report
-// struct directly.
+// struct directly. Budget carries the tripped budget structurally
+// ({"resource","limit","used"}) when the failure was a budget trip.
 type jsonFailure struct {
-	Rule           string `json:"rule"`
-	Err            string `json:"err"`
-	Panicked       bool   `json:"panicked,omitempty"`
-	BudgetExceeded bool   `json:"budget_exceeded,omitempty"`
+	Rule           string        `json:"rule"`
+	Err            string        `json:"err"`
+	Panicked       bool          `json:"panicked,omitempty"`
+	BudgetExceeded bool          `json:"budget_exceeded,omitempty"`
+	Budget         *budget.Error `json:"budget,omitempty"`
 }
 
 // jsonReport is the serialized form of a check run.
@@ -67,6 +70,53 @@ func (r *Report) WriteJSON(w io.Writer) error {
 		out.Failures = append(out.Failures, jsonFailure{
 			Rule: f.Rule, Err: f.Err,
 			Panicked: f.Panicked, BudgetExceeded: f.BudgetExceeded,
+			Budget: f.Budget,
+		})
+	}
+	for _, v := range r.Violations {
+		out.Violations = append(out.Violations, jsonViolation{
+			Rule: v.Rule, Kind: v.Kind.String(), Layer: int16(v.Layer),
+			XLo: v.Marker.Box.XLo, YLo: v.Marker.Box.YLo,
+			XHi: v.Marker.Box.XHi, YHi: v.Marker.Box.YHi,
+			Dist: v.Marker.Dist, Corner: v.Marker.Corner, Cell: v.Cell,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// jsonCanonical is the configuration-independent serialized form: the check
+// verdict alone. It drops everything a run's environment perturbs — host and
+// modeled timings, and the scheduling/cache counters in Stats (a resident
+// session's cache hits where a batch run misses) — so the same layout and
+// deck produce byte-identical output from the batch CLI, a cold session,
+// and a warm session. The byte-diff the service smoke test runs is this
+// form.
+type jsonCanonical struct {
+	Mode        string          `json:"mode"`
+	Degraded    bool            `json:"degraded,omitempty"`
+	Failures    []jsonFailure   `json:"failures,omitempty"`
+	Violations  []jsonViolation `json:"violations"`
+	CountByRule map[string]int  `json:"count_by_rule"`
+}
+
+// WriteCanonicalJSON serializes the report's canonical form: violations
+// (already deterministically sorted), failures, and per-rule counts, with
+// no timing or statistics. encoding/json emits map keys sorted, so the
+// output is a pure function of the check verdict.
+func (r *Report) WriteCanonicalJSON(w io.Writer) error {
+	out := jsonCanonical{
+		Mode:        r.Mode.String(),
+		Degraded:    r.Degraded,
+		Violations:  make([]jsonViolation, 0, len(r.Violations)),
+		CountByRule: r.CountByRule(),
+	}
+	for _, f := range r.Failures {
+		out.Failures = append(out.Failures, jsonFailure{
+			Rule: f.Rule, Err: f.Err,
+			Panicked: f.Panicked, BudgetExceeded: f.BudgetExceeded,
+			Budget: f.Budget,
 		})
 	}
 	for _, v := range r.Violations {

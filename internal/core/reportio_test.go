@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"opendrc/internal/budget"
 	"opendrc/internal/synth"
 )
 
@@ -52,5 +53,54 @@ func TestReportText(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("text report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestCanonicalJSON pins the canonical form: no timing, no stats, and a
+// degraded budget failure carries the structured budget object — while the
+// violations and counts match the full form.
+func TestCanonicalJSON(t *testing.T) {
+	lo, _ := loadDesign(t, "uart", 1)
+	rep := runEngine(t, lo,
+		Options{Mode: Parallel, Budgets: budget.Limits{MaxFlattenPolys: 1}}, synth.Deck())
+	if !rep.Degraded {
+		t.Fatal("1-poly flatten budget did not degrade the run")
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteCanonicalJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, forbidden := range []string{"host_wall_us", "modeled_us", "\"stats\""} {
+		if strings.Contains(out, forbidden) {
+			t.Errorf("canonical form leaks %q:\n%s", forbidden, out)
+		}
+	}
+	var decoded struct {
+		Mode     string `json:"mode"`
+		Degraded bool   `json:"degraded"`
+		Failures []struct {
+			Rule   string `json:"rule"`
+			Budget *struct {
+				Resource string `json:"resource"`
+				Limit    int64  `json:"limit"`
+				Used     int64  `json:"used"`
+			} `json:"budget"`
+		} `json:"failures"`
+		Violations  []any          `json:"violations"`
+		CountByRule map[string]int `json:"count_by_rule"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if !decoded.Degraded || len(decoded.Failures) == 0 {
+		t.Fatalf("degradation missing from canonical form:\n%s", out)
+	}
+	f := decoded.Failures[0]
+	if f.Budget == nil || f.Budget.Resource != "flatten-polys" || f.Budget.Limit != 1 || f.Budget.Used <= 1 {
+		t.Fatalf("structured budget missing or wrong: %+v", f)
+	}
+	if len(decoded.Violations) != len(rep.Violations) {
+		t.Errorf("violations = %d, want %d", len(decoded.Violations), len(rep.Violations))
 	}
 }

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"opendrc/internal/gpu"
+	"opendrc/internal/layout"
+	"opendrc/internal/rules"
+)
+
+// The session layer. A batch check pays its full cost every run: the layout
+// is flattened and packed per deck, and the parallel mode uploads every
+// layer's edge buffer to a device created for the occasion. A Session pins
+// that expensive state to the lifetime of a loaded design instead — one
+// geometry cache (flattens, packs, MBR tables, row partitions) and, in
+// parallel mode, one simulated device whose resident layer buffers survive
+// from check to check — so a service holding designs open (the odrcd daemon)
+// answers repeat checks at warm-cache cost. Sessions trade nothing for the
+// speed: violations, failures, and degradation behavior are bit-identical
+// to batch runs of the same deck (see Report.WriteCanonicalJSON); only the
+// cost counters and timings differ.
+
+// ErrSessionClosed is returned by Check on a closed session.
+var ErrSessionClosed = errors.New("core: session closed")
+
+// Session holds one layout's resident check state across runs. Checks,
+// invalidation, and Close serialize on an internal lock, so a Session is
+// safe for concurrent use — though callers wanting throughput should
+// serialize externally (the odrcd daemon runs one check at a time per
+// session and queues the rest). The lock is a 1-token channel rather than a
+// sync.Mutex so waiters can honor their context.
+type Session struct {
+	opts Options
+	lo   *layout.Layout
+
+	mu  chan struct{} // 1-token semaphore: a mutex Check could not hold across ctx waits
+	geo *geoSource
+
+	smu    sync.Mutex // guards the pc pointer so observers need not queue behind checks
+	pc     *parCtx    //odrc:guardedby smu
+	closed bool       // written with mu held
+}
+
+// NewSession pins a layout and options into a resident session. The options
+// are fixed for the session's lifetime — mode, device model, budgets, fault
+// injector, and trace recorder apply to every check it serves. (A session
+// recorder accumulates spans across checks on one timeline; pass nil for
+// the usual zero-cost default.)
+func NewSession(lo *layout.Layout, opts Options) *Session {
+	if opts.BruteEdgeThreshold == 0 {
+		opts.BruteEdgeThreshold = defaultBruteEdgeThreshold
+	}
+	if opts.Device.SMs == 0 {
+		opts.Device = gpu.GTX1660Ti()
+	}
+	s := &Session{opts: opts, lo: lo, mu: make(chan struct{}, 1)}
+	s.geo = newGeoSource(opts, opts.Trace)
+	return s
+}
+
+// lock acquires the session lock, honoring ctx so a caller queued behind a
+// long check can still time out or disconnect.
+func (s *Session) lock(ctx context.Context) error {
+	select {
+	case s.mu <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Session) unlock() { <-s.mu }
+
+// Layout returns the session's pinned layout.
+func (s *Session) Layout() *layout.Layout { return s.lo }
+
+// Check runs deck against the session's layout, reusing the resident
+// geometry cache and device buffers. The deck is per-call: a session serves
+// full-deck and single-rule checks interchangeably. Cancellation semantics
+// match Engine.CheckContext; the resident state stays consistent whether
+// the check completes, degrades, or is cancelled (partial uploads are
+// session state like any other and are freed on Close).
+func (s *Session) Check(ctx context.Context, deck rules.Deck) (*Report, error) {
+	if err := s.lock(ctx); err != nil {
+		return nil, err
+	}
+	defer s.unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	e := New(s.opts)
+	if err := e.AddRules(deck...); err != nil {
+		return nil, err
+	}
+	return e.checkWith(ctx, s.lo, s)
+}
+
+// deviceCtx returns the session's persistent device context, creating it on
+// the first parallel check and trimming the retained timeline on later ones
+// so each Report's device view covers its own run. Called with the session
+// lock held.
+func (s *Session) deviceCtx() *parCtx {
+	s.smu.Lock()
+	pc := s.pc
+	s.smu.Unlock()
+	if pc == nil {
+		pc = &parCtx{
+			dev: gpu.NewDevice(s.opts.Device), geo: s.geo,
+			residentOn: s.geo.cache != nil, persistent: true,
+		}
+		pc.io = pc.dev.NewStream("h2d")
+		pc.cs = pc.dev.NewStream("checks")
+		if n := s.opts.Budgets.MaxDeviceBytes; n > 0 {
+			pc.dev.SetMemLimit(n)
+		}
+		s.smu.Lock()
+		s.pc = pc
+		s.smu.Unlock()
+		return pc
+	}
+	pc.dev.TrimTimeline()
+	return pc
+}
+
+// Invalidate drops the session's resident geometry for the given layers —
+// cached flattens, packs, MBR tables, and row partitions, plus any
+// device-resident edge buffer — so the next check recomputes and re-uploads
+// them. With no layers it drops everything. The hook for callers that
+// mutate the layout in place between checks (incremental flows); an
+// unchanged layout never needs it.
+func (s *Session) Invalidate(ctx context.Context, layers ...layout.Layer) error {
+	if err := s.lock(ctx); err != nil {
+		return err
+	}
+	defer s.unlock()
+	if s.closed {
+		return ErrSessionClosed
+	}
+	if s.geo.cache != nil {
+		s.geo.cache.Invalidate(layers...)
+	}
+	s.smu.Lock()
+	pc := s.pc
+	s.smu.Unlock()
+	if pc != nil {
+		s.freeResident(pc, layers)
+	}
+	return nil
+}
+
+// freeResident frees the device-resident buffers of the given layers (all
+// when none given), ordered after every kernel enqueued so far — the same
+// ordering the LRU eviction and the end-of-run free use. Session lock held.
+func (s *Session) freeResident(pc *parCtx, layers []layout.Layer) {
+	keep := pc.resident[:0]
+	var doomed []*residentBuf
+	for _, b := range pc.resident {
+		drop := len(layers) == 0
+		for _, l := range layers {
+			if b.layer == l {
+				drop = true
+				break
+			}
+		}
+		if drop {
+			doomed = append(doomed, b)
+		} else {
+			keep = append(keep, b)
+		}
+	}
+	if len(doomed) == 0 {
+		return
+	}
+	pc.io.WaitEvent(pc.cs.RecordEvent())
+	for _, b := range doomed {
+		pc.io.FreeAsync(b.bytes)
+	}
+	pc.resident = keep
+}
+
+// Close releases the session's resident state: every device-resident buffer
+// is freed (ordered after all enqueued kernels, mirroring upload order) and
+// both streams synchronize, so the device pool's in-use bytes return to
+// zero deterministically. Close is idempotent; a closed session fails
+// subsequent Checks with ErrSessionClosed. Close never interrupts a running
+// check — it waits its turn on the session lock (pass a cancellable ctx to
+// bound that wait; the engine observes cancellation at rule boundaries).
+func (s *Session) Close(ctx context.Context) error {
+	if err := s.lock(ctx); err != nil {
+		return err
+	}
+	defer s.unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.smu.Lock()
+	pc := s.pc
+	s.pc = nil
+	s.smu.Unlock()
+	if pc != nil {
+		s.freeResident(pc, nil)
+		pc.cs.Synchronize()
+		pc.io.Synchronize()
+	}
+	return nil
+}
+
+// Device exposes the session's resident simulated device (nil before the
+// first parallel check or after Close) — pool accounting and the modeled
+// clock are the observable session footprint. Device never queues behind a
+// running check, so status endpoints stay responsive.
+func (s *Session) Device() *gpu.Device {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	if s.pc == nil {
+		return nil
+	}
+	return s.pc.dev
+}
+
+// ModeledClock returns the session device's cumulative modeled time (zero
+// when no parallel check has run). Non-blocking like Device.
+func (s *Session) ModeledClock() time.Duration {
+	if dev := s.Device(); dev != nil {
+		return dev.HostClock()
+	}
+	return 0
+}

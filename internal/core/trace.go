@@ -161,7 +161,11 @@ func buildTraceSummary(rep *Report) *TraceSummary {
 		return s
 	}
 	recs := rep.Device.Timeline()
-	busy := busyIntervals(recs, 0, len(recs))
+	// Cover every retained record: sequence numbers are monotonic over the
+	// device's lifetime, so on a session device (timeline trimmed between
+	// checks) they start above len(recs) — bound by the device's own count,
+	// not the slice length.
+	busy := busyIntervals(recs, 0, rep.Device.OpCount())
 	db := totalIntervals(busy)
 	s.DeviceBusyUS = db.Microseconds()
 	if rep.Modeled > 0 {

@@ -69,6 +69,20 @@ const (
 	SiteAlloc   = "gpu.alloc"      // key: allocation label
 	SiteTile    = "klayout.tile"   // key: "tile#i"
 	SiteFlatten = "geocache.layer" // key: "layer#<n>"; fires once per cached flatten, degrading every rule sharing the layer
+
+	// Service-layer seams (internal/server): the chaos suite reaches the
+	// HTTP daemon through the same seeded (seed, site, key) mechanism as
+	// the engine, so injected request and load failures reproduce
+	// bit-identically across reruns and concurrency levels.
+
+	// SiteRequest fires at the start of one admitted check request; the key
+	// is the request's deterministic identity "session/check#seq" (per-
+	// session arrival order, not goroutine schedule).
+	SiteRequest = "server.request"
+	// SiteSessionLoad fires inside the single-flight session load; the key
+	// is the session ID, so every concurrent loader of that session observes
+	// the same injected outcome.
+	SiteSessionLoad = "server.session-load"
 )
 
 // ErrInjected is the sentinel every injected error unwraps to.
@@ -112,6 +126,10 @@ type Injection struct {
 	Mode Mode
 	// Stall is the Stall-mode block duration.
 	Stall time.Duration
+	// IgnoreCancel makes a Stall ignore ctx — a non-cooperative hang, the
+	// case the service watchdog exists for. The stall still returns when
+	// its duration elapses, so chaos runs always terminate.
+	IgnoreCancel bool
 }
 
 // Injector evaluates injections. The zero value and the nil pointer are
@@ -186,7 +204,7 @@ func (in *Injector) Hit(ctx context.Context, site, key string) error {
 	case Stall:
 		t := time.NewTimer(inj.Stall)
 		defer t.Stop()
-		if ctx == nil {
+		if ctx == nil || inj.IgnoreCancel {
 			<-t.C
 			return nil
 		}

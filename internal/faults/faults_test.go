@@ -125,6 +125,96 @@ func TestStallElapses(t *testing.T) {
 	}
 }
 
+// TestStallIgnoreCancel covers the non-cooperative hang: the stall outlives
+// its context's deadline (the shape the service watchdog is built for) but
+// still terminates when its own duration elapses.
+func TestStallIgnoreCancel(t *testing.T) {
+	in := New(1, Injection{
+		Site: SiteRequest, Key: "wedge", Mode: Stall,
+		Stall: 50 * time.Millisecond, IgnoreCancel: true,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if err := in.Hit(ctx, SiteRequest, "wedge"); err != nil {
+		t.Fatalf("non-cooperative stall = %v, want nil after elapsing", err)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("stall returned before the deadline it was meant to overrun")
+	}
+}
+
+// TestServiceSites covers the HTTP-layer seams the chaos suite drives: the
+// request and session-load sites select by exact key and by seeded rate
+// exactly like the engine seams, in all three modes, and firing one site
+// never disturbs the other.
+func TestServiceSites(t *testing.T) {
+	ctx := context.Background()
+	// Exact-key request injection: only the named request fails, and the
+	// typed error names the seam.
+	in := New(5, Injection{Site: SiteRequest, Key: "uart/check#2", Mode: Error})
+	err := in.Hit(ctx, SiteRequest, "uart/check#2")
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Site != SiteRequest || ie.Key != "uart/check#2" {
+		t.Fatalf("request hit = %#v, want InjectedError at %s[uart/check#2]", err, SiteRequest)
+	}
+	if err := in.Hit(ctx, SiteRequest, "uart/check#3"); err != nil {
+		t.Fatalf("unmatched request seq fired: %v", err)
+	}
+	if err := in.Hit(ctx, SiteSessionLoad, "uart/check#2"); err != nil {
+		t.Fatalf("request injection leaked into the session-load site: %v", err)
+	}
+
+	// Session-load injection keys on the session ID; a load stall honors the
+	// loader's context the same way engine stalls do.
+	load := New(5,
+		Injection{Site: SiteSessionLoad, Key: "jpeg", Mode: Error},
+		Injection{Site: SiteSessionLoad, Key: "slow", Mode: Stall, Stall: time.Hour})
+	if err := load.Hit(ctx, SiteSessionLoad, "jpeg"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("session-load hit = %v, want ErrInjected", err)
+	}
+	if err := load.Hit(ctx, SiteSessionLoad, "uart"); err != nil {
+		t.Fatalf("unmatched session fired: %v", err)
+	}
+	cctx, cancel := context.WithTimeout(ctx, 5*time.Millisecond)
+	defer cancel()
+	if err := load.Hit(cctx, SiteSessionLoad, "slow"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stalled session load = %v, want DeadlineExceeded", err)
+	}
+
+	// Panic mode on the request seam carries the site/key for the server's
+	// recovery layer to report.
+	boom := New(5, Injection{Site: SiteRequest, Key: "uart/check#0", Mode: Panic})
+	func() {
+		defer func() {
+			v, ok := recover().(PanicValue)
+			if !ok || v.Site != SiteRequest || v.Key != "uart/check#0" {
+				t.Fatalf("recovered %#v, want PanicValue at %s", v, SiteRequest)
+			}
+		}()
+		boom.Hit(ctx, SiteRequest, "uart/check#0")
+		t.Fatal("Hit returned instead of panicking")
+	}()
+
+	// Rate selection on request keys is deterministic across independently
+	// built injectors — the property the HTTP chaos suite leans on.
+	r1 := New(77, Injection{Site: SiteRequest, Rate: 2, Mode: Error})
+	r2 := New(77, Injection{Site: SiteRequest, Rate: 2, Mode: Error})
+	fired := 0
+	for i := 0; i < 16; i++ {
+		key := "s/check#" + strings.Repeat("i", i)
+		e1, e2 := r1.Hit(ctx, SiteRequest, key), r2.Hit(ctx, SiteRequest, key)
+		if (e1 == nil) != (e2 == nil) {
+			t.Fatalf("rate selection for %q differs between identical injectors", key)
+		}
+		if e1 != nil {
+			fired++
+		}
+	}
+	if fired == 0 || fired == 16 {
+		t.Fatalf("rate 2 fired on %d/16 request keys; want a proper subset", fired)
+	}
+}
+
 func TestTruncateReader(t *testing.T) {
 	src := []byte("hello, world")
 	r := TruncateReader(bytes.NewReader(src), 5)

@@ -454,6 +454,55 @@ func (c *Cache) Table(ctx context.Context, lo *layout.Layout, l layout.Layer) (*
 	return e.t, e.err
 }
 
+// Invalidate drops the cached computations for the given layers — flatten,
+// pack, MBRs, row partitions, and device-upload tables — so the next lookup
+// recomputes them; with no layers it drops every entry. The cache outlives
+// a single run inside a resident session, and Invalidate is the session's
+// hook for layouts mutated in place between checks. In-flight computations
+// are unaffected: their waiters hold the entry pointers and resolve
+// normally, while post-invalidate lookups start fresh entries.
+func (c *Cache) Invalidate(layers ...layout.Layer) {
+	all := len(layers) == 0
+	match := func(l layout.Layer) bool {
+		if all {
+			return true
+		}
+		for _, x := range layers {
+			if x == l {
+				return true
+			}
+		}
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for l := range c.flat {
+		if match(l) {
+			delete(c.flat, l)
+		}
+	}
+	for l := range c.packs {
+		if match(l) {
+			delete(c.packs, l)
+		}
+	}
+	for l := range c.mbrs {
+		if match(l) {
+			delete(c.mbrs, l)
+		}
+	}
+	for k := range c.rows {
+		if match(k.layer) {
+			delete(c.rows, k)
+		}
+	}
+	for l := range c.tables {
+		if match(l) {
+			delete(c.tables, l)
+		}
+	}
+}
+
 // PeekFlatten returns the layer's flattened polygons only when a previous
 // Flatten already completed successfully; it never computes and never
 // blocks. Consumers that must not materialize a flatten themselves (the

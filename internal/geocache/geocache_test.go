@@ -318,3 +318,75 @@ func TestEventHookMultiset(t *testing.T) {
 		}
 	}
 }
+
+func TestInvalidateScoped(t *testing.T) {
+	lo := testLayout(t)
+	c := New(budget.Limits{})
+	ctx := context.Background()
+	for _, l := range []layout.Layer{layout.LayerM1, layout.LayerM2} {
+		if _, err := c.Pack(ctx, lo, l); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Rows(ctx, lo, l, 40, partition.Pigeonhole); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Table(ctx, lo, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s0 := c.Stats()
+
+	// Invalidating M1 forces M1 (and only M1) to recompute.
+	c.Invalidate(layout.LayerM1)
+	if _, err := c.Pack(ctx, lo, layout.LayerM2); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.PackMisses != s0.PackMisses {
+		t.Fatalf("M2 recomputed after invalidating M1: %+v vs %+v", s, s0)
+	}
+	a, err := c.Flatten(ctx, lo, layout.LayerM1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.FlattenMisses != s0.FlattenMisses+1 {
+		t.Fatalf("M1 flatten not recomputed after Invalidate: %+v vs %+v", s, s0)
+	}
+	if len(a) == 0 || len(a) != len(lo.FlattenLayer(layout.LayerM1)) {
+		t.Fatal("recomputed flatten is wrong")
+	}
+	// The rows and table entries keyed on M1 were dropped too.
+	if _, err := c.Rows(ctx, lo, layout.LayerM1, 40, partition.Pigeonhole); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Table(ctx, lo, layout.LayerM1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Invalidate with no layers drops everything.
+	s1 := c.Stats()
+	c.Invalidate()
+	if _, err := c.Pack(ctx, lo, layout.LayerM2); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.PackMisses != s1.PackMisses+1 || s.FlattenMisses != s1.FlattenMisses+1 {
+		t.Fatalf("full Invalidate left entries cached: %+v vs %+v", s, s1)
+	}
+}
+
+func TestInvalidateClearsCachedError(t *testing.T) {
+	lo := testLayout(t)
+	c := New(budget.Limits{MaxFlattenPolys: 1})
+	ctx := context.Background()
+	if _, err := c.Flatten(ctx, lo, layout.LayerM1); !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("flatten under a 1-poly budget = %v, want budget error", err)
+	}
+	// The error is cached; Invalidate drops it like any entry, so a (notional)
+	// corrected configuration would recompute rather than replay the failure.
+	c.Invalidate(layout.LayerM1)
+	if _, err := c.Flatten(ctx, lo, layout.LayerM1); !errors.Is(err, budget.ErrExceeded) {
+		t.Fatalf("recompute = %v, want a fresh budget error", err)
+	}
+	if s := c.Stats(); s.FlattenMisses != 2 {
+		t.Fatalf("invalidated error entry was not recomputed: %+v", s)
+	}
+}

@@ -117,7 +117,7 @@ type Device struct {
 	hostClock time.Duration
 	records   []Record
 	waits     []WaitEdge
-	seq       uint64 // next Record.Seq (== len(records))
+	seq       uint64 // next Record.Seq; monotonic across TrimTimeline
 	eventSeq  uint64 // next Event id
 	pool      poolStats
 	memLimit  int64               // pool byte budget; 0 = unlimited
@@ -179,13 +179,28 @@ func (d *Device) Timeline() []Record {
 	return out
 }
 
-// OpCount returns the number of timeline records enqueued so far — also the
-// next Record.Seq, so callers can bracket a phase with two OpCount reads
-// and select its records by sequence.
+// OpCount returns the number of timeline records enqueued over the device's
+// lifetime — also the next Record.Seq, so callers can bracket a phase with
+// two OpCount reads and select its records by sequence. The count is
+// monotonic across TrimTimeline: trimming drops the record storage, never
+// the sequence, so brackets taken before and after a trim stay comparable.
 func (d *Device) OpCount() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return len(d.records)
+	return int(d.seq)
+}
+
+// TrimTimeline discards the retained operation records and wait edges while
+// preserving the modeled clocks, the enqueue sequence, pending events, and
+// pool accounting. A resident session calls it between checks so a
+// long-lived device's log holds one run's operations instead of growing
+// with every check served; Timeline and WaitEdges afterwards describe only
+// work enqueued since the trim.
+func (d *Device) TrimTimeline() {
+	d.mu.Lock()
+	d.records = nil
+	d.waits = nil
+	d.mu.Unlock()
 }
 
 // WaitEdges returns the cross-stream dependencies that actually deferred

@@ -59,7 +59,13 @@ type Pool struct {
 	tasks   chan func()
 	pending sync.WaitGroup // open tasks
 	workers sync.WaitGroup // live worker goroutines
-	taskSeq atomic.Uint64  // numbers traced SubmitCtx tasks in submission order
+	// submitting counts Submit/SubmitCtx calls between their closed-check
+	// and their channel send, so Close can wait them out before closing the
+	// task channel: a submitter that won the race against Close completes
+	// its send (the workers are still draining) instead of panicking on a
+	// closed channel.
+	submitting sync.WaitGroup
+	taskSeq    atomic.Uint64 // numbers traced SubmitCtx tasks in submission order
 
 	mu     sync.Mutex
 	closed bool //odrc:guardedby mu
@@ -102,7 +108,8 @@ func (p *Pool) run(fn func()) {
 }
 
 // Submit enqueues one task; it blocks while the queue is full. After Close
-// it returns ErrClosed (it must not be called concurrently with Close).
+// it returns ErrClosed. Submit may race Close: a task accepted before Close
+// observed the pool open still runs to completion (drain-on-close).
 func (p *Pool) Submit(fn func()) error {
 	p.mu.Lock()
 	if p.closed {
@@ -110,8 +117,10 @@ func (p *Pool) Submit(fn func()) error {
 		return ErrClosed
 	}
 	p.pending.Add(1)
+	p.submitting.Add(1)
 	p.mu.Unlock()
 	p.tasks <- fn
+	p.submitting.Done()
 	return nil
 }
 
@@ -138,12 +147,15 @@ func (p *Pool) SubmitCtx(ctx context.Context, fn func()) error {
 		return ErrClosed
 	}
 	p.pending.Add(1)
+	p.submitting.Add(1)
 	p.mu.Unlock()
 	select {
 	case p.tasks <- fn:
+		p.submitting.Done()
 		return nil
 	case <-ctx.Done():
 		p.pending.Done()
+		p.submitting.Done()
 		return ctx.Err()
 	}
 }
@@ -187,8 +199,11 @@ func (p *Pool) WaitCtx(ctx context.Context) error {
 	return nil
 }
 
-// Close stops the workers after the queued tasks drain. A second Close
-// returns ErrClosed without touching the pool.
+// Close stops the workers after the queued tasks drain, including tasks
+// whose Submit/SubmitCtx raced Close and had already been accepted — the
+// channel closes only once every in-flight submitter finished its send
+// (the workers keep consuming until then, so those sends cannot wedge). A
+// second Close returns ErrClosed without touching the pool.
 func (p *Pool) Close() error {
 	p.mu.Lock()
 	if p.closed {
@@ -197,6 +212,7 @@ func (p *Pool) Close() error {
 	}
 	p.closed = true
 	p.mu.Unlock()
+	p.submitting.Wait()
 	close(p.tasks)
 	p.workers.Wait()
 	return nil

@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -453,5 +454,129 @@ func TestForEachChunkCtxTraceSpansPerChunk(t *testing.T) {
 	want := []string{"row#0-4", "row#4-8", "row#8-10"}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("spans %v, want %v (one span per chunk)", got, want)
+	}
+}
+
+// TestCloseRacesSubmitCtx pins drain-on-close semantics under a genuine
+// race: submitters hammering SubmitCtx while Close runs concurrently. Every
+// submission the pool accepted (nil error) must execute before Close
+// returns — no panic on a closed channel, no dropped task — and every
+// refused submission must report ErrClosed or the submitter's context
+// error, nothing else.
+func TestCloseRacesSubmitCtx(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		p := New(2)
+		var accepted, executed atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 50; i++ {
+					err := p.SubmitCtx(context.Background(), func() {
+						executed.Add(1)
+					})
+					switch {
+					case err == nil:
+						accepted.Add(1)
+					case errors.Is(err, ErrClosed):
+						return
+					default:
+						t.Errorf("SubmitCtx = %v, want nil or ErrClosed", err)
+						return
+					}
+				}
+			}()
+		}
+		closed := make(chan struct{})
+		go func() {
+			<-start
+			// Let some submissions through before closing so both sides of
+			// the race occur across rounds.
+			runtime.Gosched()
+			if err := p.Close(); err != nil {
+				t.Errorf("Close = %v", err)
+			}
+			close(closed)
+		}()
+		close(start)
+		wg.Wait()
+		<-closed
+		// Close returns only after the queue drained: at this point every
+		// accepted task has run.
+		if a, e := accepted.Load(), executed.Load(); a != e {
+			t.Fatalf("round %d: accepted %d tasks but executed %d (drain-on-close violated)", round, a, e)
+		}
+	}
+}
+
+// TestCloseRacesSubmit is the same race through the blocking Submit path.
+func TestCloseRacesSubmit(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		p := New(1)
+		var accepted, executed atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 30; i++ {
+					if err := p.Submit(func() { executed.Add(1) }); err != nil {
+						if !errors.Is(err, ErrClosed) {
+							t.Errorf("Submit = %v, want nil or ErrClosed", err)
+						}
+						return
+					}
+					accepted.Add(1)
+				}
+			}()
+		}
+		if err := p.Close(); err != nil {
+			t.Fatalf("Close = %v", err)
+		}
+		wg.Wait()
+		if a, e := accepted.Load(), executed.Load(); a != e {
+			t.Fatalf("round %d: accepted %d executed %d", round, a, e)
+		}
+	}
+}
+
+// TestForEachCtxErrorDuringPoolClose runs a failing ForEachCtx fan-out while
+// an unrelated Pool is closing on the same scheduler: the fan-out's
+// lowest-index error guarantee must hold regardless of concurrent pool
+// teardown activity, and the closing pool must still drain its own queue.
+func TestForEachCtxErrorDuringPoolClose(t *testing.T) {
+	p := New(2)
+	var executed atomic.Int64
+	for i := 0; i < 8; i++ {
+		if err := p.Submit(func() {
+			time.Sleep(time.Millisecond)
+			executed.Add(1)
+		}); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	closed := make(chan struct{})
+	go func() {
+		if err := p.Close(); err != nil {
+			t.Errorf("Close = %v", err)
+		}
+		close(closed)
+	}()
+	errAt := func(i int) error { return fmt.Errorf("fail@%d", i) }
+	err := ForEachCtx(context.Background(), 4, 64, func(i int) error {
+		if i%5 == 3 { // fails at 3, 8, 13, ... — lowest is 3
+			return errAt(i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "fail@3" {
+		t.Fatalf("ForEachCtx error = %v, want fail@3 (lowest index)", err)
+	}
+	<-closed
+	if got := executed.Load(); got != 8 {
+		t.Fatalf("closing pool executed %d of 8 queued tasks", got)
 	}
 }

@@ -229,6 +229,7 @@ type ctxKey int
 const (
 	recorderKey ctxKey = iota
 	taskLabelKey
+	requestIDKey
 )
 
 // WithRecorder returns ctx carrying the recorder; a nil recorder returns
@@ -262,4 +263,35 @@ func TaskLabel(ctx context.Context) string {
 		return s
 	}
 	return "task"
+}
+
+// WithRequestID returns ctx carrying a service-layer request identity. The
+// odrcd daemon stamps every admitted check with one ("<session>/check#<seq>",
+// deterministic per-session arrival order); it rides the context through the
+// engine so logs, stall reports, and per-request recorders all name the same
+// request. An empty id returns ctx unchanged.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the request identity carried by ctx, or "" outside a
+// request (batch CLI runs, tests without a server).
+func RequestID(ctx context.Context) string {
+	s, _ := ctx.Value(requestIDKey).(string)
+	return s
+}
+
+// AnnotateRequest stamps the recorder's metadata with the request identity
+// carried by ctx, so an exported per-request timeline is self-identifying.
+// Nil recorder or an ID-less ctx is a no-op.
+func (r *Recorder) AnnotateRequest(ctx context.Context) {
+	if r == nil {
+		return
+	}
+	if id := RequestID(ctx); id != "" {
+		r.SetMeta("request", id)
+	}
 }

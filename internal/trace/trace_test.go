@@ -237,6 +237,44 @@ func TestContextPlumbing(t *testing.T) {
 	}
 }
 
+// TestRequestIDPlumbing covers the service layer's per-request identity: it
+// rides the context, defaults to empty outside a request, and stamps a
+// recorder's exported metadata via AnnotateRequest.
+func TestRequestIDPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if got := trace.RequestID(ctx); got != "" {
+		t.Errorf("RequestID(empty) = %q, want \"\"", got)
+	}
+	if trace.WithRequestID(ctx, "") != ctx {
+		t.Error("WithRequestID(\"\") did not return ctx unchanged")
+	}
+	ctx = trace.WithRequestID(ctx, "uart/check#7")
+	if got := trace.RequestID(ctx); got != "uart/check#7" {
+		t.Errorf("RequestID = %q, want uart/check#7", got)
+	}
+
+	var nilRec *trace.Recorder
+	nilRec.AnnotateRequest(ctx) // must not panic
+
+	r := trace.NewWithClock(func() time.Duration { return 0 })
+	r.AnnotateRequest(context.Background()) // no ID: no meta entry
+	r.AnnotateRequest(ctx)
+	r.Span(trace.TrackPhases, "", "flatten", "phase", 0, time.Microsecond)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	if got := file.OtherData["request"]; got != "uart/check#7" {
+		t.Errorf("exported request meta = %v, want uart/check#7", got)
+	}
+}
+
 func TestValidateRejects(t *testing.T) {
 	cases := []struct {
 		name string

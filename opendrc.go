@@ -211,3 +211,34 @@ func (e *Engine) CheckContext(ctx context.Context, db *Layout) (*Report, error) 
 // Dedup collapses exactly-identical violations (same rule, box, distance),
 // the way layout viewers merge markers.
 func Dedup(vs []Violation) []Violation { return core.DedupViolations(vs) }
+
+// Session pins one loaded layout's expensive check state — the cross-rule
+// geometry cache and, in parallel mode, a resident simulated device whose
+// layer buffers survive across checks — so repeat checks against the same
+// design run at warm-cache cost. Sessions are what the odrcd daemon holds
+// per loaded design; embedders serving repeat checks can hold them
+// directly:
+//
+//	ses := opendrc.NewSession(db, opendrc.WithMode(opendrc.Parallel))
+//	defer ses.Close(context.Background())
+//	rep, err := ses.Check(ctx, deck)        // cold: flatten, pack, upload
+//	rep2, err := ses.Check(ctx, deck[2:3])  // warm: resident buffers reused
+//
+// Reports from a session are bit-identical to batch runs of the same deck
+// in their canonical form (Report.WriteCanonicalJSON); only cost counters
+// and timings differ. ErrSessionClosed fails checks after Close.
+type Session = core.Session
+
+// ErrSessionClosed is returned by Session.Check after Session.Close.
+var ErrSessionClosed = core.ErrSessionClosed
+
+// NewSession pins a layout and engine options into a resident session. The
+// options are fixed for the session's lifetime and apply to every check it
+// serves.
+func NewSession(db *Layout, opts ...Option) *Session {
+	var o core.Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return core.NewSession(db, o)
+}

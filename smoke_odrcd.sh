@@ -1,0 +1,83 @@
+#!/bin/sh
+# smoke_odrcd.sh — end-to-end smoke of the odrcd service over real HTTP:
+# build the daemon and the batch CLI, generate a benchmark GDS, load it as a
+# resident session, run cold/warm full-deck checks and a warm single-rule
+# check via curl, and require every response body byte-identical to
+# `odrc -canon` on the same file. Then verify the daemon sheds no goroutines
+# while idle and drains cleanly on SIGTERM (exit 0). check.sh runs it at
+# scale 0.2; CI re-runs it at its own scale via the SCALE env var.
+set -e
+
+SCALE="${SCALE:-0.2}"
+RULE="${RULE:-M2.S.1}"
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+	status=$?
+	if [ -n "$pid" ]; then
+		kill "$pid" 2>/dev/null || true
+	fi
+	rm -rf "$tmp"
+	exit "$status"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/odrc" ./cmd/odrc
+go build -o "$tmp/odrcd" ./cmd/odrcd
+go run ./cmd/odrc-gen -design uart -scale "$SCALE" -o "$tmp/uart.gds"
+
+"$tmp/odrc" -canon -mode par "$tmp/uart.gds" >"$tmp/batch_full.json"
+"$tmp/odrc" -canon -mode par -rule "$RULE" "$tmp/uart.gds" >"$tmp/batch_one.json"
+
+"$tmp/odrcd" -addr 127.0.0.1:0 -ready-file "$tmp/addr" -quiet &
+pid=$!
+i=0
+while [ ! -s "$tmp/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "smoke_odrcd: daemon never wrote its ready file" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+base="http://$(cat "$tmp/addr" | tr -d '\n')"
+
+curl -fsS "$base/healthz" >/dev/null
+g0="$(curl -fsS "$base/debug/goroutines" | jq .goroutines)"
+
+curl -fsS -X POST "$base/v1/sessions" \
+	-d "{\"id\":\"uart\",\"gds\":\"$tmp/uart.gds\"}" >/dev/null
+curl -fsS -X POST "$base/v1/sessions/uart/check" -d '{}' >"$tmp/http_cold.json"
+curl -fsS -X POST "$base/v1/sessions/uart/check" -d '{}' >"$tmp/http_warm.json"
+curl -fsS -X POST "$base/v1/sessions/uart/check" \
+	-d "{\"rules\":[\"$RULE\"]}" >"$tmp/http_one.json"
+
+# The service contract: responses are the batch CLI's canonical bytes,
+# whether the session is cold, warm, or serving a single rule.
+cmp "$tmp/batch_full.json" "$tmp/http_cold.json"
+cmp "$tmp/batch_full.json" "$tmp/http_warm.json"
+cmp "$tmp/batch_one.json" "$tmp/http_one.json"
+
+# No goroutine growth once the workload drains.
+ok=""
+i=0
+while [ "$i" -lt 100 ]; do
+	g1="$(curl -fsS "$base/debug/goroutines" | jq .goroutines)"
+	if [ "$g1" -le $((g0 + 2)) ]; then
+		ok=1
+		break
+	fi
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$ok" ]; then
+	echo "smoke_odrcd: goroutines grew from $g0 to $g1 and stayed there" >&2
+	curl -fsS "$base/debug/goroutines?stacks=1" >&2 || true
+	exit 1
+fi
+
+# Graceful shutdown: SIGTERM drains and exits 0.
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+echo "smoke_odrcd: all green"
