@@ -38,6 +38,12 @@ go test -run=NONE -bench 'BenchmarkFlattenLayer|BenchmarkPack' -benchtime=1x .
 go run ./cmd/odrc-bench -speedup -runs 5 -scale 0.3 -out BENCH_workers.json -gate
 go run ./cmd/odrc-bench -reuse -runs 5 -scale 0.3 -out BENCH_reuse.json -gate
 
+# Delta gate: the incremental re-check experiment. Every row cross-checks
+# the delta report byte-for-byte against a cold full check of the edited
+# design (reports_identical), requires the incremental plan (no fallback),
+# and the smallest edit fraction must beat the full re-check it replaces.
+go run ./cmd/odrc-bench -delta -runs 3 -scale 0.3 -out BENCH_delta.json -gate
+
 # Trace smoke: one traced full-deck run at reduced scale, then a structural
 # validation of the exported Chrome-trace JSON (required processes, paired
 # flows, well-formed events). Catches export regressions off the test path.

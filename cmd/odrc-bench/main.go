@@ -14,6 +14,11 @@
 //	                                     cross-rule geometry reuse (cache on
 //	                                     vs off); -gate exits non-zero when a
 //	                                     row regresses
+//	odrc-bench -delta [-runs k] [-out f.json] [-gate]
+//	                                     incremental re-check after edits vs a
+//	                                     cold full check, swept over edit
+//	                                     fractions; every row cross-checks the
+//	                                     two reports byte-for-byte
 //	odrc-bench -trace f.json [-trace-design d] [-trace-mode seq|par]
 //	                                     run the full deck once with the
 //	                                     timeline recorder attached and write
@@ -60,14 +65,15 @@ func run() error {
 	ablation := flag.Bool("ablation", false, "run the design-choice ablations")
 	speedup := flag.Bool("speedup", false, "run the multi-core speedup experiment (both engine modes)")
 	reuse := flag.Bool("reuse", false, "run the cross-rule geometry reuse experiment (cache on vs off)")
+	delta := flag.Bool("delta", false, "run the incremental re-check experiment (delta vs cold full check after edits)")
 	traceOut := flag.String("trace", "", "run the full deck once with tracing and write the Chrome-trace JSON to this file")
 	traceDesign := flag.String("trace-design", "aes", "design for the -trace run")
 	traceMode := flag.String("trace-mode", "par", "engine mode for the -trace run: seq or par")
 	validateTrace := flag.String("validate-trace", "", "validate the structure of an exported trace file and print its summary")
 	workers := flag.Int("workers", 0, "worker-pool size for -speedup and -trace (0 = GOMAXPROCS)")
-	runs := flag.Int("runs", 3, "repetitions per -speedup/-reuse cell (medians of interleaved runs are reported)")
-	out := flag.String("out", "", "also write the -speedup/-reuse report as JSON to this file")
-	gate := flag.Bool("gate", false, "for -speedup/-reuse: exit non-zero when any row regresses (ratio < 1.0 or reports not identical)")
+	runs := flag.Int("runs", 3, "repetitions per -speedup/-reuse/-delta cell (best-of interleaved runs are reported)")
+	out := flag.String("out", "", "also write the -speedup/-reuse/-delta report as JSON to this file")
+	gate := flag.Bool("gate", false, "for -speedup/-reuse/-delta: exit non-zero when any row regresses (ratio < 1.0 or reports not identical)")
 	scale := flag.Float64("scale", 1, "design scale factor (1 = full synthetic size)")
 	timeout := flag.Duration("timeout", 0, "abort the experiment after this duration (0 = no deadline); exits 3 on expiry")
 	flag.Parse()
@@ -107,6 +113,8 @@ func run() error {
 		return runSpeedup(ctx, *scale, *workers, *runs, *out, *gate)
 	case *reuse:
 		return runReuse(ctx, *scale, *runs, *out, *gate)
+	case *delta:
+		return runDelta(ctx, *scale, *runs, *out, *gate)
 	}
 	flag.Usage()
 	return nil
@@ -203,6 +211,33 @@ func runReuse(ctx context.Context, scale float64, runs int, outPath string, gate
 		return err
 	}
 	rep, err := bench.ReuseContext(ctx, lts, runs, scale)
+	if err != nil {
+		return err
+	}
+	if _, err := rep.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if gate {
+		return rep.Gate()
+	}
+	return nil
+}
+
+// runDelta measures an edited resident session's incremental re-check
+// against the cold full check a client without delta support would run.
+func runDelta(ctx context.Context, scale float64, runs int, outPath string, gate bool) error {
+	rep, err := bench.DeltaContext(ctx, runs, scale)
 	if err != nil {
 		return err
 	}

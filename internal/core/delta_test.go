@@ -1,0 +1,476 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"opendrc/internal/budget"
+	"opendrc/internal/faults"
+	"opendrc/internal/gdsii"
+	"opendrc/internal/geom"
+	"opendrc/internal/layout"
+	"opendrc/internal/rules"
+	"opendrc/internal/synth"
+)
+
+// Delta-check semantics: after in-place edits, DeltaCheck must produce the
+// canonical bytes of a cold full check of the edited layout — in both modes,
+// at any worker count, whether the plan ran incrementally or fell back.
+
+// deltaTestEdits is a deterministic M1 edit batch: a sub-min-width sliver
+// (fresh width violations), a close pair (fresh spacing violation), and a
+// delete window, all placed relative to the layer MBR so the same values
+// apply to any copy of the layout.
+func deltaTestEdits(lo *layout.Layout) []layout.Edit {
+	m := lo.Top.LayerMBR(layout.LayerM1)
+	mx, my := (m.XLo+m.XHi)/2, (m.YLo+m.YHi)/2
+	return []layout.Edit{
+		{Op: layout.OpInsertRect, Layer: layout.LayerM1,
+			Rect: geom.Rect{XLo: mx, YLo: my, XHi: mx + synth.MinWidthM1/2, YHi: my + 120}},
+		{Op: layout.OpInsertRect, Layer: layout.LayerM1,
+			Rect: geom.Rect{XLo: mx + 60, YLo: my, XHi: mx + 120, YHi: my + 120}},
+		{Op: layout.OpInsertRect, Layer: layout.LayerM1,
+			Rect: geom.Rect{XLo: mx + 120 + synth.MinSpaceM1/2, YLo: my, XHi: mx + 200, YHi: my + 120}},
+		{Op: layout.OpDeleteRegion, Layer: layout.LayerM1,
+			Rect: geom.Rect{XLo: m.XLo, YLo: m.YLo, XHi: m.XLo + 100, YHi: m.YLo + 100}},
+	}
+}
+
+// coldReport builds the ground truth: a fresh layout with the same edits
+// applied, checked by a batch engine.
+func coldReport(t *testing.T, opts Options, deck rules.Deck, edits []layout.Edit) *Report {
+	t.Helper()
+	lo, _, err := synth.Load("uart", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edits != nil {
+		if _, err := lo.ApplyEdits(edits); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := New(opts)
+	if err := e.AddRules(deck...); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.CheckContext(context.Background(), lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestDeltaCheckMatchesCold(t *testing.T) {
+	deck := synth.Deck()
+	ctx := context.Background()
+	for _, mode := range []Mode{Sequential, Parallel} {
+		for _, workers := range []int{1, 3} {
+			opts := Options{Mode: mode, Workers: workers}
+			lo, _, err := synth.Load("uart", 0.2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ses := NewSession(lo, opts)
+			if _, err := ses.Check(ctx, deck); err != nil {
+				t.Fatalf("%v/w%d: baseline: %v", mode, workers, err)
+			}
+			edits := deltaTestEdits(lo)
+			if _, err := ses.Edit(ctx, edits); err != nil {
+				t.Fatalf("%v/w%d: edit: %v", mode, workers, err)
+			}
+			rep, info, err := ses.DeltaCheck(ctx, deck)
+			if err != nil {
+				t.Fatalf("%v/w%d: delta check: %v", mode, workers, err)
+			}
+			if !info.Planned {
+				t.Fatalf("%v/w%d: delta fell back: %+v", mode, workers, info)
+			}
+			// M1 edits touch the four restrictable M1 rules and the V1-in-M1
+			// enclosure; every other rule skips.
+			if info.RulesRestricted != 4 || info.RulesFull != 1 || info.RulesSkipped != len(deck)-5 {
+				t.Fatalf("%v/w%d: plan = %+v", mode, workers, info)
+			}
+			// Only the edited layer's flatten recomputes (the sequential mode
+			// checks hierarchically and never flattens at all).
+			if mode == Parallel && rep.Stats.FlattenCacheMisses != 1 {
+				t.Fatalf("%v/w%d: %d flatten misses, want 1", mode, workers, rep.Stats.FlattenCacheMisses)
+			}
+			want := coldReport(t, opts, deck, edits)
+			if canonJSON(t, rep) != canonJSON(t, want) {
+				t.Fatalf("%v/w%d: delta report differs from cold check", mode, workers)
+			}
+			if mode == Parallel && rep.Stats.DeviceReuses == 0 {
+				t.Fatalf("%v/w%d: delta check reused no resident buffers: %+v", mode, workers, rep.Stats)
+			}
+
+			// A delta check with nothing dirty skips every rule, touches no
+			// geometry, and reproduces its own baseline.
+			again, info2, err := ses.DeltaCheck(ctx, deck)
+			if err != nil {
+				t.Fatalf("%v/w%d: empty delta: %v", mode, workers, err)
+			}
+			if !info2.Planned || info2.RulesSkipped != len(deck) {
+				t.Fatalf("%v/w%d: empty delta plan = %+v", mode, workers, info2)
+			}
+			if again.Stats.FlattenCacheMisses != 0 || again.Stats.PackCacheMisses != 0 {
+				t.Fatalf("%v/w%d: empty delta recomputed geometry: %+v", mode, workers, again.Stats)
+			}
+			if canonJSON(t, again) != canonJSON(t, rep) {
+				t.Fatalf("%v/w%d: empty delta differs from its baseline", mode, workers)
+			}
+			st, err := ses.StatsSnapshot(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.FullChecks != 1 || st.DeltaChecks != 2 || st.DeltaPlanned != 2 || st.DeltaFallbacks != 0 {
+				t.Fatalf("%v/w%d: session stats = %+v", mode, workers, st)
+			}
+			if err := ses.Close(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// bandedCoreLayout mirrors the geocache banded fixture: n M1 rectangles
+// stacked 1000 apart, so a tiny-reach deck keeps each in its own partition
+// row and region invalidation provably segments.
+func bandedCoreLayout(t *testing.T, n int) *layout.Layout {
+	t.Helper()
+	top := &gdsii.Structure{Name: "TOP"}
+	for k := 0; k < n; k++ {
+		y := int64(k) * 1000
+		top.Boundaries = append(top.Boundaries, gdsii.Boundary{
+			Layer: int16(layout.LayerM1), XY: []geom.Point{
+				geom.Pt(0, y), geom.Pt(0, y+100), geom.Pt(400, y+100), geom.Pt(400, y),
+			},
+		})
+	}
+	lib := &gdsii.Library{Name: "bands", UserUnit: 1e-3, MeterUnit: 1e-9,
+		Structures: []*gdsii.Structure{top}}
+	lo, err := layout.FromLibrary(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lo
+}
+
+// TestDeltaPartialDeviceRefresh pins the device path end to end on a layout
+// where segmentation is guaranteed: one band edited → one row requeried, the
+// resident edge buffer freed only partially, and exactly one delta upload of
+// the grown slice.
+func TestDeltaPartialDeviceRefresh(t *testing.T) {
+	lo := bandedCoreLayout(t, 8)
+	deck := rules.Deck{rules.Layer(layout.LayerM1).Spacing().AtLeast(12).Named("S.1")}
+	ctx := context.Background()
+	ses := NewSession(lo, Options{Mode: Parallel})
+	defer ses.Close(ctx)
+	if _, err := ses.Check(ctx, deck); err != nil {
+		t.Fatal(err)
+	}
+	// Two rects 8 apart inside band 4: a fresh spacing violation.
+	edits := []layout.Edit{
+		{Op: layout.OpInsertRect, Layer: layout.LayerM1, Rect: geom.R(500, 4000, 560, 4100)},
+		{Op: layout.OpInsertRect, Layer: layout.LayerM1, Rect: geom.R(568, 4000, 620, 4100)},
+	}
+	if _, err := ses.Edit(ctx, edits); err != nil {
+		t.Fatal(err)
+	}
+	rep, info, err := ses.DeltaCheck(ctx, deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Planned || info.RulesRestricted != 1 {
+		t.Fatalf("plan = %+v", info)
+	}
+	if rep.Stats.DeviceDeltaUploads != 1 {
+		t.Fatalf("%d delta uploads, want 1: %+v", rep.Stats.DeviceDeltaUploads, rep.Stats)
+	}
+	if rep.Stats.DeviceUploads != 0 {
+		t.Fatalf("delta check re-uploaded %d full buffers", rep.Stats.DeviceUploads)
+	}
+
+	// Ground truth: fresh layout, same edits, batch engine.
+	want := func() *Report {
+		flo := bandedCoreLayout(t, 8)
+		if _, err := flo.ApplyEdits(edits); err != nil {
+			t.Fatal(err)
+		}
+		e := New(Options{Mode: Parallel})
+		if err := e.AddRules(deck...); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.CheckContext(ctx, flo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}()
+	if canonJSON(t, rep) != canonJSON(t, want) {
+		t.Fatal("partial-refresh delta report differs from cold check")
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("edit created no violations; the claim path went untested")
+	}
+}
+
+// TestDeltaCheckFallbacks drives every deltaFallbackReason branch and demands
+// each fallback still produce the cold canonical bytes.
+func TestDeltaCheckFallbacks(t *testing.T) {
+	deck := synth.Deck()
+	ctx := context.Background()
+
+	t.Run("no baseline", func(t *testing.T) {
+		lo, _, err := synth.Load("uart", 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ses := NewSession(lo, Options{Mode: Sequential})
+		defer ses.Close(ctx)
+		rep, info, err := ses.DeltaCheck(ctx, deck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Planned || info.Reason != "no baseline check" {
+			t.Fatalf("info = %+v", info)
+		}
+		if canonJSON(t, rep) != canonJSON(t, coldReport(t, Options{Mode: Sequential}, deck, nil)) {
+			t.Fatal("fallback report differs from cold check")
+		}
+	})
+
+	t.Run("fault injection", func(t *testing.T) {
+		// An injector with no programmed injections never fires, so the
+		// fallback's report still matches a clean cold check — while the mere
+		// presence of the injector must force the full-check path.
+		lo, _, err := synth.Load("uart", 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ses := NewSession(lo, Options{Mode: Parallel, Faults: faults.New(1)})
+		defer ses.Close(ctx)
+		if _, err := ses.Check(ctx, deck); err != nil {
+			t.Fatal(err)
+		}
+		edits := deltaTestEdits(lo)
+		if _, err := ses.Edit(ctx, edits); err != nil {
+			t.Fatal(err)
+		}
+		rep, info, err := ses.DeltaCheck(ctx, deck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Planned || info.Reason != "fault injection active" {
+			t.Fatalf("info = %+v", info)
+		}
+		if canonJSON(t, rep) != canonJSON(t, coldReport(t, Options{Mode: Parallel}, deck, edits)) {
+			t.Fatal("fault-mode fallback differs from cold check")
+		}
+		st, err := ses.StatsSnapshot(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.DeltaFallbacks != 1 || st.DeltaPlanned != 0 {
+			t.Fatalf("stats = %+v", st)
+		}
+	})
+
+	t.Run("chaos stall fallback", func(t *testing.T) {
+		// A real injection: the delta fallback runs under the injector like
+		// any session check, so a stalled rule still honors cancellation and
+		// the session survives to serve the next request.
+		lo, _, err := synth.Load("uart", 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj := faults.New(1, faults.Injection{
+			Site: faults.SiteRule, Key: deck[1].ID, Mode: faults.Stall, Stall: time.Hour,
+		})
+		ses := NewSession(lo, Options{Mode: Sequential, Faults: inj})
+		defer ses.Close(ctx)
+		cctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+		rep, info, err := ses.DeltaCheck(cctx, deck)
+		cancel()
+		if rep != nil || err == nil {
+			t.Fatalf("stalled delta check = (%v, %+v, %v)", rep, info, err)
+		}
+		rest := append(append(rules.Deck{}, deck[0]), deck[2:]...)
+		after, info, err := ses.DeltaCheck(ctx, rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Planned {
+			t.Fatalf("info = %+v, want fallback", info)
+		}
+		e := New(Options{Mode: Sequential, Faults: inj})
+		if err := e.AddRules(rest...); err != nil {
+			t.Fatal(err)
+		}
+		batch, err := e.CheckContext(ctx, lo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if canonJSON(t, after) != canonJSON(t, batch) {
+			t.Fatal("session poisoned by cancelled delta check")
+		}
+	})
+
+	t.Run("budgets", func(t *testing.T) {
+		lo, _, err := synth.Load("uart", 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{Mode: Sequential, Budgets: budget.Limits{MaxFlattenPolys: 1 << 40}}
+		ses := NewSession(lo, opts)
+		defer ses.Close(ctx)
+		if _, err := ses.Check(ctx, deck); err != nil {
+			t.Fatal(err)
+		}
+		_, info, err := ses.DeltaCheck(ctx, deck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Planned || info.Reason != "resource budgets active" {
+			t.Fatalf("info = %+v", info)
+		}
+	})
+
+	t.Run("deck changed", func(t *testing.T) {
+		lo, _, err := synth.Load("uart", 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ses := NewSession(lo, Options{Mode: Sequential})
+		defer ses.Close(ctx)
+		if _, err := ses.Check(ctx, deck); err != nil {
+			t.Fatal(err)
+		}
+		_, info, err := ses.DeltaCheck(ctx, deck[1:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Planned || info.Reason != "deck changed since baseline" {
+			t.Fatalf("info = %+v", info)
+		}
+	})
+}
+
+// TestInvalidateZeroRegionsLockFree pins the documented fast path: with no
+// regions, Invalidate returns immediately without taking the session lock,
+// even while a (simulated) check holds it.
+func TestInvalidateZeroRegionsLockFree(t *testing.T) {
+	lo, _, err := synth.Load("uart", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses := NewSession(lo, Options{})
+	ses.mu <- struct{}{} // a check holds the session lock
+	defer func() { <-ses.mu }()
+	done := make(chan error, 1)
+	go func() { done <- ses.Invalidate(context.Background()) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("zero-region Invalidate = %v, want nil", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("zero-region Invalidate blocked on the session lock")
+	}
+}
+
+// TestInvalidateWholeLayerRegion pins the degenerate region: no rects means
+// the whole layer is dirty, so its rules re-run in full while the rest skip —
+// and the unedited layout reproduces the baseline bytes.
+func TestInvalidateWholeLayerRegion(t *testing.T) {
+	deck := synth.Deck()
+	ctx := context.Background()
+	lo, _, err := synth.Load("uart", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses := NewSession(lo, Options{Mode: Parallel})
+	defer ses.Close(ctx)
+	base, err := ses.Check(ctx, deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ses.Invalidate(ctx, LayerRegion{Layer: layout.LayerM1}); err != nil {
+		t.Fatal(err)
+	}
+	rep, info, err := ses.DeltaCheck(ctx, deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Planned || info.RulesFull != 5 || info.RulesRestricted != 0 || info.RulesSkipped != len(deck)-5 {
+		t.Fatalf("plan = %+v", info)
+	}
+	if rep.Stats.FlattenCacheMisses == 0 || rep.Stats.DeviceUploads == 0 {
+		t.Fatalf("whole-layer region did not force recomputation: %+v", rep.Stats)
+	}
+	if canonJSON(t, rep) != canonJSON(t, base) {
+		t.Fatal("whole-layer delta differs from baseline on an unedited layout")
+	}
+}
+
+// TestDeltaEmptyIntersectionEdit pins the empty-intersection case from the
+// issue: an edit whose dirty region touches no existing geometry still plans,
+// requeries only its own band, and changes exactly the violations the new
+// geometry introduces.
+func TestDeltaEmptyIntersectionEdit(t *testing.T) {
+	lo := bandedCoreLayout(t, 8)
+	deck := rules.Deck{
+		rules.Layer(layout.LayerM1).Spacing().AtLeast(12).Named("S.1"),
+		rules.Layer(layout.LayerM1).Width().AtLeast(10).Named("W.1"),
+	}
+	ctx := context.Background()
+	ses := NewSession(lo, Options{Mode: Parallel})
+	defer ses.Close(ctx)
+	base, err := ses.Check(ctx, deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(base.Violations); n != 0 {
+		t.Fatalf("clean fixture has %d violations", n)
+	}
+	// A clean insert far from everything (gap between bands, wide enough, far
+	// from neighbors): the delta plans, and the report stays empty.
+	edits := []layout.Edit{{Op: layout.OpInsertRect, Layer: layout.LayerM1,
+		Rect: geom.R(1000, 2400, 1100, 2500)}}
+	if _, err := ses.Edit(ctx, edits); err != nil {
+		t.Fatal(err)
+	}
+	rep, info, err := ses.DeltaCheck(ctx, deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Planned || info.RulesRestricted != 2 {
+		t.Fatalf("plan = %+v", info)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("clean insert produced %d violations", len(rep.Violations))
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteCanonicalJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := func() *Report {
+		flo := bandedCoreLayout(t, 8)
+		if _, err := flo.ApplyEdits(edits); err != nil {
+			t.Fatal(err)
+		}
+		e := New(Options{Mode: Parallel})
+		if err := e.AddRules(deck...); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.CheckContext(ctx, flo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}()
+	if buf.String() != canonJSON(t, want) {
+		t.Fatal("empty-intersection delta differs from cold check")
+	}
+}

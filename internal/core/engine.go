@@ -110,6 +110,10 @@ type Engine struct {
 	// collect.go); a deterministic freelist, so engine runs stay pure
 	// functions of their inputs.
 	shards shardPool
+	// delta is the incremental-check plan of a Session.DeltaCheck (nil for
+	// normal runs): per-rule skip/restrict/full classification, claim
+	// regions, and the baseline violations retained outside them.
+	delta *deltaPlan
 }
 
 // New creates an engine.
@@ -176,6 +180,10 @@ type Stats struct {
 	DeviceUploads   int64
 	DeviceReuses    int64
 	DeviceEvictions int64
+	// DeviceDeltaUploads counts partial refreshes of resident buffers: after
+	// a region-scoped invalidation only the rebuilt slice of a layer's edge
+	// buffer is re-uploaded instead of the whole layer.
+	DeviceDeltaUploads int64
 
 	// Trace is the run's timeline summary (device busy, host/device
 	// overlap, per-rule critical path). It holds measured times, so it is
@@ -203,6 +211,7 @@ func (s *Stats) add(s2 Stats) {
 	s.DeviceUploads += s2.DeviceUploads
 	s.DeviceReuses += s2.DeviceReuses
 	s.DeviceEvictions += s2.DeviceEvictions
+	s.DeviceDeltaUploads += s2.DeviceDeltaUploads
 }
 
 // RuleFailure records one rule whose check failed — a panic, an injected
@@ -350,6 +359,7 @@ func (e *Engine) checkWith(ctx context.Context, lo *layout.Layout, ses *Session)
 		rep.Stats.Trace = buildTraceSummary(rep)
 		exportRunTrace(rec, rep, e.opts)
 	}
+	e.mergeDelta(rep)
 	sortViolations(rep.Violations)
 	return rep, nil
 }

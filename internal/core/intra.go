@@ -105,6 +105,7 @@ func rescaleMarker(m checks.Marker, t geom.Transform, r rules.Rule) checks.Marke
 func (e *Engine) runIntraSeq(ctx context.Context, lo *layout.Layout, r rules.Rule, placements [][]geom.Transform, rep *Report) error {
 	defer rep.Profile.Phase("intra:" + r.Kind.String())()
 	cells := lo.LayerCells(r.Layer)
+	rp := e.restrictFor(r.ID)
 	tbl := e.shards.get(len(cells))
 	err := pool.ForEachCtx(trace.WithTask(ctx, "cell"), e.opts.Workers, len(cells), func(i int) error {
 		c := cells[i]
@@ -116,6 +117,11 @@ func (e *Engine) runIntraSeq(ctx context.Context, lo *layout.Layout, r rules.Rul
 		}
 		insts := placements[c.ID]
 		if len(insts) == 0 {
+			return nil
+		}
+		// Delta restriction: skip definitions with no instance near the
+		// dirty region — none of their markers can be claimed.
+		if rp != nil && !rp.anyPlacementNear(localIntraMBR(c, r.Layer), insts) {
 			return nil
 		}
 		sh := &tbl.s[i]

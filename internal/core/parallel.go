@@ -60,6 +60,10 @@ type residentBuf struct {
 	ready   gpu.Event
 	lastUse int64
 	mbr     *kernels.MBRTable
+	// partial marks a buffer whose stale slice was freed by a region-scoped
+	// invalidation: bytes holds only the still-valid prefix, and the next
+	// bindEdges grows it back with a delta upload instead of a full one.
+	partial bool
 }
 
 // mbrTable returns the layer's resident derived MBR table, uploading it on
@@ -154,7 +158,10 @@ func (e *Engine) checkParallel(ctx context.Context, lo *layout.Layout, rep *Repo
 	// are bit-identical with and without it, and the cache's call totals —
 	// hence its hit/miss counters — are fixed by the deck, not by who wins a
 	// race.
-	if geo.cache != nil {
+	// Delta runs touch a small neighborhood of a few layers; sweeping the
+	// whole deck's geometry ahead of them would recompute exactly the work
+	// the delta plan avoids, so the prefetcher only runs on full checks.
+	if geo.cache != nil && e.delta == nil {
 		gc := geo.cache
 		alg := e.opts.PartitionAlg
 		type warmGroup struct {
@@ -222,6 +229,9 @@ func (e *Engine) checkParallel(ctx context.Context, lo *layout.Layout, rep *Repo
 	for _, r := range e.deck {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("core: check cancelled: %w", err)
+		}
+		if rp := e.delta.of(r.ID); rp != nil && rp.mode == deltaSkip {
+			continue // untouched by the edits; baseline violations retained
 		}
 		e.opts.Logger.Debugf("par: rule %s", r)
 		r := r
@@ -356,13 +366,37 @@ func (e *Engine) bindEdges(pc *parCtx, rep *Report, l layout.Layer, edges *kerne
 	noop := func() {}
 	pc.useCtr++
 	if pc.residentOn {
-		for _, b := range pc.resident {
-			if b.layer == l {
-				b.lastUse = pc.useCtr
-				pc.cs.WaitEvent(b.ready)
-				rep.Stats.DeviceReuses++
-				return noop, nil
+		for bi, b := range pc.resident {
+			if b.layer != l {
+				continue
 			}
+			b.lastUse = pc.useCtr
+			if b.partial {
+				// Grow the kept prefix back to the full rebuilt buffer with
+				// one delta copy. Deliberately a plain allocation, not
+				// allocEvict: eviction could pick this very buffer as the LRU
+				// victim. Partial buffers only exist in budget-free sessions
+				// (see Session.applyPending), so failure here means the pool
+				// itself is wedged — drop the prefix and upload fresh.
+				delta := edges.Bytes() - b.bytes
+				if delta > 0 {
+					if err := pc.io.AllocAsync(delta); err != nil {
+						pc.resident = append(pc.resident[:bi], pc.resident[bi+1:]...)
+						pc.io.WaitEvent(pc.cs.RecordEvent())
+						pc.io.FreeAsync(b.bytes)
+						break
+					}
+					pc.io.MemcpyAsync("edges-delta", delta)
+					rep.Stats.BytesCopied += delta
+					b.bytes = edges.Bytes()
+				}
+				b.partial = false
+				b.ready = pc.io.RecordEvent()
+				rep.Stats.DeviceDeltaUploads++
+			}
+			pc.cs.WaitEvent(b.ready)
+			rep.Stats.DeviceReuses++
+			return noop, nil
 		}
 	}
 	if err := e.transfer(pc, rep, edges); err != nil {
@@ -402,8 +436,14 @@ func (e *Engine) runIntraPar(ctx context.Context, lo *layout.Layout, r rules.Rul
 		// Ablation: flatten every instance and run one big kernel.
 		return e.runIntraParFlat(ctx, lo, r, pc, rep)
 	}
+	rp := e.restrictFor(r.ID)
 	for _, c := range lo.LayerCells(r.Layer) {
 		if len(c.LocalPolyIndex(r.Layer)) == 0 || len(placements[c.ID]) == 0 {
+			continue
+		}
+		// Delta restriction: a definition none of whose instances lands near
+		// the dirty region cannot contribute a claimed violation.
+		if rp != nil && !rp.anyPlacementNear(localIntraMBR(c, r.Layer), placements[c.ID]) {
 			continue
 		}
 		magSet := make(map[int64]bool)
@@ -614,13 +654,41 @@ func (e *Engine) runSpacingPar(ctx context.Context, lo *layout.Layout, r rules.R
 	if err != nil {
 		return err
 	}
+	// Delta restriction: rows whose y-band misses the work window cannot
+	// hold a claimed violation (a violation's marker lies between its two
+	// edges, both inside the row), so they are skipped outright — their
+	// baseline violations are retained by the merge. Notches restrict the
+	// same way at polygon granularity.
+	rp := e.restrictFor(r.ID)
+	if rp != nil {
+		kept := rows[:0:0]
+		for _, row := range rows {
+			if rp.nearWorkY(row.YLo, row.YHi) {
+				kept = append(kept, row)
+			}
+		}
+		rows = kept
+	}
 	rep.Stats.Rows += len(rows)
 	c := collect(rep, r)
 
 	// Notches are intra-polygon but belong to the spacing rule: one batched
 	// launch over every polygon.
-	kernels.NotchBrute(pc.cs, edges, lim, c)
-	rep.Stats.KernelLaunches++
+	if rp != nil {
+		var members []int32
+		for i := range flat {
+			if rp.nearWork(flat[i].Shape.MBR()) {
+				members = append(members, int32(i))
+			}
+		}
+		if len(members) > 0 {
+			kernels.NotchMembers(pc.cs, edges, members, lim, c)
+			rep.Stats.KernelLaunches++
+		}
+	} else {
+		kernels.NotchBrute(pc.cs, edges, lim, c)
+		rep.Stats.KernelLaunches++
+	}
 
 	// Executor selection per row; the brute rows batch into one launch set
 	// (rows become grid blocks), large rows take the sweepline executor on

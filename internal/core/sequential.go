@@ -23,6 +23,9 @@ func (e *Engine) checkSequential(ctx context.Context, lo *layout.Layout, rep *Re
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("core: check cancelled: %w", err)
 		}
+		if rp := e.delta.of(r.ID); rp != nil && rp.mode == deltaSkip {
+			continue // untouched by the edits; baseline violations retained
+		}
 		e.opts.Logger.Debugf("seq: rule %s", r)
 		r := r
 		w := ruleWindow{rule: r.ID, m0: rep.Profile.Elapsed()}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"opendrc/internal/geom"
 	"opendrc/internal/gpu"
 	"opendrc/internal/layout"
 	"opendrc/internal/rules"
@@ -42,6 +43,15 @@ type Session struct {
 	smu    sync.Mutex // guards the pc pointer so observers need not queue behind checks
 	pc     *parCtx    //odrc:guardedby smu
 	closed bool       // written with mu held
+
+	// Delta-check state, all guarded by the session lock: the last
+	// successful check's result, the dirty regions recorded since (undilated;
+	// pendingFull marks whole-layer dirt), and the check-traffic counters
+	// behind StatsSnapshot.
+	baseline    *sessionBaseline
+	pending     map[layout.Layer][]geom.Rect
+	pendingFull map[layout.Layer]bool
+	stats       SessionStats
 }
 
 // NewSession pins a layout and options into a resident session. The options
@@ -95,7 +105,8 @@ func (s *Session) Check(ctx context.Context, deck rules.Deck) (*Report, error) {
 	if err := e.AddRules(deck...); err != nil {
 		return nil, err
 	}
-	return e.checkWith(ctx, s.lo, s)
+	s.stats.FullChecks++
+	return s.runFull(ctx, e, e.Deck())
 }
 
 // deviceCtx returns the session's persistent device context, creating it on
@@ -123,32 +134,6 @@ func (s *Session) deviceCtx() *parCtx {
 	}
 	pc.dev.TrimTimeline()
 	return pc
-}
-
-// Invalidate drops the session's resident geometry for the given layers —
-// cached flattens, packs, MBR tables, and row partitions, plus any
-// device-resident edge buffer — so the next check recomputes and re-uploads
-// them. With no layers it drops everything. The hook for callers that
-// mutate the layout in place between checks (incremental flows); an
-// unchanged layout never needs it.
-func (s *Session) Invalidate(ctx context.Context, layers ...layout.Layer) error {
-	if err := s.lock(ctx); err != nil {
-		return err
-	}
-	defer s.unlock()
-	if s.closed {
-		return ErrSessionClosed
-	}
-	if s.geo.cache != nil {
-		s.geo.cache.Invalidate(layers...)
-	}
-	s.smu.Lock()
-	pc := s.pc
-	s.smu.Unlock()
-	if pc != nil {
-		s.freeResident(pc, layers)
-	}
-	return nil
 }
 
 // freeResident frees the device-resident buffers of the given layers (all

@@ -168,8 +168,11 @@ func TestSessionCloseReleasesDevice(t *testing.T) {
 	if _, err := ses.Check(ctx, synth.Deck()); !errors.Is(err, ErrSessionClosed) {
 		t.Fatalf("Check after Close = %v, want ErrSessionClosed", err)
 	}
-	if err := ses.Invalidate(ctx); !errors.Is(err, ErrSessionClosed) {
+	if err := ses.Invalidate(ctx, LayerRegion{Layer: 1}); !errors.Is(err, ErrSessionClosed) {
 		t.Fatalf("Invalidate after Close = %v, want ErrSessionClosed", err)
+	}
+	if err := ses.InvalidateAll(ctx); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("InvalidateAll after Close = %v, want ErrSessionClosed", err)
 	}
 }
 
@@ -191,7 +194,7 @@ func TestSessionInvalidate(t *testing.T) {
 	}
 	want := canonJSON(t, cold)
 
-	if err := ses.Invalidate(ctx); err != nil { // drop everything
+	if err := ses.InvalidateAll(ctx); err != nil { // drop everything
 		t.Fatal(err)
 	}
 	redo, err := ses.Check(ctx, deck)
@@ -213,7 +216,7 @@ func TestSessionInvalidate(t *testing.T) {
 			break
 		}
 	}
-	if err := ses.Invalidate(ctx, spacingLayer); err != nil {
+	if err := ses.Invalidate(ctx, LayerRegion{Layer: spacingLayer}); err != nil {
 		t.Fatal(err)
 	}
 	part, err := ses.Check(ctx, deck)

@@ -44,6 +44,7 @@ func (e *Engine) runSpacingSeq(ctx context.Context, lo *layout.Layout, r rules.R
 	}
 	// Each definition appears once in the layer tree, so computing inside
 	// this loop *is* the memoization: the result replays per instance.
+	rp := e.restrictFor(r.ID)
 	for _, c := range lo.LayerCells(r.Layer) {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -51,7 +52,13 @@ func (e *Engine) runSpacingSeq(ctx context.Context, lo *layout.Layout, r rules.R
 		if len(placements[c.ID]) == 0 {
 			continue
 		}
-		markers, err := e.cellSpacingMarkers(ctx, lo, c, r, rep, geo)
+		// Delta restriction: every marker of this definition lies inside its
+		// subtree layer MBR, so a definition with no instance near the dirty
+		// region contributes nothing claimable and is skipped whole.
+		if rp != nil && !rp.anyPlacementNear(c.LayerMBR(r.Layer), placements[c.ID]) {
+			continue
+		}
+		markers, err := e.cellSpacingMarkers(ctx, lo, c, r, rep, geo, rp, placements[c.ID])
 		if err != nil {
 			return err
 		}
@@ -71,16 +78,26 @@ func (e *Engine) runSpacingSeq(ctx context.Context, lo *layout.Layout, r rules.R
 // (Fig. 1 / Fig. 4), the cell's participants are first split into
 // independent rows by the adaptive partition, then each row runs the MBR
 // sweepline, and surviving pairs get edge-to-edge checks.
-func (e *Engine) cellSpacingMarkers(ctx context.Context, lo *layout.Layout, c *layout.Cell, r rules.Rule, rep *Report, geo *geoSource) ([]checks.Marker, error) {
+func (e *Engine) cellSpacingMarkers(ctx context.Context, lo *layout.Layout, c *layout.Cell, r rules.Rule, rep *Report, geo *geoSource, rp *rulePlan, insts []geom.Transform) ([]checks.Marker, error) {
 	lim := r.SpacingLimit()
 	min := lim.Reach()
 	var out []checks.Marker
 	emit := func(m checks.Marker) { out = append(out, m) }
 
+	// near translates the delta restriction into this definition's local
+	// frame: a local box matters only if some instance maps it near the
+	// dirty region. Inter-polygon rules reject magnified references, so the
+	// instance transforms here are rigid and map boxes to boxes exactly.
+	near := func(localBox geom.Rect) bool {
+		return rp == nil || rp.anyPlacementNear(localBox, insts)
+	}
+
 	// Notches of local polygons belong to this definition.
 	stopChecks := rep.Profile.Phase("spacing:edge-checks")
 	for _, pi := range c.LocalPolyIndex(r.Layer) {
-		checks.CheckNotchLim(c.Polys[pi].Shape, lim, emit)
+		if p := c.Polys[pi].Shape; near(p.MBR()) {
+			checks.CheckNotchLim(p, lim, emit)
+		}
 	}
 	stopChecks()
 
@@ -128,6 +145,7 @@ func (e *Engine) cellSpacingMarkers(ctx context.Context, lo *layout.Layout, c *l
 	// its sweepline and edge checks on a worker, writing markers and
 	// counters into its own recycled shard; shards merge in row order so the
 	// result is bit-identical for every worker count.
+	span := c.LayerMBR(r.Layer)
 	tbl := e.shards.get(len(rows))
 	err := pool.ForEachCtx(trace.WithTask(ctx, "row"), e.opts.Workers, len(rows), func(ri int) error {
 		row := rows[ri]
@@ -136,6 +154,12 @@ func (e *Engine) cellSpacingMarkers(ctx context.Context, lo *layout.Layout, c *l
 			return err
 		}
 		if len(row.Members) < 2 {
+			return nil
+		}
+		// Delta restriction: pair markers lie between their two members, so
+		// the whole row's output fits inside its y-band — a band no instance
+		// maps near the dirty region re-derives nothing claimable.
+		if !near(geom.Rect{XLo: span.XLo, YLo: row.YLo, XHi: span.XHi, YHi: row.YHi}) {
 			return nil
 		}
 		res := &tbl.s[ri]

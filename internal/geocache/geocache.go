@@ -49,6 +49,14 @@ import (
 type Stats struct {
 	FlattenHits, FlattenMisses int64
 	PackHits, PackMisses       int64
+	// Region-invalidation traffic (see InvalidateRegion). Segmented counts
+	// calls that kept part of a layer; Full counts calls that degenerated to
+	// a whole-layer drop. A segmented rebuild reuses RowsReused partition
+	// rows verbatim and requeries RowsRequeried dirty rows from the
+	// hierarchy.
+	SegmentedInvalidations, FullInvalidations int64
+	SegmentedRebuilds                         int64
+	RowsReused, RowsRequeried                 int64
 }
 
 // FaultHook is the injection seam consulted before each flatten computation
@@ -129,6 +137,7 @@ type Cache struct {
 	mbrs   map[layout.Layer]*mbrEntry
 	rows   map[rowsKey]*rowsEntry
 	tables map[layout.Layer]*tableEntry
+	plans  map[layout.Layer]*segPlan // pending segmented rebuilds (see region.go)
 	stats  Stats
 }
 
@@ -143,6 +152,7 @@ func New(lim budget.Limits) *Cache {
 		mbrs:   make(map[layout.Layer]*mbrEntry),
 		rows:   make(map[rowsKey]*rowsEntry),
 		tables: make(map[layout.Layer]*tableEntry),
+		plans:  make(map[layout.Layer]*segPlan),
 	}
 }
 
@@ -201,17 +211,21 @@ func (c *Cache) Flatten(ctx context.Context, lo *layout.Layout, l layout.Layer) 
 	}
 	e := &flatEntry{done: make(chan struct{})}
 	c.flat[l] = e
+	plan := c.plans[l]
+	delete(c.plans, l)
 	c.stats.FlattenMisses++
 	c.mu.Unlock()
 	c.event("flatten", layerKey(l), false)
 
-	c.computeFlat(ctx, e, lo, l)
+	c.computeFlat(ctx, e, lo, l, plan)
 	return e.polys, e.err
 }
 
 // computeFlat fills e. The done channel closes on every path — including a
 // panic, which is cached as a *pool.PanicError so waiters cannot wedge.
-func (c *Cache) computeFlat(ctx context.Context, e *flatEntry, lo *layout.Layout, l layout.Layer) {
+// A non-nil plan (left by InvalidateRegion) replaces the full FlattenLayer
+// with a segmented rebuild; fault-hook and budget semantics are identical.
+func (c *Cache) computeFlat(ctx context.Context, e *flatEntry, lo *layout.Layout, l layout.Layer, plan *segPlan) {
 	defer close(e.done)
 	defer func() {
 		if rec := recover(); rec != nil {
@@ -228,7 +242,18 @@ func (c *Cache) computeFlat(ctx context.Context, e *flatEntry, lo *layout.Layout
 			return
 		}
 	}
-	polys := lo.FlattenLayer(l)
+	var polys []layout.PlacedPoly
+	if plan != nil {
+		var reused, requeried int
+		polys, reused, requeried = plan.rebuild(lo, l)
+		c.mu.Lock()
+		c.stats.SegmentedRebuilds++
+		c.stats.RowsReused += int64(reused)
+		c.stats.RowsRequeried += int64(requeried)
+		c.mu.Unlock()
+	} else {
+		polys = lo.FlattenLayer(l)
+	}
 	if err := budget.Check("flatten-polys", int64(len(polys)), c.limits.MaxFlattenPolys); err != nil {
 		e.err = err
 		return
@@ -499,6 +524,11 @@ func (c *Cache) Invalidate(layers ...layout.Layer) {
 	for l := range c.tables {
 		if match(l) {
 			delete(c.tables, l)
+		}
+	}
+	for l := range c.plans {
+		if match(l) {
+			delete(c.plans, l)
 		}
 	}
 }

@@ -1,0 +1,274 @@
+// Region-scoped invalidation. Whole-layer Invalidate throws away everything
+// a resident session knows about a layer when one corner of it changed; the
+// region path instead segments the cached flatten by its adaptive row
+// partition (rows separated by more than the guard distance cannot
+// interact), marks only the rows a dirty rectangle touches, and rebuilds the
+// flatten at next use as "clean-row polygons kept verbatim + a hierarchy
+// range query over the dirty bands". The rebuilt polygon list is set-equal
+// to a cold FlattenLayer of the edited layout — kept rows hold unedited
+// geometry by construction, deleted polygons always fall in dirty rows
+// (callers pass dirty rects covering every changed polygon's MBR), and new
+// polygons never land inside a clean row's band (their extent would have
+// marked it dirty) — so downstream packs, partitions, and checks see the
+// same geometry multiset, merely permuted; canonical reports are unaffected
+// because violation serialization is order-free.
+package geocache
+
+import (
+	"sort"
+
+	"opendrc/internal/geom"
+	"opendrc/internal/kernels"
+	"opendrc/internal/layout"
+	"opendrc/internal/partition"
+)
+
+// queryHalfSpan bounds the x-extent of dirty-band query windows (full chip
+// width without risking int64 overflow in window arithmetic).
+const queryHalfSpan = int64(1) << 60
+
+// yspan is one inclusive dirty y-interval.
+type yspan struct{ lo, hi int64 }
+
+// segPlan is a pending segmented rebuild for one layer: the pre-edit flatten
+// with its row segmentation, which rows are dirty, and the extra dirty
+// y-intervals (edit rects can fall in inter-row gaps where no row exists).
+// Repeated region invalidations before the next Flatten compose into the
+// same plan; the rebuild consumes it.
+type segPlan struct {
+	polys []layout.PlacedPoly // pre-edit flatten (shared, immutable)
+	rows  []partition.Row     // segmentation of polys
+	dirty []bool              // per row
+	spans []yspan             // dirty rect y-extents (requeried regardless of rows)
+	edges *kernels.Edges      // pre-edit pack, for kept-byte accounting; may be nil
+}
+
+// RegionOutcome reports what one InvalidateRegion call did, so sessions can
+// free only the stale slice of a device-resident edge buffer.
+type RegionOutcome struct {
+	// Segmented is false when the call degenerated to a whole-layer drop:
+	// no completed flatten to segment, an empty or single-row partition, or
+	// dirty rects touching every row.
+	Segmented            bool
+	RowsTotal, RowsDirty int
+	PolysKept            int
+	// KeptEdgeBytes is the device-byte size of the still-valid prefix of the
+	// layer's packed edges (proportional byte shares of the pre-edit pack;
+	// zero when not segmented or the layer was never packed). The next pack
+	// of the rebuilt flatten is at least this large, so sessions free
+	// (resident bytes - KeptEdgeBytes) and later upload only the delta.
+	KeptEdgeBytes int64
+}
+
+// InvalidateRegion drops the layer's cached geometry only where the dirty
+// rects (already dilated by the caller's guard distance) intersect its row
+// segmentation, scheduling a segmented rebuild for the next Flatten. The
+// partition uses the given guard and algorithm — sessions pass the deck's
+// maximum interaction reach, so a clean row's geometry cannot interact with
+// anything inside the dirty region. With no completed flatten (or when every
+// row is dirty) the call degrades to Invalidate(l). Empty rects contribute
+// nothing; zero rects degrade to a whole-layer drop (matching Invalidate's
+// "no qualifier means everything" convention).
+func (c *Cache) InvalidateRegion(l layout.Layer, guard int64, alg partition.Algorithm, rects []geom.Rect) RegionOutcome {
+	spans := make([]yspan, 0, len(rects))
+	for _, r := range rects {
+		if !r.Empty() {
+			spans = append(spans, yspan{lo: r.YLo, hi: r.YHi})
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(spans) == 0 {
+		c.stats.FullInvalidations++
+		c.dropLayerLocked(l)
+		return RegionOutcome{}
+	}
+
+	plan := c.plans[l]
+	if plan == nil {
+		var ok bool
+		plan, ok = c.buildPlanLocked(l, guard, alg)
+		if !ok {
+			c.stats.FullInvalidations++
+			c.dropLayerLocked(l)
+			return RegionOutcome{}
+		}
+	}
+	for ri := range plan.rows {
+		if plan.dirty[ri] {
+			continue
+		}
+		band := yspan{lo: plan.rows[ri].YLo, hi: plan.rows[ri].YHi}
+		for _, sp := range spans {
+			if sp.lo <= band.hi && band.lo <= sp.hi {
+				plan.dirty[ri] = true
+				break
+			}
+		}
+	}
+	plan.spans = append(plan.spans, spans...)
+
+	out := RegionOutcome{RowsTotal: len(plan.rows)}
+	keptEdges, totalEdges := 0, 0
+	for ri, row := range plan.rows {
+		n := len(row.Members)
+		var rowEdges int
+		if plan.edges != nil {
+			for _, m := range row.Members {
+				elo, ehi := plan.edges.PolyEdges(m)
+				rowEdges += ehi - elo
+			}
+			totalEdges += rowEdges
+		}
+		if plan.dirty[ri] {
+			out.RowsDirty++
+			continue
+		}
+		out.PolysKept += n
+		keptEdges += rowEdges
+	}
+	if out.RowsDirty == out.RowsTotal {
+		// Nothing survives; fall back to the whole-layer drop so the next
+		// flatten takes the cold path instead of an all-dirty "rebuild".
+		delete(c.plans, l)
+		c.stats.FullInvalidations++
+		c.dropLayerLocked(l)
+		return RegionOutcome{}
+	}
+	if plan.edges != nil && totalEdges > 0 {
+		out.KeptEdgeBytes = plan.edges.Bytes() * int64(keptEdges) / int64(totalEdges)
+	}
+	out.Segmented = true
+	c.plans[l] = plan
+	c.stats.SegmentedInvalidations++
+	c.dropLayerLocked(l)
+	return out
+}
+
+// buildPlanLocked snapshots the layer's completed flatten (and pack, when
+// present) into a fresh all-clean plan segmented with the given guard.
+// Returns false when the layer has no successfully completed flatten to
+// segment, or when the partition is too coarse to save anything.
+func (c *Cache) buildPlanLocked(l layout.Layer, guard int64, alg partition.Algorithm) (*segPlan, bool) {
+	fe, ok := c.flat[l]
+	if !ok || !entryDone(fe.done) || fe.err != nil {
+		return nil, false
+	}
+	boxes := make([]geom.Rect, len(fe.polys))
+	for i := range fe.polys {
+		boxes[i] = fe.polys[i].Shape.MBR()
+	}
+	rows := partition.Rows(boxes, guard, alg)
+	if len(rows) < 2 {
+		return nil, false
+	}
+	plan := &segPlan{polys: fe.polys, rows: rows, dirty: make([]bool, len(rows))}
+	if pe, ok := c.packs[l]; ok && entryDone(pe.done) && pe.err == nil {
+		plan.edges = pe.edges
+	}
+	return plan, true
+}
+
+// entryDone reports whether a single-flight entry's computation finished.
+func entryDone(done chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// dropLayerLocked removes every cached entry of one layer (c.mu held).
+func (c *Cache) dropLayerLocked(l layout.Layer) {
+	delete(c.flat, l)
+	delete(c.packs, l)
+	delete(c.mbrs, l)
+	delete(c.tables, l)
+	for k := range c.rows {
+		if k.layer == l {
+			delete(c.rows, k)
+		}
+	}
+}
+
+// rebuild materializes the post-edit flatten: clean-row polygons in their
+// old canonical order, then the dirty bands' polygons from full-width
+// hierarchy range queries. Every post-edit polygon appears exactly once:
+// clean-row members are kept and rejected from query results (a polygon's
+// extent is contained in its own row's band, and bands are disjoint with
+// positive-measure extents), dirty-row and new polygons are accepted by the
+// first query span their extent overlaps.
+func (p *segPlan) rebuild(lo *layout.Layout, l layout.Layer) ([]layout.PlacedPoly, int, int) {
+	kept, dirtyRows := 0, 0
+	var clean []yspan
+	var query []yspan
+	for ri, row := range p.rows {
+		if p.dirty[ri] {
+			dirtyRows++
+			query = append(query, yspan{lo: row.YLo, hi: row.YHi})
+			continue
+		}
+		kept += len(row.Members)
+		clean = append(clean, yspan{lo: row.YLo, hi: row.YHi})
+	}
+	out := make([]layout.PlacedPoly, 0, kept)
+	for ri, row := range p.rows {
+		if p.dirty[ri] {
+			continue
+		}
+		for _, m := range row.Members {
+			out = append(out, p.polys[m])
+		}
+	}
+	query = mergeSpans(append(query, p.spans...))
+	prevHi := int64(0)
+	for qi, sp := range query {
+		window := geom.Rect{XLo: -queryHalfSpan, YLo: sp.lo, XHi: queryHalfSpan, YHi: sp.hi}
+		found, _ := lo.QueryLayer(l, window)
+		for _, pp := range found {
+			m := pp.Shape.MBR()
+			if qi > 0 && m.YLo <= prevHi {
+				continue // already returned by an earlier (lower) span
+			}
+			if containedInSpan(clean, m.YLo, m.YHi) {
+				continue // clean-row polygon, kept verbatim above
+			}
+			out = append(out, pp)
+		}
+		prevHi = sp.hi
+	}
+	return out, len(p.rows) - dirtyRows, dirtyRows
+}
+
+// mergeSpans sorts and merges inclusive intervals (touching merges).
+func mergeSpans(spans []yspan) []yspan {
+	if len(spans) < 2 {
+		return spans
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].lo != spans[j].lo {
+			return spans[i].lo < spans[j].lo
+		}
+		return spans[i].hi < spans[j].hi
+	})
+	out := spans[:1]
+	for _, sp := range spans[1:] {
+		last := &out[len(out)-1]
+		if sp.lo <= last.hi {
+			if sp.hi > last.hi {
+				last.hi = sp.hi
+			}
+			continue
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// containedInSpan reports whether [lo, hi] is contained in one of the sorted
+// disjoint spans.
+func containedInSpan(spans []yspan, lo, hi int64) bool {
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].hi >= lo })
+	return i < len(spans) && spans[i].lo <= lo && hi <= spans[i].hi
+}

@@ -1,0 +1,229 @@
+package geocache
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"opendrc/internal/budget"
+	"opendrc/internal/gdsii"
+	"opendrc/internal/geom"
+	"opendrc/internal/layout"
+	"opendrc/internal/partition"
+)
+
+// bandedLayout builds a flat layout with nBands M1 rectangles stacked in y,
+// one per band: rect k spans y ∈ [k·pitch, k·pitch+height]. With a guard far
+// smaller than the inter-band gap, the row partition puts each rectangle in
+// its own row, making the dirty-row arithmetic of the tests exact.
+func bandedLayout(t *testing.T, nBands int) *layout.Layout {
+	t.Helper()
+	const pitch, height, width = 1000, 100, 200
+	top := &gdsii.Structure{Name: "TOP"}
+	for k := 0; k < nBands; k++ {
+		y := int64(k) * pitch
+		top.Boundaries = append(top.Boundaries, gdsii.Boundary{
+			Layer: int16(layout.LayerM1), XY: []geom.Point{
+				geom.Pt(0, y), geom.Pt(0, y+height), geom.Pt(width, y+height), geom.Pt(width, y),
+			},
+		})
+	}
+	lib := &gdsii.Library{Name: "bands", UserUnit: 1e-3, MeterUnit: 1e-9,
+		Structures: []*gdsii.Structure{top}}
+	lo, err := layout.FromLibrary(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lo
+}
+
+// sortedBoxes is the order-free fingerprint of a flatten.
+func sortedBoxes(polys []layout.PlacedPoly) []geom.Rect {
+	out := make([]geom.Rect, len(polys))
+	for i, pp := range polys {
+		out[i] = pp.Shape.MBR()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.YLo != b.YLo {
+			return a.YLo < b.YLo
+		}
+		return a.XLo < b.XLo
+	})
+	return out
+}
+
+func sameRects(a, b []geom.Rect) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+const testGuard = int64(50)
+
+// warm fills the cache's flatten and pack for M1.
+func warm(t *testing.T, c *Cache, lo *layout.Layout) {
+	t.Helper()
+	ctx := context.Background()
+	if _, err := c.Flatten(ctx, lo, layout.LayerM1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Pack(ctx, lo, layout.LayerM1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInvalidateRegionDirtiesOnlyTouchedRows pins the row accounting: a rect
+// abutting one band's boundary dirties exactly that row, and the next
+// Flatten requeries only the dirty band while reusing every clean row.
+func TestInvalidateRegionDirtiesOnlyTouchedRows(t *testing.T) {
+	lo := bandedLayout(t, 10)
+	c := New(budget.Limits{})
+	warm(t, c, lo)
+
+	// Touching band 3 exactly at its top edge (y = 3100) — inclusive overlap
+	// must dirty the row; bands 0..2 and 4..9 stay clean.
+	out := c.InvalidateRegion(layout.LayerM1, testGuard, partition.Pigeonhole,
+		[]geom.Rect{geom.R(0, 3100, 10, 3150)})
+	if !out.Segmented {
+		t.Fatalf("not segmented: %+v", out)
+	}
+	if out.RowsTotal != 10 || out.RowsDirty != 1 || out.PolysKept != 9 {
+		t.Fatalf("outcome = %+v, want 10 rows / 1 dirty / 9 kept", out)
+	}
+	if out.KeptEdgeBytes <= 0 {
+		t.Fatalf("kept edge bytes = %d, want > 0 (layer was packed)", out.KeptEdgeBytes)
+	}
+
+	got, err := c.Flatten(context.Background(), lo, layout.LayerM1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRects(sortedBoxes(got), sortedBoxes(lo.FlattenLayer(layout.LayerM1))) {
+		t.Fatal("segmented rebuild differs from a cold flatten")
+	}
+	s := c.Stats()
+	if s.SegmentedInvalidations != 1 || s.FullInvalidations != 0 {
+		t.Fatalf("stats = %+v, want 1 segmented / 0 full invalidations", s)
+	}
+	if s.SegmentedRebuilds != 1 || s.RowsReused != 9 || s.RowsRequeried != 1 {
+		t.Fatalf("stats = %+v, want 1 rebuild reusing 9 rows, requerying 1", s)
+	}
+}
+
+// TestInvalidateRegionGapSpan pins the inter-row gap case: a dirty rect
+// falling between bands touches no row, yet its span is still requeried so
+// geometry inserted there (before the invalidation) appears in the rebuild.
+func TestInvalidateRegionGapSpan(t *testing.T) {
+	lo := bandedLayout(t, 5)
+	c := New(budget.Limits{})
+	warm(t, c, lo)
+
+	// Insert a new polygon in the gap between bands 2 and 3, then invalidate
+	// exactly its extent: zero dirty rows, all five kept.
+	gap := geom.R(0, 2400, 80, 2500)
+	if _, err := lo.ApplyEdits([]layout.Edit{{Op: layout.OpInsertRect, Layer: layout.LayerM1, Rect: gap}}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.InvalidateRegion(layout.LayerM1, testGuard, partition.Pigeonhole, []geom.Rect{gap})
+	if !out.Segmented || out.RowsDirty != 0 || out.PolysKept != 5 {
+		t.Fatalf("outcome = %+v, want segmented with 0 dirty rows, 5 kept", out)
+	}
+	got, err := c.Flatten(context.Background(), lo, layout.LayerM1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRects(sortedBoxes(got), sortedBoxes(lo.FlattenLayer(layout.LayerM1))) {
+		t.Fatal("gap-span rebuild missed the inserted polygon")
+	}
+}
+
+// TestInvalidateRegionRebuildAfterEdits drives the full edit cycle — insert
+// into one band, delete another band's polygon — and demands the rebuilt
+// flatten match a cold flatten of the edited layout.
+func TestInvalidateRegionRebuildAfterEdits(t *testing.T) {
+	lo := bandedLayout(t, 8)
+	c := New(budget.Limits{})
+	warm(t, c, lo)
+
+	dirty, err := lo.ApplyEdits([]layout.Edit{
+		{Op: layout.OpInsertRect, Layer: layout.LayerM1, Rect: geom.R(300, 2000, 400, 2100)},
+		{Op: layout.OpDeleteRegion, Layer: layout.LayerM1, Rect: geom.R(0, 5000, 500, 5100)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rects []geom.Rect
+	for _, d := range dirty {
+		for _, r := range d.Rects {
+			rects = append(rects, r.Expand(testGuard))
+		}
+	}
+	out := c.InvalidateRegion(layout.LayerM1, testGuard, partition.Pigeonhole, rects)
+	if !out.Segmented || out.RowsDirty != 2 {
+		t.Fatalf("outcome = %+v, want segmented with 2 dirty rows", out)
+	}
+	got, err := c.Flatten(context.Background(), lo, layout.LayerM1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lo.FlattenLayer(layout.LayerM1)
+	if !sameRects(sortedBoxes(got), sortedBoxes(want)) {
+		t.Fatalf("rebuild after edits differs: %d polys vs %d", len(got), len(want))
+	}
+}
+
+// TestInvalidateRegionDegenerateCases pins every whole-layer fallback: dirty
+// rects spanning all rows, an empty rect list, and a cold cache.
+func TestInvalidateRegionDegenerateCases(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("all rows dirty", func(t *testing.T) {
+		lo := bandedLayout(t, 6)
+		c := New(budget.Limits{})
+		warm(t, c, lo)
+		out := c.InvalidateRegion(layout.LayerM1, testGuard, partition.Pigeonhole,
+			[]geom.Rect{lo.Top.LayerMBR(layout.LayerM1)})
+		if out.Segmented {
+			t.Fatalf("whole-extent rect still segmented: %+v", out)
+		}
+		if s := c.Stats(); s.FullInvalidations != 1 || s.SegmentedInvalidations != 0 {
+			t.Fatalf("stats = %+v, want 1 full / 0 segmented", s)
+		}
+		// The next flatten is a plain cold recompute, not a rebuild.
+		if _, err := c.Flatten(ctx, lo, layout.LayerM1); err != nil {
+			t.Fatal(err)
+		}
+		if s := c.Stats(); s.SegmentedRebuilds != 0 {
+			t.Fatalf("degenerate invalidation still rebuilt: %+v", s)
+		}
+	})
+
+	t.Run("no rects", func(t *testing.T) {
+		lo := bandedLayout(t, 6)
+		c := New(budget.Limits{})
+		warm(t, c, lo)
+		out := c.InvalidateRegion(layout.LayerM1, testGuard, partition.Pigeonhole, nil)
+		if out.Segmented {
+			t.Fatalf("empty rect list still segmented: %+v", out)
+		}
+		if s := c.Stats(); s.FullInvalidations != 1 {
+			t.Fatalf("stats = %+v, want 1 full invalidation", s)
+		}
+	})
+
+	t.Run("cold cache", func(t *testing.T) {
+		c := New(budget.Limits{})
+		out := c.InvalidateRegion(layout.LayerM1, testGuard, partition.Pigeonhole,
+			[]geom.Rect{geom.R(0, 0, 10, 10)})
+		if out.Segmented {
+			t.Fatalf("cold cache still segmented: %+v", out)
+		}
+	})
+}

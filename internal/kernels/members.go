@@ -248,3 +248,25 @@ func PairDiscoveryMembers(s *gpu.Stream, e *Edges, rows [][]int32, min int64) []
 	})
 	return out
 }
+
+// NotchMembers launches the brute-force intra-polygon notch executor over an
+// explicit member list — one thread per member polygon, same pair loop as
+// NotchBrute. Hit.A carries the canonical polygon index (not the member
+// slot), matching what NotchBrute emits for that polygon.
+func NotchMembers(s *gpu.Stream, e *Edges, polys []int32, lim checks.SpacingLimit, c Collector) {
+	s.Launch("notch-members", len(polys), func(tid int) int64 {
+		p := polys[tid]
+		lo, hi := e.PolyEdges(int(p))
+		var ops int64
+		for i := lo; i < hi; i++ {
+			ei := e.Edge(i)
+			for j := i + 1; j < hi; j++ {
+				ops++
+				if m, ok := checks.EdgePairSpacingLim(ei, e.Edge(j), lim); ok {
+					c(Hit{Marker: m, A: p, B: -1})
+				}
+			}
+		}
+		return ops
+	})
+}

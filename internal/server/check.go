@@ -29,12 +29,14 @@ type checkRequest struct {
 	Rules     []string `json:"rules"`      // rule IDs, in order; empty = full deck
 	TimeoutMS int64    `json:"timeout_ms"` // end-to-end deadline; 0 = server default
 	Dedup     *bool    `json:"dedup"`      // collapse identical violations (default true, like odrc)
+	Delta     bool     `json:"delta"`      // incremental re-check of regions edited since the last check
 }
 
 // checkOutcome crosses the watchdog boundary from the child goroutine.
 type checkOutcome struct {
-	rep *core.Report
-	err error
+	rep   *core.Report
+	delta *core.DeltaInfo // non-nil for delta checks
+	err   error
 }
 
 // handleCheck runs one check against a resident session: admission, then a
@@ -107,7 +109,16 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 			done <- checkOutcome{err: fmt.Errorf("server: %s: %w", reqID, err)}
 			return
 		}
-		rep, err := h.ses.Check(cctx, deck)
+		var rep *core.Report
+		var info *core.DeltaInfo
+		var err error
+		if req.Delta {
+			var di core.DeltaInfo
+			rep, di, err = h.ses.DeltaCheck(cctx, deck)
+			info = &di
+		} else {
+			rep, err = h.ses.Check(cctx, deck)
+		}
 		if err != nil {
 			done <- checkOutcome{err: fmt.Errorf("server: %s: %w", reqID, err)}
 			return
@@ -115,7 +126,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		h.mu.Lock()
 		h.checks++
 		h.mu.Unlock()
-		done <- checkOutcome{rep: rep}
+		done <- checkOutcome{rep: rep, delta: info}
 	}()
 
 	select {
@@ -159,6 +170,17 @@ func (s *Server) respondCheck(w http.ResponseWriter, reqID string, req checkRequ
 	}
 	w.Header().Set("X-Odrc-Request", reqID)
 	w.Header().Set("X-Odrc-Degraded", strconv.FormatBool(rep.Degraded))
+	if out.delta != nil {
+		// Delta metadata rides in headers: the body stays the canonical
+		// report, byte-identical to a cold full check of the edited layout.
+		w.Header().Set("X-Odrc-Delta-Planned", strconv.FormatBool(out.delta.Planned))
+		if out.delta.Reason != "" {
+			w.Header().Set("X-Odrc-Delta-Fallback", out.delta.Reason)
+		}
+		setIntHeader(w, "X-Odrc-Delta-Rules-Skipped", int64(out.delta.RulesSkipped))
+		setIntHeader(w, "X-Odrc-Delta-Rules-Restricted", int64(out.delta.RulesRestricted))
+		setIntHeader(w, "X-Odrc-Delta-Rules-Full", int64(out.delta.RulesFull))
+	}
 	setIntHeader(w, "X-Odrc-Host-Wall-Us", rep.HostWall.Microseconds())
 	setIntHeader(w, "X-Odrc-Modeled-Us", rep.Modeled.Microseconds())
 	w.Header().Set("Content-Type", "application/json")

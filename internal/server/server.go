@@ -122,7 +122,9 @@ func New(base context.Context, cfg Config) *Server {
 	mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
 	mux.HandleFunc("POST /v1/sessions/{id}/check", s.handleCheck)
+	mux.HandleFunc("POST /v1/sessions/{id}/edit", s.handleEdit)
 	mux.HandleFunc("POST /v1/sessions/{id}/invalidate", s.handleInvalidate)
+	mux.HandleFunc("GET /v1/sessions/{id}/stats", s.handleSessionStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /debug/goroutines", s.handleGoroutines)
 	s.mux = mux

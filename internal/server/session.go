@@ -445,7 +445,7 @@ func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer h.release(s.base, s.cfg.Logger)
-	if err := h.ses.Invalidate(r.Context()); err != nil {
+	if err := h.ses.InvalidateAll(r.Context()); err != nil {
 		writeError(w, http.StatusGatewayTimeout, "", err)
 		return
 	}

@@ -58,6 +58,39 @@ cmp "$tmp/batch_full.json" "$tmp/http_cold.json"
 cmp "$tmp/batch_full.json" "$tmp/http_warm.json"
 cmp "$tmp/batch_one.json" "$tmp/http_one.json"
 
+# Incremental flow: on a fresh session, full check, insert a sub-min-width
+# M1 sliver (layer 19, width 9 < MinWidthM1), then delta-check. The body
+# must be byte-identical to ANOTHER fresh session given the same edit and a
+# plain full check — the delta path may never change results, only cost.
+edit='{"edits":[{"op":"insert_rect","layer":19,"xlo":100,"ylo":100,"xhi":109,"yhi":220}]}'
+curl -fsS -X POST "$base/v1/sessions" \
+	-d "{\"id\":\"edit-delta\",\"gds\":\"$tmp/uart.gds\"}" >/dev/null
+curl -fsS -X POST "$base/v1/sessions/edit-delta/check" -d '{}' >/dev/null
+curl -fsS -X POST "$base/v1/sessions/edit-delta/edit" -d "$edit" >/dev/null
+curl -fsS -D "$tmp/delta_hdr" -X POST "$base/v1/sessions/edit-delta/check" \
+	-d '{"delta":true}' >"$tmp/http_delta.json"
+grep -qi '^X-Odrc-Delta-Planned: true' "$tmp/delta_hdr" || {
+	echo "smoke_odrcd: delta check was not planned:" >&2
+	cat "$tmp/delta_hdr" >&2
+	exit 1
+}
+curl -fsS -X POST "$base/v1/sessions" \
+	-d "{\"id\":\"edit-full\",\"gds\":\"$tmp/uart.gds\"}" >/dev/null
+curl -fsS -X POST "$base/v1/sessions/edit-full/edit" -d "$edit" >/dev/null
+curl -fsS -X POST "$base/v1/sessions/edit-full/check" -d '{}' >"$tmp/http_edit_full.json"
+cmp "$tmp/http_delta.json" "$tmp/http_edit_full.json"
+
+# The stats endpoint reports the session's traffic split.
+stats="$(curl -fsS "$base/v1/sessions/edit-delta/stats")"
+for want in '.stats.full_checks == 1' '.stats.delta_checks == 1' '.stats.delta_planned == 1' '.stats.delta_fallbacks == 0'; do
+	echo "$stats" | jq -e "$want" >/dev/null || {
+		echo "smoke_odrcd: stats check failed ($want): $stats" >&2
+		exit 1
+	}
+done
+curl -fsS -X DELETE "$base/v1/sessions/edit-delta" >/dev/null
+curl -fsS -X DELETE "$base/v1/sessions/edit-full" >/dev/null
+
 # No goroutine growth once the workload drains.
 ok=""
 i=0
