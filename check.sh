@@ -44,6 +44,15 @@ go run ./cmd/odrc-bench -reuse -runs 5 -scale 0.3 -out BENCH_reuse.json -gate
 # and the smallest edit fraction must beat the full re-check it replaces.
 go run ./cmd/odrc-bench -delta -runs 3 -scale 0.3 -out BENCH_delta.json -gate
 
+# Fairness gate: the cross-tenant scheduling experiment. A light tenant's
+# closed-loop checks are measured against six saturating co-tenant streams:
+# every row's reports must be byte-identical to the unloaded solo run, the
+# co-tenant must stay saturated, and the equal-weight fair policy must
+# improve the light tenant's p95 at least 2x over the FIFO baseline. Scale 3
+# makes a light check span several OS scheduling quanta — smaller checks
+# finish inside one quantum and cannot observe queueing policy at all.
+go run ./cmd/odrc-bench -fairness -scale 3 -out BENCH_fair.json -gate
+
 # Trace smoke: one traced full-deck run at reduced scale, then a structural
 # validation of the exported Chrome-trace JSON (required processes, paired
 # flows, well-formed events). Catches export regressions off the test path.

@@ -19,6 +19,12 @@
 //	                                     cold full check, swept over edit
 //	                                     fractions; every row cross-checks the
 //	                                     two reports byte-for-byte
+//	odrc-bench -fairness [-fair-checks n] [-out f.json] [-gate]
+//	                                     cross-tenant fair scheduling: light-
+//	                                     tenant p50/p95 under heavy co-tenant
+//	                                     load, FIFO baseline vs weighted fair;
+//	                                     every row cross-checks the light
+//	                                     reports against an unloaded solo run
 //	odrc-bench -trace f.json [-trace-design d] [-trace-mode seq|par]
 //	                                     run the full deck once with the
 //	                                     timeline recorder attached and write
@@ -66,6 +72,8 @@ func run() error {
 	speedup := flag.Bool("speedup", false, "run the multi-core speedup experiment (both engine modes)")
 	reuse := flag.Bool("reuse", false, "run the cross-rule geometry reuse experiment (cache on vs off)")
 	delta := flag.Bool("delta", false, "run the incremental re-check experiment (delta vs cold full check after edits)")
+	fairness := flag.Bool("fairness", false, "run the cross-tenant fair-scheduling experiment (light tenant latency under heavy co-tenant load, FIFO vs weighted fair)")
+	fairChecks := flag.Int("fair-checks", 40, "light-tenant checks measured per -fairness row")
 	traceOut := flag.String("trace", "", "run the full deck once with tracing and write the Chrome-trace JSON to this file")
 	traceDesign := flag.String("trace-design", "aes", "design for the -trace run")
 	traceMode := flag.String("trace-mode", "par", "engine mode for the -trace run: seq or par")
@@ -115,6 +123,8 @@ func run() error {
 		return runReuse(ctx, *scale, *runs, *out, *gate)
 	case *delta:
 		return runDelta(ctx, *scale, *runs, *out, *gate)
+	case *fairness:
+		return runFairness(ctx, *scale, *fairChecks, *out, *gate)
 	}
 	flag.Usage()
 	return nil
@@ -238,6 +248,33 @@ func runReuse(ctx context.Context, scale float64, runs int, outPath string, gate
 // against the cold full check a client without delta support would run.
 func runDelta(ctx context.Context, scale float64, runs int, outPath string, gate bool) error {
 	rep, err := bench.DeltaContext(ctx, runs, scale)
+	if err != nil {
+		return err
+	}
+	if _, err := rep.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if gate {
+		return rep.Gate()
+	}
+	return nil
+}
+
+// runFairness measures the light tenant's latency distribution under heavy
+// co-tenant load, FIFO baseline vs the weighted-fair stride policy.
+func runFairness(ctx context.Context, scale float64, checks int, outPath string, gate bool) error {
+	rep, err := bench.FairnessContext(ctx, checks, scale)
 	if err != nil {
 		return err
 	}

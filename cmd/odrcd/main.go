@@ -6,7 +6,9 @@
 // Usage:
 //
 //	odrcd [-addr :9144] [-max-inflight n] [-max-queue n] [-timeout d]
-//	      [-max-timeout d] [-grace d] [-drain d] [-ready-file path] [-quiet]
+//	      [-max-timeout d] [-grace d] [-drain d] [-sched-workers n]
+//	      [-tenant-weight name=w]... [-default-tenant-weight n]
+//	      [-ready-file path] [-quiet]
 //
 // API (JSON bodies throughout; see internal/server):
 //
@@ -15,8 +17,16 @@
 //	DELETE /v1/sessions/{id}             unload (closes once idle)
 //	POST   /v1/sessions/{id}/check       run a check: {"rules":[ids],"timeout_ms":n,"dedup":bool}
 //	POST   /v1/sessions/{id}/invalidate  drop resident geometry
+//	GET    /v1/sessions/{id}/stats       traffic split, tenant, and scheduler weight
 //	GET    /healthz                      liveness, session count, in-flight gauge
 //	GET    /debug/goroutines             goroutine count (?stacks=1 for the dump)
+//	GET    /debug/sched                  per-tenant fair-scheduler accounting
+//
+// Every check's fan-outs run on one shared tenant-fair worker set: sessions
+// name their tenant at creation ({"tenant": ...}, default the session id),
+// and -tenant-weight gives named tenants a larger stride share, so a light
+// tenant's small checks stay responsive beside a saturating co-tenant
+// (DESIGN.md §13) with byte-identical responses either way.
 //
 // Check responses are the engine's canonical report JSON — byte-identical
 // to `odrc -canon` on the same design and deck — with request identity and
@@ -37,6 +47,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,6 +60,19 @@ func main() {
 	os.Exit(run())
 }
 
+// parseTenantWeight splits a -tenant-weight "name=w" value.
+func parseTenantWeight(v string) (string, int, error) {
+	name, ws, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return "", 0, fmt.Errorf("want name=w, got %q", v)
+	}
+	w, err := strconv.Atoi(ws)
+	if err != nil || w <= 0 {
+		return "", 0, fmt.Errorf("weight in %q must be a positive integer", v)
+	}
+	return name, w, nil
+}
+
 func run() int {
 	addr := flag.String("addr", ":9144", "listen address (use :0 with -ready-file for an ephemeral port)")
 	maxInflight := flag.Int("max-inflight", 0, "admitted checks across all sessions; beyond it requests shed with 429 (0 = default 8)")
@@ -56,6 +81,17 @@ func run() int {
 	maxTimeout := flag.Duration("max-timeout", 0, "clamp on request-supplied deadlines (0 = default 5m)")
 	grace := flag.Duration("grace", 0, "watchdog grace past a check's deadline before abandoning it with 504 (0 = default 2s)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown budget for in-flight checks after SIGTERM")
+	schedWorkers := flag.Int("sched-workers", 0, "shared cross-tenant worker set for check fan-outs (0 = GOMAXPROCS)")
+	defaultWeight := flag.Int("default-tenant-weight", 0, "stride weight for tenants without a -tenant-weight entry (0 = default 1)")
+	weights := map[string]int{}
+	flag.Func("tenant-weight", "name=w: give tenant name stride weight w on the shared workers (repeatable)", func(v string) error {
+		name, w, err := parseTenantWeight(v)
+		if err != nil {
+			return err
+		}
+		weights[name] = w
+		return nil
+	})
 	readyFile := flag.String("ready-file", "", "write the bound listen address to this file once serving")
 	quiet := flag.Bool("quiet", false, "log warnings and errors only")
 	flag.Usage = func() {
@@ -81,12 +117,15 @@ func run() int {
 	defer stop()
 
 	srv := server.New(base, server.Config{
-		MaxInFlight:        *maxInflight,
-		MaxQueuePerSession: *maxQueue,
-		DefaultTimeout:     *timeout,
-		MaxTimeout:         *maxTimeout,
-		WatchdogGrace:      *grace,
-		Logger:             log,
+		MaxInFlight:         *maxInflight,
+		MaxQueuePerSession:  *maxQueue,
+		DefaultTimeout:      *timeout,
+		MaxTimeout:          *maxTimeout,
+		WatchdogGrace:       *grace,
+		SchedWorkers:        *schedWorkers,
+		TenantWeights:       weights,
+		DefaultTenantWeight: *defaultWeight,
+		Logger:              log,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

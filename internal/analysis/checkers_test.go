@@ -138,7 +138,7 @@ func TestCheckers(t *testing.T) {
 			name:    "ctxflow: background/todo, dropped ctx before fan-out",
 			file:    "ctxflow_src.go",
 			pkgPath: "example.com/internal/core",
-			want:    []string{"ctxflow:35", "ctxflow:43", "ctxflow:48", "ctxflow:54"},
+			want:    []string{"ctxflow:35", "ctxflow:43", "ctxflow:48", "ctxflow:54", "ctxflow:70"},
 		},
 		{
 			name:    "ctxflow: package main may create root contexts",

@@ -2,10 +2,11 @@ package analysis
 
 import (
 	"go/ast"
+	"go/types"
 )
 
 // CtxFlow enforces context discipline end to end: cancellation only works if
-// every hop propagates its context. Three rules:
+// every hop propagates its context. Four rules:
 //
 //  1. No context.Background()/context.TODO() outside package main (tests are
 //     never linted). Library code accepts a ctx from its caller; a fresh
@@ -19,9 +20,17 @@ import (
 //     becomes uncancellable. This one is interprocedural: the pool
 //     reachability comes from the bottom-up summaries, and the finding
 //     carries the call chain down to the pool entry point.
+//  4. A function that received a ctx and calls a context-deriving wrapper —
+//     any callee that both takes and returns a context.Context, the shape of
+//     pool.WithTenant / pool.WithScheduler / context.WithValue — must derive
+//     the wrapper's input from the incoming ctx (directly or through a chain
+//     of such wrappers). Tagging a context from anywhere else silently drops
+//     the caller's cancellation AND its scheduler/tenant tags from everything
+//     built on the wrapper's result. Fresh Background/TODO inputs are rule
+//     2's jurisdiction and are not re-reported here.
 var CtxFlow = &ProgramChecker{
 	Name: "ctxflow",
-	Doc:  "contexts must flow: no Background/TODO outside main, no dropped ctx before a pool fan-out",
+	Doc:  "contexts must flow: no Background/TODO outside main, no dropped ctx before a pool fan-out, wrappers retag the incoming ctx",
 	Run:  runCtxFlow,
 }
 
@@ -35,10 +44,30 @@ func checkCtxFlow(p *ProgPass, fi *funcInfo) {
 	info := fi.unit.info
 	isMain := fi.unit.pkg.Name() == "main"
 	hasCtx := fi.ctxParam >= 0
+	derived := ctxParamObjs(info, fi.decl.Type.Params)
 	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if hasCtx {
+				trackCtxDerivation(info, derived, n)
+			}
+			return true
+		case *ast.FuncLit:
+			// A closure's own ctx parameter starts a fresh chain; treat it
+			// as derived so shadowing does not false-positive rule 4.
+			ctxParamObjsInto(info, n.Type.Params, derived)
+			return true
+		}
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
+		}
+		if hasCtx {
+			if arg, ok := ctxWrapperArg(info, call); ok &&
+				!isCtxRootCall(info, arg) && !ctxExprDerived(info, derived, arg) {
+				p.Reportf(call.Pos(), "ctxflow",
+					"%s receives a ctx but tags a different context here — the wrapper's result drops the incoming cancellation and scheduler/tenant chain; derive the wrapper's input from the ctx parameter", fi.name())
+			}
 		}
 		if name, _, ok := selectorPkgCall(info, call, "context"); ok {
 			switch name {
@@ -69,4 +98,113 @@ func checkCtxFlow(p *ProgPass, fi *funcInfo) {
 		}
 		return true
 	})
+}
+
+// ctxParamObjs seeds the derivation set for rule 4 with the function's
+// context.Context parameter objects.
+func ctxParamObjs(info *types.Info, params *ast.FieldList) map[types.Object]bool {
+	derived := map[types.Object]bool{}
+	ctxParamObjsInto(info, params, derived)
+	return derived
+}
+
+func ctxParamObjsInto(info *types.Info, params *ast.FieldList, derived map[types.Object]bool) {
+	if params == nil {
+		return
+	}
+	for _, fld := range params.List {
+		for _, name := range fld.Names {
+			if obj := info.Defs[name]; obj != nil && isContextType(obj.Type()) {
+				derived[obj] = true
+			}
+		}
+	}
+}
+
+// trackCtxDerivation propagates rule 4's derivation through assignments:
+// when any right-hand side is rooted in a derived context, every
+// context-typed name on the left joins the derived set (tctx, cancel :=
+// context.WithTimeout(ctx, d); sctx := pool.WithScheduler(ctx, s); ...).
+// A context name reassigned from elsewhere leaves the set.
+func trackCtxDerivation(info *types.Info, derived map[types.Object]bool, as *ast.AssignStmt) {
+	fromDerived := false
+	for _, rhs := range as.Rhs {
+		if ctxExprDerived(info, derived, rhs) {
+			fromDerived = true
+			break
+		}
+	}
+	for _, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil || !isContextType(obj.Type()) {
+			continue
+		}
+		if fromDerived {
+			derived[obj] = true
+		} else {
+			delete(derived, obj)
+		}
+	}
+}
+
+// ctxExprDerived reports whether e is rooted in a derived context: the
+// context parameter itself, a name assigned from one, or a call fed one as
+// any context-typed argument.
+func ctxExprDerived(info *types.Info, derived map[types.Object]bool, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return derived[info.Uses[e]]
+	case *ast.CallExpr:
+		for _, a := range e.Args {
+			if t := info.TypeOf(a); t != nil && isContextType(t) &&
+				ctxExprDerived(info, derived, a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ctxWrapperArg matches rule 4's wrapper shape by signature — the callee
+// both takes and returns a context.Context — and returns the argument
+// filling the context parameter.
+func ctxWrapperArg(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return nil, false
+	}
+	returnsCtx := false
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isContextType(sig.Results().At(i).Type()) {
+			returnsCtx = true
+			break
+		}
+	}
+	if !returnsCtx {
+		return nil, false
+	}
+	for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return call.Args[i], true
+		}
+	}
+	return nil, false
+}
+
+// isCtxRootCall reports whether e is a direct context.Background()/TODO()
+// call — rule 2 owns those, rule 4 must not double-report.
+func isCtxRootCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	name, _, ok := selectorPkgCall(info, call, "context")
+	return ok && (name == "Background" || name == "TODO")
 }

@@ -54,3 +54,29 @@ func Shadow(ctx context.Context, n int) error {
 	fresh := context.TODO()
 	return ForEachCtx(fresh, n, func(int) error { return nil })
 }
+
+// WithTenant stands in for pool.WithTenant: a context-tagging wrapper —
+// takes a context, returns the derived tagged context.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	_ = tenant
+	return ctx
+}
+
+type holder struct{ saved context.Context }
+
+// TP (wrapper retag): Tag receives a ctx but tags a stored one — the
+// result drops the caller's cancellation and tenant chain (line 70).
+func (h *holder) Tag(ctx context.Context, tenant string) context.Context {
+	return WithTenant(h.saved, tenant)
+}
+
+// TN: the tag rides the incoming ctx.
+func (h *holder) TagOK(ctx context.Context, tenant string) context.Context {
+	return WithTenant(ctx, tenant)
+}
+
+// TN: derivation through a local — the chain stays intact hop to hop.
+func TagTwice(ctx context.Context, a, b string) context.Context {
+	tagged := WithTenant(ctx, a)
+	return WithTenant(tagged, b)
+}

@@ -9,6 +9,7 @@ import (
 	"opendrc/internal/geocache"
 	"opendrc/internal/geom"
 	"opendrc/internal/layout"
+	"opendrc/internal/pool"
 	"opendrc/internal/rules"
 )
 
@@ -512,6 +513,8 @@ func (s *Session) DeltaCheck(ctx context.Context, deck rules.Deck) (*Report, Del
 	if s.closed {
 		return nil, DeltaInfo{}, ErrSessionClosed
 	}
+	// Presence spans the whole check, like Session.Check.
+	defer pool.EnterCtx(ctx)()
 	e := New(s.opts)
 	if err := e.AddRules(deck...); err != nil {
 		return nil, DeltaInfo{}, err

@@ -233,6 +233,9 @@ func (e *Engine) checkParallel(ctx context.Context, lo *layout.Layout, rep *Repo
 		if rp := e.delta.of(r.ID); rp != nil && rp.mode == deltaSkip {
 			continue // untouched by the edits; baseline violations retained
 		}
+		// Rule boundary: let a lagging co-tenant's check run ahead of this
+		// one's next serial stretch (no-op without a context scheduler).
+		pool.YieldCtx(ctx)
 		e.opts.Logger.Debugf("par: rule %s", r)
 		r := r
 		w := ruleWindow{rule: r.ID, m0: pc.dev.HostClock(), c0: pc.dev.OpCount()}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"opendrc/internal/layout"
+	"opendrc/internal/pool"
 	"opendrc/internal/rules"
 )
 
@@ -23,6 +24,9 @@ func (e *Engine) checkSequential(ctx context.Context, lo *layout.Layout, rep *Re
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("core: check cancelled: %w", err)
 		}
+		// Rule boundary: let a lagging co-tenant's check run ahead of this
+		// one's next serial stretch (no-op without a context scheduler).
+		pool.YieldCtx(ctx)
 		if rp := e.delta.of(r.ID); rp != nil && rp.mode == deltaSkip {
 			continue // untouched by the edits; baseline violations retained
 		}

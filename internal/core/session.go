@@ -9,6 +9,7 @@ import (
 	"opendrc/internal/geom"
 	"opendrc/internal/gpu"
 	"opendrc/internal/layout"
+	"opendrc/internal/pool"
 	"opendrc/internal/rules"
 )
 
@@ -101,6 +102,9 @@ func (s *Session) Check(ctx context.Context, deck rules.Deck) (*Report, error) {
 	if s.closed {
 		return nil, ErrSessionClosed
 	}
+	// Presence spans the whole check — serial sections included — so a
+	// context-carried scheduler can fair-share it against co-tenant load.
+	defer pool.EnterCtx(ctx)()
 	e := New(s.opts)
 	if err := e.AddRules(deck...); err != nil {
 		return nil, err

@@ -83,6 +83,11 @@ const (
 	// is the session ID, so every concurrent loader of that session observes
 	// the same injected outcome.
 	SiteSessionLoad = "server.session-load"
+	// SiteSched fires when the fair scheduler dispatches a chunk; the key is
+	// "<tenant>#<lo>" (the chunk's first index), so a chaos run can make one
+	// tenant's chunks fail or stall while its co-tenants keep executing —
+	// the isolation property the per-tenant queues exist to provide.
+	SiteSched = "pool.sched"
 )
 
 // ErrInjected is the sentinel every injected error unwraps to.

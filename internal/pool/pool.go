@@ -134,10 +134,15 @@ func (p *Pool) SubmitCtx(ctx context.Context, fn func()) error {
 	}
 	if rec := trace.FromContext(ctx); rec != nil {
 		name := fmt.Sprintf("%s#%d", trace.TaskLabel(ctx), p.taskSeq.Add(1)-1)
+		tenant := tenantTag(ctx)
 		inner := fn
 		fn = func() {
 			stop := rec.Begin(trace.TrackPool, "", name, "pool")
-			defer stop()
+			if tenant != "" {
+				defer stop(trace.Arg{Key: "tenant", Val: tenant})
+			} else {
+				defer stop()
+			}
 			inner()
 		}
 	}
@@ -280,7 +285,10 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 // chunksPerWorker chunks per worker. Error, panic, cancellation, and result
 // semantics are identical for every chunk size; the equivalence tests pin
 // that down. Exported so callers with known task granularity (and the
-// chunking-equivalence tests) can force a size.
+// chunking-equivalence tests) can force a size. When the context carries a
+// Scheduler (WithScheduler), the multi-worker path routes its chunks
+// through the shared tenant-fair worker set instead of spawning its own
+// goroutines; results and error semantics are identical either way.
 func ForEachChunkCtx(ctx context.Context, workers, n, chunk int, fn func(i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
@@ -311,6 +319,11 @@ func ForEachChunkCtx(ctx context.Context, workers, n, chunk int, fn func(i int) 
 			}
 		}
 		return nil
+	}
+	// The scheduler lookup happens only on the multi-worker path, so the
+	// inline branch above stays allocation-free even under a scheduler.
+	if s := SchedulerFromContext(ctx); s != nil {
+		return s.forEach(ctx, rec, label, TenantFromContext(ctx), workers, n, chunk, fn)
 	}
 	return forEachChunked(ctx, rec, label, workers, n, chunk, fn)
 }

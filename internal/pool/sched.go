@@ -1,0 +1,852 @@
+// Fair scheduling across tenants. The service runs many sessions on one
+// process; without a scheduler, concurrent fan-outs drain in submission
+// order on whatever goroutines the OS happens to run, and a tenant
+// submitting large full-deck checks starves a co-tenant's small delta
+// checks. The paper's hierarchical decomposition already splits every check
+// into small uniform work units (per-cell, per-row, per-tile chunks), so
+// fairness can happen at chunk granularity: a Scheduler keeps one FIFO
+// queue of fan-outs per tenant and a weighted-fair (stride) dispatcher
+// picks which tenant's next chunk a shared worker runs. Task-granularity
+// interleaving beats static worker partitioning because an idle tenant's
+// share flows to the busy ones instead of idling a partition.
+//
+// Liveness is caller-participation: the goroutine that submitted a fan-out
+// always helps execute its own chunks (counted against the fan-out's worker
+// cap). Every fan-out therefore makes progress even when all shared workers
+// are busy with other tenants — and a nested fan-out inside a chunk body
+// can never deadlock waiting for a free worker. Self-service is metered by
+// the same stride accounting as worker dispatch: under FairShare a caller
+// whose tenant has run ahead of a lagging tenant that can actually absorb
+// service yields until the laggard catches up (see gatedLocked), so
+// fairness holds even when callers outnumber the shared workers. The
+// lowest-pass tenant is never gated, which preserves liveness.
+//
+// Determinism is untouched: the scheduler only reorders chunk execution,
+// and fan-out callers write results into per-index slots (reports are
+// sorted and merged independent of schedule), so canonical reports stay
+// byte-identical under any co-tenant load. The equivalence tests pin error,
+// panic, and cancellation semantics to the direct forEachChunked path.
+package pool
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"opendrc/internal/faults"
+	"opendrc/internal/trace"
+)
+
+// SchedPolicy selects how the dispatcher picks the next chunk.
+type SchedPolicy int
+
+const (
+	// FairShare is weighted stride scheduling over the per-tenant queues:
+	// every chunk take — shared-worker dispatch and caller self-service
+	// alike — advances the tenant's pass by strideOne/weight, and the
+	// tenant with the lowest pass is served next.
+	FairShare SchedPolicy = iota
+	// FIFO serves fan-outs in global submission order — the pre-scheduler
+	// baseline the fairness benchmark compares against.
+	FIFO
+)
+
+// String implements fmt.Stringer.
+func (p SchedPolicy) String() string {
+	switch p {
+	case FairShare:
+		return "fair"
+	case FIFO:
+		return "fifo"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// strideOne is the stride of a weight-1 tenant; a weight-w tenant advances
+// its pass 1/w as fast and is served w times as often under contention.
+const strideOne = 1 << 20
+
+// rejoinWarp is the bounded latency credit (in weight-1 chunk takes) a
+// tenant receives when it transitions idle → active: it rejoins that far
+// *behind* the current pass front instead of at it. Borrowed-virtual-time
+// style — a bursty latency-sensitive tenant (small delta checks) runs its
+// burst ahead of a saturating tenant's queue instead of interleaving with
+// it, while the credit's fixed size bounds how much long-run share the
+// bursts can borrow. A continuously-busy tenant never goes idle and never
+// collects credit, so sustained loads still split by weight alone.
+const rejoinWarp = 256 * strideOne
+
+// DefaultTenant is the queue shared by fan-outs without an explicit tenant
+// tag.
+const DefaultTenant = "default"
+
+// SchedConfig tunes a Scheduler.
+type SchedConfig struct {
+	// Workers is the number of shared dispatcher goroutines (<= 0 selects
+	// GOMAXPROCS). These are the cross-tenant capacity; each fan-out's
+	// submitting goroutine additionally serves its own chunks.
+	Workers int
+	// Policy selects the dispatch order. The zero value is FairShare.
+	Policy SchedPolicy
+	// DefaultWeight applies to tenants absent from Weights (<= 0 means 1).
+	DefaultWeight int
+	// Weights maps tenant name → stride weight (higher = larger share).
+	Weights map[string]int
+	// Faults drives the chaos suite through the faults.SiteSched seam at
+	// chunk dispatch. Nil is inert.
+	Faults *faults.Injector
+}
+
+// schedTenant is one tenant's dispatch state.
+type schedTenant struct {
+	name   string
+	weight int
+
+	// All guarded by the scheduler's mu.
+	pass       uint64    // stride pass: lowest pass is served next
+	burstUntil uint64    // pass front at the last idle join; below it the tenant is bursting
+	queue      []*fanout // FIFO of fan-outs with chunks left to hand out
+	inflight   int       // chunks currently executing
+	present    int       // open Enter spans (checks in flight)
+	dispatched uint64    // chunks handed to shared workers
+	selfServed uint64    // chunks run by the fan-outs' own callers
+	gatedWaits uint64    // times a caller yielded to a lagging tenant
+	fanouts    uint64    // fan-outs accepted
+}
+
+// Scheduler is the tenant-aware dispatch layer. Attach one to a context
+// with WithScheduler and every multi-worker ForEachCtx/ForEachChunkCtx
+// below it routes its chunks through the shared, weighted-fair worker set.
+// The zero value is not usable; construct with NewScheduler and Close when
+// done.
+type Scheduler struct {
+	policy        SchedPolicy
+	defaultWeight int
+	weights       map[string]int
+	faults        *faults.Injector
+	nworkers      int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	closed   bool
+	tenants  map[string]*schedTenant
+	names    []string // tenant registration order: deterministic scans
+	arrivals uint64   // global fan-out arrival counter
+	workers  sync.WaitGroup
+}
+
+// NewScheduler starts a scheduler with its shared workers running.
+func NewScheduler(cfg SchedConfig) *Scheduler {
+	w := Workers(cfg.Workers)
+	dw := cfg.DefaultWeight
+	if dw <= 0 {
+		dw = 1
+	}
+	weights := make(map[string]int, len(cfg.Weights))
+	for name, wt := range cfg.Weights {
+		weights[name] = wt
+	}
+	s := &Scheduler{
+		policy:        cfg.Policy,
+		defaultWeight: dw,
+		weights:       weights,
+		faults:        cfg.Faults,
+		nworkers:      w,
+		tenants:       map[string]*schedTenant{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.workers.Add(w)
+	for i := 0; i < w; i++ {
+		// Worker 0 is the reserved floor: it serves unconditionally, so every
+		// tenant's queue keeps draining no matter what the gate says.
+		go s.worker(i == 0)
+	}
+	return s
+}
+
+// Close stops the shared workers once no work is runnable. Fan-outs still
+// in flight finish on their submitting goroutines (caller participation);
+// fan-outs submitted after Close run directly, without cross-tenant
+// interleaving. Idempotent.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.workers.Wait()
+}
+
+// Forget drops an idle tenant's bookkeeping (a deleted session's tenant
+// would otherwise accumulate forever). A tenant with queued or running
+// work is left untouched; it can be forgotten once it drains.
+func (s *Scheduler) Forget(tenant string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenants[tenant]
+	if t == nil || len(t.queue) > 0 || t.inflight > 0 || t.present > 0 {
+		return
+	}
+	delete(s.tenants, tenant)
+	for i, n := range s.names {
+		if n == tenant {
+			s.names = append(s.names[:i], s.names[i+1:]...)
+			break
+		}
+	}
+}
+
+// SchedTenantSnapshot is one tenant's row in a Snapshot.
+type SchedTenantSnapshot struct {
+	Tenant     string `json:"tenant"`
+	Weight     int    `json:"weight"`
+	Pass       uint64 `json:"pass"`
+	Queued     int    `json:"queued_fanouts"`
+	Inflight   int    `json:"inflight_chunks"`
+	Present    int    `json:"open_checks"`
+	Dispatched uint64 `json:"dispatched_chunks"`
+	SelfServed uint64 `json:"self_served_chunks"`
+	GatedWaits uint64 `json:"gated_waits"`
+	Fanouts    uint64 `json:"fanouts"`
+}
+
+// SchedSnapshot is the scheduler's observable state (the /debug/sched
+// payload): policy, shared worker count, and per-tenant accounting in
+// tenant-name order.
+type SchedSnapshot struct {
+	Policy  string                `json:"policy"`
+	Workers int                   `json:"workers"`
+	Tenants []SchedTenantSnapshot `json:"tenants"`
+}
+
+// Snapshot captures the current dispatch state.
+func (s *Scheduler) Snapshot() SchedSnapshot {
+	snap := SchedSnapshot{Policy: s.policy.String(), Workers: s.nworkers}
+	s.mu.Lock()
+	for _, name := range s.names {
+		t := s.tenants[name]
+		snap.Tenants = append(snap.Tenants, SchedTenantSnapshot{
+			Tenant: t.name, Weight: t.weight, Pass: t.pass,
+			Queued: len(t.queue), Inflight: t.inflight, Present: t.present,
+			Dispatched: t.dispatched, SelfServed: t.selfServed,
+			GatedWaits: t.gatedWaits, Fanouts: t.fanouts,
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(snap.Tenants, func(i, j int) bool {
+		return snap.Tenants[i].Tenant < snap.Tenants[j].Tenant
+	})
+	return snap
+}
+
+// fanout is one scheduled ForEachChunkCtx call: the work description plus
+// the same failure-watermark bookkeeping forEachChunked keeps, so the
+// scheduled and direct paths report identical errors.
+type fanout struct {
+	ctx    context.Context
+	rec    *trace.Recorder
+	label  string
+	tenant string
+	fn     func(int) error
+
+	n, chunk, cap int
+	arrival       uint64
+	t             *schedTenant
+
+	// Guarded by the scheduler's mu.
+	nextLo    int  // next index to hand out (chunks go out in ascending order)
+	running   int  // chunks currently executing
+	queued    bool // still linked in the tenant queue
+	completed bool // done has been closed
+
+	failIdx atomic.Int64 // lowest recorded failure index; n = none
+	fmu     sync.Mutex
+	fail    *indexedErr
+	done    chan struct{}
+}
+
+// exhaustedLocked reports that no further chunks will be handed out: the
+// index space is consumed, a failure watermark was passed (chunks go out in
+// ascending order, so nothing below it remains), or the fan-out's context
+// is cancelled.
+func (f *fanout) exhaustedLocked() bool {
+	return f.nextLo >= f.n || int64(f.nextLo) > f.failIdx.Load() || f.ctx.Err() != nil
+}
+
+// takeLocked hands out the next chunk.
+func (f *fanout) takeLocked() (lo, hi int) {
+	lo = f.nextLo
+	hi = lo + f.chunk
+	if hi > f.n {
+		hi = f.n
+	}
+	f.nextLo = hi
+	f.running++
+	return lo, hi
+}
+
+// record keeps the lowest-index error, mirroring forEachChunked.
+func (f *fanout) record(i int, err error) {
+	f.fmu.Lock()
+	if f.fail == nil || i < f.fail.idx {
+		f.fail = &indexedErr{idx: i, err: err}
+		f.failIdx.Store(int64(i))
+	}
+	f.fmu.Unlock()
+}
+
+// runChunk executes the chunk [lo, hi) outside the scheduler lock: the
+// SiteSched chaos seam first, then the indices under the same per-index
+// failure watermark and panic recovery as the direct path, traced as one
+// pool-track span tagged with the tenant.
+func (f *fanout) runChunk(inj *faults.Injector, lo, hi int) {
+	if inj != nil && !f.hitSched(inj, lo) {
+		return
+	}
+	var stopSpan func(args ...trace.Arg)
+	if f.rec != nil {
+		stopSpan = f.rec.Begin(trace.TrackPool, "", chunkName(f.label, lo, hi), "pool")
+	}
+	for i := lo; i < hi; i++ {
+		if int64(i) > f.failIdx.Load() {
+			break
+		}
+		f.runIndex(i)
+	}
+	if stopSpan != nil {
+		stopSpan(trace.Arg{Key: "tenant", Val: f.tenant})
+	}
+}
+
+// hitSched evaluates the SiteSched seam for the chunk starting at lo,
+// converting an injected error or panic into the fan-out's failure at that
+// index. True means the chunk may run.
+func (f *fanout) hitSched(inj *faults.Injector, lo int) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			f.record(lo, &PanicError{Value: r, Stack: debug.Stack()})
+			ok = false
+		}
+	}()
+	if err := inj.Hit(f.ctx, faults.SiteSched, fmt.Sprintf("%s#%d", f.tenant, lo)); err != nil {
+		f.record(lo, err)
+		return false
+	}
+	return true
+}
+
+// runIndex executes one index with panic recovery.
+func (f *fanout) runIndex(i int) {
+	defer func() {
+		if r := recover(); r != nil {
+			f.record(i, &PanicError{Value: r, Stack: debug.Stack()})
+		}
+	}()
+	if err := f.fn(i); err != nil {
+		f.record(i, err)
+	}
+}
+
+// forEach is the scheduled counterpart of forEachChunked: enqueue the
+// fan-out on the tenant's queue, serve its chunks from the calling
+// goroutine while shared workers interleave it fairly with other tenants,
+// then report with the direct path's exact semantics.
+func (s *Scheduler) forEach(ctx context.Context, rec *trace.Recorder, label, tenant string, workers, n, chunk int, fn func(int) error) error {
+	if chunk <= 0 {
+		chunk = chunkFor(workers, n)
+	}
+	nChunks := (n + chunk - 1) / chunk
+	if workers > nChunks {
+		workers = nChunks
+	}
+	f := &fanout{
+		ctx: ctx, rec: rec, label: label, tenant: tenant,
+		fn: fn, n: n, chunk: chunk, cap: workers,
+		done: make(chan struct{}),
+	}
+	f.failIdx.Store(int64(n))
+	if !s.enqueue(f) {
+		// The scheduler has shut down: run directly. Semantics are identical,
+		// only cross-tenant interleaving is lost.
+		return forEachChunked(ctx, rec, label, workers, n, chunk, fn)
+	}
+	s.serveOwn(f)
+	<-f.done
+	f.fmu.Lock()
+	fail := f.fail
+	f.fmu.Unlock()
+	if fail != nil {
+		return fail.err
+	}
+	return ctx.Err()
+}
+
+// enqueue registers the fan-out under its tenant. False when the scheduler
+// is closed.
+func (s *Scheduler) enqueue(f *fanout) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	t := s.joinLocked(f.tenant)
+	s.arrivals++
+	f.arrival = s.arrivals
+	f.t = t
+	f.queued = true
+	t.queue = append(t.queue, f)
+	t.fanouts++
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	return true
+}
+
+// joinLocked resolves (creating or re-activating) the tenant's dispatch
+// state. A tenant entering from fully idle — nothing queued, nothing
+// running, no open presence span — is lifted to just behind the current
+// pass front: at most rejoinWarp of latency credit. The lift is a floor,
+// never a push-down — max(own pass, front − rejoinWarp) — so a tenant
+// whose streams merely gapped for an instant keeps the pass its recent
+// service earned instead of minting fresh credit and gating genuinely
+// lagging co-tenants. Accumulated lag from a long sleep still cannot let
+// a returning tenant monopolize the workers, and a pass left far ahead
+// by its last burst cannot defer this one behind a saturating co-tenant's
+// standing queue (pickLocked orders by pass, and the co-tenant's pass
+// keeps advancing while the rejoiner's holds).
+func (s *Scheduler) joinLocked(tenant string) *schedTenant {
+	t := s.tenants[tenant]
+	if t == nil {
+		t = &schedTenant{name: tenant, weight: s.weightFor(tenant)}
+		front := s.minActivePassLocked()
+		t.pass, t.burstUntil = warpedJoinPass(front), front
+		s.tenants[tenant] = t
+		s.names = append(s.names, tenant)
+	} else if len(t.queue) == 0 && t.inflight == 0 && t.present == 0 {
+		front := s.minActivePassLocked()
+		if wp := warpedJoinPass(front); wp > t.pass {
+			t.pass = wp
+		}
+		t.burstUntil = front
+	}
+	return t
+}
+
+// burstingLocked reports that the tenant is still inside the latency
+// credit of its last idle join: its pass has not yet caught back up to the
+// front it joined behind. A bursting tenant is served caller-paced — the
+// reserved worker may help, the other shared workers keep out: on
+// few-core hosts, fanning a short burst across freshly-woken workers costs
+// more in switches and straggler joins than the parallelism returns, and a
+// continuously-busy tenant leaves burst within rejoinWarp takes anyway.
+func (s *Scheduler) burstingLocked(t *schedTenant) bool {
+	return s.policy == FairShare && t.pass < t.burstUntil
+}
+
+// Enter opens a presence span for tenant: the whole latency-sensitive work
+// unit (one service check), not just the instants its fan-outs are queued.
+// While a lagging tenant is present, co-tenant callers yield between their
+// chunk takes (gatedLocked) even during its serial sections — on a busy
+// host the run-queue delay of those sections, not chunk dispatch order, is
+// what buries a small check under a saturating neighbor. The returned
+// leave func closes the span (idempotent). Shared workers are never gated,
+// so a present tenant that stalls degrades co-tenants to worker-only
+// bandwidth at worst until its context dies.
+func (s *Scheduler) Enter(tenant string) (leave func()) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return func() {}
+	}
+	t := s.joinLocked(tenant)
+	t.present++
+	s.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.mu.Lock()
+			t.present--
+			s.mu.Unlock()
+			// The span's pass lag no longer gates anyone; wake yielding
+			// co-tenant callers.
+			s.cond.Broadcast()
+		})
+	}
+}
+
+// EnterCtx opens a presence span for the context's tenant on the context's
+// scheduler, returning the leave func. A no-op closure when the context
+// carries no scheduler.
+func EnterCtx(ctx context.Context) func() {
+	s := SchedulerFromContext(ctx)
+	if s == nil {
+		return func() {}
+	}
+	return s.Enter(TenantFromContext(ctx))
+}
+
+// YieldCtx parks the caller while its tenant is gated behind a lagging
+// co-tenant. Fan-out callers yield automatically between chunk takes
+// (serveOwn); this is the same courtesy for a tenant's serial sections —
+// the engine calls it at rule boundaries, where it already polls for
+// cancellation, so a batch check parks within one rule of a small
+// co-tenant check starting instead of staying runnable beside it. Returns
+// immediately when the context carries no scheduler, the scheduler is
+// closed or not fair-share, the tenant is not gated, or the context is
+// done; a parked caller wakes on any scheduling event or cancellation.
+func YieldCtx(ctx context.Context) {
+	s := SchedulerFromContext(ctx)
+	if s == nil {
+		return
+	}
+	s.yield(ctx, TenantFromContext(ctx))
+}
+
+func (s *Scheduler) yield(ctx context.Context, tenant string) {
+	// Cancellation must wake the cond wait: nothing else is guaranteed to
+	// broadcast while the gating tenant sits present but idle.
+	stop := context.AfterFunc(ctx, func() { s.cond.Broadcast() })
+	defer stop()
+	s.mu.Lock()
+	for !s.closed && ctx.Err() == nil {
+		t := s.tenants[tenant]
+		if t == nil || !s.gatedLocked(t) {
+			break
+		}
+		t.gatedWaits++
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Weight reports the stride weight tenant would be scheduled with (its
+// configured weight, or the default). The weight table is immutable after
+// construction, so this needs no lock.
+func (s *Scheduler) Weight(tenant string) int { return s.weightFor(tenant) }
+
+// weightFor resolves a tenant's configured stride weight.
+func (s *Scheduler) weightFor(tenant string) int {
+	if w, ok := s.weights[tenant]; ok && w > 0 {
+		return w
+	}
+	return s.defaultWeight
+}
+
+// warpedJoinPass is where a tenant entering (or re-entering) the
+// contention lands relative to the active pass front: rejoinWarp behind
+// it, clamped at zero.
+func warpedJoinPass(front uint64) uint64 {
+	if front <= rejoinWarp {
+		return 0
+	}
+	return front - rejoinWarp
+}
+
+// minActivePassLocked is the lowest pass among tenants with work — the
+// join point for tenants entering (or re-entering) the contention.
+func (s *Scheduler) minActivePassLocked() uint64 {
+	var min uint64
+	found := false
+	for _, name := range s.names {
+		t := s.tenants[name]
+		if len(t.queue) == 0 && t.inflight == 0 && t.present == 0 {
+			continue
+		}
+		if !found || t.pass < min {
+			min = t.pass
+			found = true
+		}
+	}
+	return min
+}
+
+// serveOwn runs chunks of the caller's own fan-out until its handout is
+// finished. The submitting goroutine always contributes, so every fan-out
+// makes progress even when all shared workers serve other tenants, and a
+// nested fan-out inside a chunk body cannot deadlock. Self-served chunks
+// count against the fan-out's worker cap and advance the tenant's stride
+// pass exactly like worker dispatches — on hosts where callers outrun the
+// shared workers, the pass would otherwise never meter the bulk of the
+// consumption and FairShare would degenerate to FIFO. Under FairShare the
+// caller additionally yields (gatedLocked) while a lagging tenant can
+// absorb service; the lowest-pass tenant is never gated, so some caller
+// always proceeds even with every shared worker stalled.
+func (s *Scheduler) serveOwn(f *fanout) {
+	for {
+		s.mu.Lock()
+		for !f.exhaustedLocked() && (f.running >= f.cap || s.gatedLocked(f.t)) {
+			if f.running < f.cap {
+				f.t.gatedWaits++
+			}
+			s.cond.Wait()
+		}
+		if f.exhaustedLocked() {
+			if f.queued {
+				s.removeLocked(f)
+			}
+			s.completeIfIdleLocked(f)
+			s.mu.Unlock()
+			// The tenant's runnable front may have vanished with this fan-out;
+			// gated co-tenant callers must re-evaluate.
+			s.cond.Broadcast()
+			return
+		}
+		lo, hi := f.takeLocked()
+		f.t.inflight++
+		f.t.selfServed++
+		s.advancePassLocked(f.t)
+		s.mu.Unlock()
+		s.cond.Broadcast()
+		f.runChunk(s.faults, lo, hi)
+		s.chunkDone(f)
+	}
+}
+
+// advancePassLocked meters one chunk take against the tenant's stride
+// pass — dispatches and caller self-service alike, so pass is cumulative
+// service in SFQ terms no matter which goroutine executed the chunk. FIFO
+// keeps passes frozen — arrival order alone decides.
+func (s *Scheduler) advancePassLocked(t *schedTenant) {
+	if s.policy == FairShare {
+		t.pass += strideOne / uint64(t.weight)
+	}
+}
+
+// gatedLocked reports whether a tenant's caller must yield before
+// self-serving another chunk: some other tenant lags strictly behind on
+// pass AND is either present (a check span is open — its serial sections
+// need the CPU as much as its fan-outs) or has a fan-out that can accept a
+// worker right now. The yield is bounded: the laggard's worker dispatches
+// advance its pass toward the gated tenant's, its presence ends with its
+// check (or its context), and the reserved worker is never gated — so a
+// stalled or saturated (running == cap) tenant degrades co-tenants to
+// reserved-worker bandwidth at worst, and the lowest-pass tenant itself
+// is never gated.
+func (s *Scheduler) gatedLocked(me *schedTenant) bool {
+	if s.policy != FairShare {
+		return false
+	}
+	for _, name := range s.names {
+		t := s.tenants[name]
+		if t == me || t.pass >= me.pass {
+			continue
+		}
+		if t.present > 0 || s.frontLocked(t) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// worker is one shared dispatcher goroutine: pick the next chunk under the
+// policy, run it, repeat until the scheduler closes and drains. The
+// reserved worker ignores the fairness gate so queues always drain.
+func (s *Scheduler) worker(reserved bool) {
+	defer s.workers.Done()
+	for {
+		f, lo, hi, ok := s.next(reserved)
+		if !ok {
+			return
+		}
+		f.runChunk(s.faults, lo, hi)
+		s.chunkDone(f)
+	}
+}
+
+// next blocks until a chunk is runnable (or the scheduler closes with
+// nothing runnable) and dispatches it, advancing the winning tenant's pass
+// and recording the decision on the fan-out's timeline. A non-reserved
+// worker declines to serve a tenant the gate says is ahead of a lagging
+// present tenant — the same yield the callers make — unless the scheduler
+// is draining for Close.
+func (s *Scheduler) next(reserved bool) (f *fanout, lo, hi int, ok bool) {
+	s.mu.Lock()
+	for {
+		if f, t := s.pickLocked(); f != nil &&
+			(reserved || s.closed || !(s.gatedLocked(t) || s.burstingLocked(t))) {
+			lo, hi := f.takeLocked()
+			t.inflight++
+			t.dispatched++
+			pass := t.pass
+			s.advancePassLocked(t)
+			queued := len(t.queue)
+			s.mu.Unlock()
+			// The take moved the tenant's pass (and may have saturated the
+			// fan-out), which can release a gated co-tenant caller.
+			s.cond.Broadcast()
+			s.noteDispatch(f, lo, hi, pass, queued)
+			return f, lo, hi, true
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return nil, 0, 0, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// noteDispatch records the scheduling decision as an instant on the pool
+// track of the fan-out's timeline: which tenant won, at what pass, and how
+// deep its queue still is.
+func (s *Scheduler) noteDispatch(f *fanout, lo, hi int, pass uint64, queued int) {
+	if f.rec == nil {
+		return
+	}
+	f.rec.Instant(trace.TrackPool, "", "sched:"+f.tenant, "sched",
+		trace.Arg{Key: "tenant", Val: f.tenant},
+		trace.Arg{Key: "chunk", Val: chunkName(f.label, lo, hi)},
+		trace.Arg{Key: "pass", Val: pass},
+		trace.Arg{Key: "queued_fanouts", Val: queued},
+	)
+}
+
+// pickLocked returns the fan-out to serve next under the policy — lowest
+// pass for FairShare (arrival order breaking ties), globally oldest
+// arrival for FIFO — pruning finished queue entries as it scans. Nil when
+// nothing is runnable.
+func (s *Scheduler) pickLocked() (*fanout, *schedTenant) {
+	var bestF *fanout
+	var bestT *schedTenant
+	for _, name := range s.names {
+		t := s.tenants[name]
+		f := s.frontLocked(t)
+		if f == nil {
+			continue
+		}
+		switch {
+		case bestF == nil:
+			bestF, bestT = f, t
+		case s.policy == FairShare:
+			if t.pass < bestT.pass || (t.pass == bestT.pass && f.arrival < bestF.arrival) {
+				bestF, bestT = f, t
+			}
+		default: // FIFO
+			if f.arrival < bestF.arrival {
+				bestF, bestT = f, t
+			}
+		}
+	}
+	return bestF, bestT
+}
+
+// frontLocked returns the first fan-out of t's queue that can accept
+// another worker, dropping entries whose handout is finished (their
+// in-flight chunks drain and chunkDone or the caller closes them out). A
+// fan-out saturating its worker cap does not block the tenant's later
+// fan-outs.
+func (s *Scheduler) frontLocked(t *schedTenant) *fanout {
+	keep := t.queue[:0]
+	var front *fanout
+	for _, f := range t.queue {
+		if f.exhaustedLocked() {
+			f.queued = false
+			s.completeIfIdleLocked(f)
+			continue
+		}
+		keep = append(keep, f)
+		if front == nil && f.running < f.cap {
+			front = f
+		}
+	}
+	for i := len(keep); i < len(t.queue); i++ {
+		t.queue[i] = nil
+	}
+	t.queue = keep
+	return front
+}
+
+// removeLocked unlinks f from its tenant queue.
+func (s *Scheduler) removeLocked(f *fanout) {
+	q := f.t.queue
+	for i, g := range q {
+		if g == f {
+			copy(q[i:], q[i+1:])
+			q[len(q)-1] = nil
+			f.t.queue = q[:len(q)-1]
+			break
+		}
+	}
+	f.queued = false
+}
+
+// completeIfIdleLocked closes the fan-out's done channel once it is fully
+// drained: dequeued, nothing running, nothing more to hand out.
+func (s *Scheduler) completeIfIdleLocked(f *fanout) {
+	if !f.completed && !f.queued && f.running == 0 {
+		f.completed = true
+		close(f.done)
+	}
+}
+
+// chunkDone retires one executed chunk and wakes waiters: a worker or the
+// caller may now take the next chunk, and the final chunk completes the
+// fan-out.
+func (s *Scheduler) chunkDone(f *fanout) {
+	s.mu.Lock()
+	f.t.inflight--
+	f.running--
+	if f.queued && f.exhaustedLocked() {
+		s.removeLocked(f)
+	}
+	s.completeIfIdleLocked(f)
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Context plumbing: the scheduler and the tenant tag ride the context the
+// same way the trace recorder and request ID do, so tenant identity flows
+// from the service through core.Session into every fan-out without new
+// parameters.
+
+type schedCtxKey int
+
+const (
+	schedulerKey schedCtxKey = iota
+	tenantKey
+)
+
+// WithScheduler routes multi-worker fan-outs below ctx through s. A nil
+// scheduler returns ctx unchanged.
+func WithScheduler(ctx context.Context, s *Scheduler) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, schedulerKey, s)
+}
+
+// SchedulerFromContext returns the scheduler attached by WithScheduler, or
+// nil.
+func SchedulerFromContext(ctx context.Context) *Scheduler {
+	s, _ := ctx.Value(schedulerKey).(*Scheduler)
+	return s
+}
+
+// WithTenant tags fan-outs below ctx with a tenant identity for fair
+// scheduling and tracing. An empty tenant returns ctx unchanged.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	if tenant == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, tenantKey, tenant)
+}
+
+// TenantFromContext returns the tenant tag attached by WithTenant;
+// untagged contexts share DefaultTenant.
+func TenantFromContext(ctx context.Context) string {
+	if t, ok := ctx.Value(tenantKey).(string); ok {
+		return t
+	}
+	return DefaultTenant
+}
+
+// tenantTag is TenantFromContext without the default — "" means untagged,
+// so tracing can omit the tag entirely.
+func tenantTag(ctx context.Context) string {
+	t, _ := ctx.Value(tenantKey).(string)
+	return t
+}

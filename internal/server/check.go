@@ -11,6 +11,7 @@ import (
 
 	"opendrc/internal/core"
 	"opendrc/internal/faults"
+	"opendrc/internal/pool"
 	"opendrc/internal/rules"
 	"opendrc/internal/trace"
 )
@@ -73,18 +74,23 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	case s.sem <- struct{}{}:
 	default:
 		h.release(s.base, s.cfg.Logger)
-		overloaded(w, "", "server at capacity")
+		s.overloaded(w, "", "server at capacity")
 		return
 	}
 	if !h.admit(s.cfg.MaxQueuePerSession) {
 		<-s.sem
 		h.release(s.base, s.cfg.Logger)
-		overloaded(w, "", "session queue full")
+		s.overloaded(w, "", "session queue full")
 		return
 	}
 	reqID := h.nextRequestID()
 	timeout := s.parseTimeout(req.TimeoutMS)
-	cctx, cancel := context.WithTimeout(trace.WithRequestID(r.Context(), reqID), timeout)
+	// The check context carries three identities: the request ID (tracing),
+	// the fair scheduler, and the session's tenant — every ForEachCtx the
+	// engine issues under this context is queued per tenant and dispatched
+	// weighted-fair against co-tenant load.
+	base := pool.WithTenant(pool.WithScheduler(trace.WithRequestID(r.Context(), reqID), s.sched), h.tenant)
+	cctx, cancel := context.WithTimeout(base, timeout)
 
 	// The child owns the admission slot, the queue slot, and the session
 	// reference: they release when the check actually returns, even if the
@@ -165,8 +171,14 @@ func (s *Server) respondCheck(w http.ResponseWriter, reqID string, req checkRequ
 		return
 	}
 	rep := out.rep
+	s.svc.note(rep.HostWall)
 	if req.Dedup == nil || *req.Dedup {
-		rep.Violations = core.DedupViolations(rep.Violations)
+		// Dedup on a copy: for delta checks the report's violation slice can
+		// be shared with session-resident baseline state, and a response-
+		// shaping option must never mutate what the session will reuse.
+		dd := *rep
+		dd.Violations = core.DedupViolations(rep.Violations)
+		rep = &dd
 	}
 	w.Header().Set("X-Odrc-Request", reqID)
 	w.Header().Set("X-Odrc-Degraded", strconv.FormatBool(rep.Degraded))
@@ -201,11 +213,16 @@ func subsetDeck(deck rules.Deck, ids []string) (rules.Deck, error) {
 		byID[r.ID] = r
 	}
 	out := make(rules.Deck, 0, len(ids))
+	seen := make(map[string]bool, len(ids))
 	for _, id := range ids {
 		r, ok := byID[id]
 		if !ok {
 			return nil, fmt.Errorf("server: unknown rule %q", id)
 		}
+		if seen[id] {
+			return nil, fmt.Errorf("server: duplicate rule %q in request", id)
+		}
+		seen[id] = true
 		out = append(out, r)
 	}
 	return out, nil

@@ -117,5 +117,10 @@ func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"id": h.id, "stats": st})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":     h.id,
+		"tenant": h.tenant,
+		"weight": h.weight,
+		"stats":  st,
+	})
 }

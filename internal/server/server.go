@@ -43,11 +43,13 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"opendrc/internal/budget"
 	"opendrc/internal/faults"
 	"opendrc/internal/infra"
+	"opendrc/internal/pool"
 )
 
 // Config tunes the service. The zero value is usable: every limit has a
@@ -67,6 +69,17 @@ type Config struct {
 	// WatchdogGrace is how long past its deadline a check may run before
 	// the watchdog abandons it and answers 504. Default 2s.
 	WatchdogGrace time.Duration
+	// SchedWorkers sizes the shared cross-tenant worker set of the fair
+	// scheduler (pool.Scheduler) every admitted check's fan-outs route
+	// through. <= 0 selects GOMAXPROCS.
+	SchedWorkers int
+	// TenantWeights gives named tenants a larger stride share of the shared
+	// workers; a session's tenant defaults to its session id. Tenants
+	// absent from the map get DefaultTenantWeight.
+	TenantWeights map[string]int
+	// DefaultTenantWeight applies to tenants absent from TenantWeights
+	// (<= 0 means 1).
+	DefaultTenantWeight int
 	// Faults drives the chaos suite through the service seams
 	// (faults.SiteRequest, faults.SiteSessionLoad) and, via each session's
 	// engine options, the engine seams. Nil is inert.
@@ -102,7 +115,9 @@ type Server struct {
 	sem  chan struct{}   // global admission semaphore, capacity MaxInFlight
 	mux  *http.ServeMux
 
-	reg *registry
+	reg   *registry
+	sched *pool.Scheduler // shared tenant-fair worker set for every check's fan-outs
+	svc   svcClock        // recent-service-time estimate behind Retry-After
 }
 
 // New builds a server. base is the process lifecycle context — it must
@@ -116,6 +131,13 @@ func New(base context.Context, cfg Config) *Server {
 		base: base,
 		sem:  make(chan struct{}, cfg.MaxInFlight),
 		reg:  newRegistry(),
+		sched: pool.NewScheduler(pool.SchedConfig{
+			Workers:       cfg.SchedWorkers,
+			Policy:        pool.FairShare,
+			DefaultWeight: cfg.DefaultTenantWeight,
+			Weights:       cfg.TenantWeights,
+			Faults:        cfg.Faults,
+		}),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
@@ -127,6 +149,7 @@ func New(base context.Context, cfg Config) *Server {
 	mux.HandleFunc("GET /v1/sessions/{id}/stats", s.handleSessionStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /debug/goroutines", s.handleGoroutines)
+	mux.HandleFunc("GET /debug/sched", s.handleSched)
 	s.mux = mux
 	return s
 }
@@ -138,12 +161,16 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // checks answer 503 while in-flight work finishes. Idempotent.
 func (s *Server) Drain() { s.reg.drain() }
 
-// CloseAll closes every session, releasing resident device buffers. Called
-// after the HTTP listener has drained; sessions still referenced by
-// abandoned (watchdog-expired) checks close when their last reference
-// drops. Returns the number of sessions closed now.
+// CloseAll closes every session, releasing resident device buffers, and
+// stops the fair scheduler's shared workers. Called after the HTTP
+// listener has drained; sessions still referenced by abandoned
+// (watchdog-expired) checks close when their last reference drops (their
+// fan-outs finish on their own goroutines — a closed scheduler falls back
+// to direct execution). Returns the number of sessions closed now.
 func (s *Server) CloseAll(ctx context.Context) int {
-	return s.reg.closeAll(ctx, s.cfg.Logger)
+	n := s.reg.closeAll(ctx, s.cfg.Logger)
+	s.sched.Close()
+	return n
 }
 
 // errorBody is the JSON error shape every non-200 response carries.
@@ -177,10 +204,75 @@ func writeErrorf(w http.ResponseWriter, status int, reqID, format string, args .
 	writeError(w, status, reqID, fmt.Errorf(format, args...))
 }
 
-// overloaded answers 429 with a Retry-After hint.
-func overloaded(w http.ResponseWriter, reqID, what string) {
-	w.Header().Set("Retry-After", "1")
+// svcClock is an EWMA over recently completed checks' host wall time. The
+// engine measures each report's HostWall, so the estimate needs no clock
+// reads of its own.
+type svcClock struct {
+	mu   sync.Mutex
+	ewma time.Duration //odrc:guardedby mu
+}
+
+// note folds one completed check's wall time into the estimate (weight
+// 1/4: recent checks dominate, one outlier does not).
+func (c *svcClock) note(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	if c.ewma == 0 {
+		c.ewma = d
+	} else {
+		c.ewma = (3*c.ewma + d) / 4
+	}
+	c.mu.Unlock()
+}
+
+// estimate returns the current per-check service-time estimate (0 before
+// any check completed).
+func (c *svcClock) estimate() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ewma
+}
+
+// maxRetryAfter caps the back-off hint; beyond it a client should treat
+// the service as down rather than politely waiting.
+const maxRetryAfter = 60
+
+// retryAfterSeconds derives the 429 back-off hint from the current load:
+// the estimated time for the admitted backlog to drain (in-flight checks ×
+// recent per-check service time), in whole seconds, clamped to
+// [1, maxRetryAfter]. With no history yet the hint is the old static 1s.
+func (s *Server) retryAfterSeconds() int64 {
+	est := s.svc.estimate()
+	if est <= 0 {
+		return 1
+	}
+	depth := int64(len(s.sem))
+	if depth < 1 {
+		depth = 1
+	}
+	secs := (est.Milliseconds()*depth + 999) / 1000
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > maxRetryAfter {
+		secs = maxRetryAfter
+	}
+	return secs
+}
+
+// overloaded answers 429 with a Retry-After hint proportional to the
+// current queue depth and recent service time.
+func (s *Server) overloaded(w http.ResponseWriter, reqID, what string) {
+	w.Header().Set("Retry-After", strconv.FormatInt(s.retryAfterSeconds(), 10))
 	writeErrorf(w, http.StatusTooManyRequests, reqID, "overloaded: %s; retry later", what)
+}
+
+// handleSched exposes the fair scheduler's dispatch state: policy, shared
+// worker count, and per-tenant pass/queue/dispatch accounting.
+func (s *Server) handleSched(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Snapshot())
 }
 
 // handleHealthz reports liveness and load.

@@ -40,6 +40,8 @@ type sessionHandle struct {
 	deck    rules.Deck
 	design  string // "synth:uart" or "gds:<path>"
 	mode    string
+	tenant  string // fair-scheduler queue this session's checks run in
+	weight  int    // resolved scheduler weight for that tenant
 
 	mu sync.Mutex
 	// seq is the next check sequence (per-session arrival order); queued
@@ -212,6 +214,7 @@ func (r *registry) closeAll(ctx context.Context, log *infra.Logger) int {
 // createRequest is the POST /v1/sessions body.
 type createRequest struct {
 	ID              string  `json:"id"`                // default: design name / GDS basename
+	Tenant          string  `json:"tenant"`            // fair-scheduler tenant (default: the session id)
 	Design          string  `json:"design"`            // synth design profile (aes, ..., uart)
 	Scale           float64 `json:"scale"`             // synth instance-count scale (default 1)
 	GDS             string  `json:"gds"`               // GDSII path (alternative to Design)
@@ -309,6 +312,11 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 func (s *Server) load(ctx context.Context, h *sessionHandle, req createRequest, design, mode string) error {
 	h.design = design
 	h.mode = mode
+	h.tenant = req.Tenant
+	if h.tenant == "" {
+		h.tenant = h.id // sessions are their own tenant unless grouped
+	}
+	h.weight = s.sched.Weight(h.tenant)
 	if err := s.cfg.Faults.Hit(ctx, faults.SiteSessionLoad, h.id); err != nil {
 		h.loadErr = fmt.Errorf("server: session %s: load: %w", h.id, err)
 		return h.loadErr
@@ -377,6 +385,8 @@ func (s *Server) sessionInfo(h *sessionHandle) map[string]any {
 		"rules":  len(h.deck),
 		"checks": checks,
 		"queued": queued,
+		"tenant": h.tenant,
+		"weight": h.weight,
 	}
 	if dev := h.ses.Device(); dev != nil {
 		inUse, _, _, _ := dev.PoolStats()
@@ -434,6 +444,9 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.cfg.Logger.Infof("server: session %s busy; closes on last release", id)
 	}
+	// Drop the tenant's scheduler bookkeeping if it went idle with the
+	// session (a no-op while co-sessions of the same tenant still run).
+	s.sched.Forget(h.tenant)
 	w.WriteHeader(http.StatusNoContent)
 }
 

@@ -58,6 +58,32 @@ cmp "$tmp/batch_full.json" "$tmp/http_cold.json"
 cmp "$tmp/batch_full.json" "$tmp/http_warm.json"
 cmp "$tmp/batch_one.json" "$tmp/http_one.json"
 
+# Cross-tenant saturation probe: two sessions (distinct tenants by default)
+# checked concurrently through the shared fair scheduler. Whatever the
+# interleaving, both responses must still be byte-identical to the batch
+# CLI — fair scheduling moves latency, never results — and /debug/sched
+# must account for both tenants.
+curl -fsS -X POST "$base/v1/sessions" \
+	-d "{\"id\":\"sat-a\",\"gds\":\"$tmp/uart.gds\"}" >/dev/null
+curl -fsS -X POST "$base/v1/sessions" \
+	-d "{\"id\":\"sat-b\",\"gds\":\"$tmp/uart.gds\"}" >/dev/null
+curl -fsS -X POST "$base/v1/sessions/sat-a/check" -d '{}' >"$tmp/http_sat_a.json" &
+sat_a=$!
+curl -fsS -X POST "$base/v1/sessions/sat-b/check" -d '{}' >"$tmp/http_sat_b.json" &
+sat_b=$!
+wait "$sat_a" "$sat_b"
+cmp "$tmp/batch_full.json" "$tmp/http_sat_a.json"
+cmp "$tmp/batch_full.json" "$tmp/http_sat_b.json"
+sched="$(curl -fsS "$base/debug/sched")"
+for want in '.policy == "fair"' '[.tenants[].tenant] | index("sat-a") != null' '[.tenants[].tenant] | index("sat-b") != null'; do
+	echo "$sched" | jq -e "$want" >/dev/null || {
+		echo "smoke_odrcd: sched check failed ($want): $sched" >&2
+		exit 1
+	}
+done
+curl -fsS -X DELETE "$base/v1/sessions/sat-a" >/dev/null
+curl -fsS -X DELETE "$base/v1/sessions/sat-b" >/dev/null
+
 # Incremental flow: on a fresh session, full check, insert a sub-min-width
 # M1 sliver (layer 19, width 9 < MinWidthM1), then delta-check. The body
 # must be byte-identical to ANOTHER fresh session given the same edit and a
